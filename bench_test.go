@@ -1,0 +1,247 @@
+// Package stellar's root benchmark harness regenerates every table and
+// figure of the paper's evaluation (one benchmark per artifact) plus the
+// ablation benches DESIGN.md calls out. Benchmarks report the headline
+// latency metrics via b.ReportMetric so `go test -bench` output doubles as
+// the reproduction's results summary:
+//
+//	go test -bench=. -benchmem            # quick scale
+//	go test -bench=. -benchtime=1x -timeout=60m -args -paperscale
+//
+// Each benchmark iteration runs the complete experiment in virtual time.
+package stellar
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/experiments"
+	"github.com/stellar-repro/stellar/internal/providers"
+	"github.com/stellar-repro/stellar/internal/stats"
+)
+
+// paperScale switches the benches from quick scale (600 samples) to the
+// paper's full 3000-samples-per-configuration methodology.
+var paperScale = flag.Bool("paperscale", false, "run benches at the paper's full sample counts")
+
+func benchOpts() experiments.Options {
+	if *paperScale {
+		return experiments.Defaults()
+	}
+	return experiments.Quick()
+}
+
+// reportSeries exposes a series' median/p99/TMR as benchmark metrics.
+func reportSeries(b *testing.B, label string, s *stats.Sample) {
+	b.Helper()
+	b.ReportMetric(float64(s.Median().Microseconds())/1e3, label+"_med_ms")
+	b.ReportMetric(float64(s.P99().Microseconds())/1e3, label+"_p99_ms")
+}
+
+func reportFigure(b *testing.B, fig *experiments.Figure) {
+	for _, s := range fig.Series {
+		reportSeries(b, sanitize(s.Label), s.Latencies)
+	}
+}
+
+// sanitize converts series labels into metric-name-safe tokens.
+func sanitize(label string) string {
+	out := make([]rune, 0, len(label))
+	for _, r := range label {
+		switch {
+		case r == ' ' || r == '=' || r == '+':
+			out = append(out, '_')
+		case r == '/':
+			out = append(out, '-')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+func benchFigure(b *testing.B, fn func(experiments.Options) (*experiments.Figure, error)) {
+	var fig *experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		opts.Seed = int64(i + 1)
+		fig, err = fn(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportFigure(b, fig)
+}
+
+// BenchmarkFig3Warm regenerates Fig. 3a (warm invocation CDFs).
+func BenchmarkFig3Warm(b *testing.B) { benchFigure(b, experiments.Fig3Warm) }
+
+// BenchmarkFig3Cold regenerates Fig. 3b (cold invocation CDFs).
+func BenchmarkFig3Cold(b *testing.B) { benchFigure(b, experiments.Fig3Cold) }
+
+// BenchmarkFig4ImageSize regenerates Fig. 4 (cold start vs image size).
+func BenchmarkFig4ImageSize(b *testing.B) { benchFigure(b, experiments.Fig4ImageSize) }
+
+// BenchmarkFig5RuntimeDeploy regenerates Fig. 5 (runtime x deploy method).
+func BenchmarkFig5RuntimeDeploy(b *testing.B) { benchFigure(b, experiments.Fig5RuntimeDeploy) }
+
+// BenchmarkFig6Inline regenerates Fig. 6 (inline transfer sweep).
+func BenchmarkFig6Inline(b *testing.B) { benchFigure(b, experiments.Fig6Inline) }
+
+// BenchmarkFig7Storage regenerates Fig. 7 (storage transfer sweep).
+func BenchmarkFig7Storage(b *testing.B) { benchFigure(b, experiments.Fig7Storage) }
+
+// BenchmarkFig8Bursts regenerates Fig. 8 (bursty invocations, both IATs).
+func BenchmarkFig8Bursts(b *testing.B) { benchFigure(b, experiments.Fig8Bursts) }
+
+// BenchmarkFig9Scheduling regenerates Fig. 9 (scheduling policy, 1s exec).
+func BenchmarkFig9Scheduling(b *testing.B) { benchFigure(b, experiments.Fig9Scheduling) }
+
+// BenchmarkFig10TraceTMR regenerates Fig. 10 (Azure-trace TMR CDFs).
+func BenchmarkFig10TraceTMR(b *testing.B) {
+	var res *experiments.Fig10Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		opts.Seed = int64(i + 1)
+		res, err = experiments.Fig10TraceTMR(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for class, frac := range res.FracBelow10 {
+		b.ReportMetric(frac, "tmr_lt10_"+sanitize(string(class)))
+	}
+}
+
+// BenchmarkTable1 regenerates Table I (MR/TR per factor per provider).
+func BenchmarkTable1(b *testing.B) {
+	var res *experiments.Table1Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		opts.Seed = int64(i + 1)
+		res, err = experiments.Table1(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Rows {
+		for prov, cell := range row.Cells {
+			if cell.NA {
+				continue
+			}
+			b.ReportMetric(cell.MR, fmt.Sprintf("%s_%s_MR", sanitize(row.Factor), prov))
+		}
+	}
+}
+
+// BenchmarkPolicySpace explores the queueing-policy design space (Obs. 7).
+func BenchmarkPolicySpace(b *testing.B) {
+	var res *experiments.PolicySpaceResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		opts.Seed = int64(i + 1)
+		res, err = experiments.PolicySpace(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, pt := range res.Points {
+		b.ReportMetric(float64(pt.Latencies.Median().Microseconds())/1e3,
+			fmt.Sprintf("depth%d_med_ms", pt.QueueDepth))
+		b.ReportMetric(float64(pt.Instances), fmt.Sprintf("depth%d_instances", pt.QueueDepth))
+	}
+}
+
+// --- Ablation benches (DESIGN.md §4) -------------------------------------
+
+// BenchmarkAblationNoImageCache compares AWS cold bursts with and without
+// the image-store cache; the burst advantage exists only with the cache.
+func BenchmarkAblationNoImageCache(b *testing.B) {
+	var with, without *stats.Sample
+	for i := 0; i < b.N; i++ {
+		seed := int64(i + 1)
+		cached, err := experiments.BurstWithConfig(providers.MustGet("aws"), seed,
+			experiments.BurstLongIAT, 100, 600, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		uncached, err := experiments.BurstWithConfig(experiments.AblationNoImageCache(), seed,
+			experiments.BurstLongIAT, 100, 600, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		with, without = cached.Latencies, uncached.Latencies
+	}
+	reportSeries(b, "with_cache", with)
+	reportSeries(b, "without_cache", without)
+}
+
+// BenchmarkAblationAzureNoQueue compares Azure's Fig. 9 burst with its
+// rate-limited policy against a no-queue variant.
+func BenchmarkAblationAzureNoQueue(b *testing.B) {
+	var queued, dedicated *stats.Sample
+	for i := 0; i < b.N; i++ {
+		seed := int64(i + 1)
+		q, err := experiments.BurstWithConfig(providers.MustGet("azure"), seed,
+			experiments.BurstLongIAT, 100, 400, time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := experiments.BurstWithConfig(experiments.AblationAzureNoQueue(), seed,
+			experiments.BurstLongIAT, 100, 400, time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queued, dedicated = q.Latencies, d.Latencies
+	}
+	reportSeries(b, "rate_limited", queued)
+	reportSeries(b, "no_queue", dedicated)
+}
+
+// BenchmarkAblationNoSchedulerContention compares Google cold bursts with
+// and without image-store miss queueing.
+func BenchmarkAblationNoSchedulerContention(b *testing.B) {
+	var with, without *stats.Sample
+	for i := 0; i < b.N; i++ {
+		seed := int64(i + 1)
+		c, err := experiments.BurstWithConfig(providers.MustGet("google"), seed,
+			experiments.BurstLongIAT, 200, 600, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := experiments.BurstWithConfig(experiments.AblationNoSchedulerContention(), seed,
+			experiments.BurstLongIAT, 200, 600, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		with, without = c.Latencies, f.Latencies
+	}
+	reportSeries(b, "contended", with)
+	reportSeries(b, "uncontended", without)
+}
+
+// BenchmarkAblationNoWarmPool compares AWS ZIP cold starts per runtime with
+// and without the warm generic instance pool.
+func BenchmarkAblationNoWarmPool(b *testing.B) {
+	var pyRaw, goRaw *stats.Sample
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i + 1)
+		py, err := experiments.ColdWithConfig(experiments.AblationNoWarmPool(), opts.Seed, opts, "python3")
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := experiments.ColdWithConfig(experiments.AblationNoWarmPool(), opts.Seed, opts, "go1.x")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pyRaw, goRaw = py.Latencies, g.Latencies
+	}
+	reportSeries(b, "python_no_pool", pyRaw)
+	reportSeries(b, "go_no_pool", goRaw)
+}

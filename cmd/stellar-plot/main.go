@@ -1,0 +1,18 @@
+// Command stellar-plot renders CSV measurement files (label,value_ns,frac —
+// the format written by stellar's -csv flag and plot.CSV) as terminal CDF
+// charts, the reproduction's counterpart of STeLLAR's plotting utilities.
+//
+// Usage:
+//
+//	stellar-plot [-width N] [-height N] [-title T] file.csv [file2.csv ...]
+package main
+
+import (
+	"os"
+
+	"github.com/stellar-repro/stellar/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.PlotMain(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,33 @@
+// Command stellar-sim serves a simulated serverless provider as live HTTP
+// endpoints, so STeLLAR's HTTP client (stellar run -transport http) and any
+// plain HTTP tool can benchmark it over real sockets.
+//
+// Usage:
+//
+//	stellar-sim -provider aws -addr 127.0.0.1:8080 [-scale 10] \
+//	            [-static static.json] [-endpoints endpoints.json] [-seed N]
+//
+// With -static, the listed functions are deployed at startup and the
+// resulting endpoint URLs written to -endpoints. Functions respond to
+// GET /fn/<name>?exec_ms=..&payload=.. and GET /healthz reports liveness.
+// The server runs until interrupted.
+package main
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/stellar-repro/stellar/internal/cli"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	stop := make(chan struct{})
+	go func() {
+		<-sig
+		close(stop)
+	}()
+	os.Exit(cli.SimMain(os.Args[1:], os.Stdout, os.Stderr, stop, nil))
+}

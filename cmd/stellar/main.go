@@ -1,0 +1,22 @@
+// Command stellar is the reproduction's CLI: it deploys functions, drives
+// measurement runs (the STeLLAR client), and regenerates every table and
+// figure of the paper's evaluation against the simulated provider clouds.
+//
+// Usage:
+//
+//	stellar providers
+//	stellar run -static static.json -runtime runtime.json [-endpoints out.json] [-csv out.csv] [-breakdown]
+//	stellar run -transport http -endpoints endpoints.json -runtime runtime.json [-scale X]
+//	stellar bench -provider aws [-samples N] [-iat D] [-burst N] [-exec D] [-replicas N] [-breakdown]
+//	stellar experiment -id fig3a|...|fig10|table1|all [-samples N] [-replicas N] [-seed N]
+package main
+
+import (
+	"os"
+
+	"github.com/stellar-repro/stellar/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

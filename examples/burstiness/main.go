@@ -1,0 +1,94 @@
+// Burstiness: the paper's §VI-D scenario — send bursts of simultaneous
+// invocations at each simulated provider under short (warm) and long (cold)
+// inter-arrival times, and observe how the scheduling policy shapes the
+// response: AWS spawns a dedicated instance per request (cold bursts are
+// even *cheaper* than single cold starts thanks to image caching), Google's
+// cold bursts contend at the image store, and Azure's rate-limited scale
+// controller queues requests deeply.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/core"
+	"github.com/stellar-repro/stellar/internal/experiments"
+	"github.com/stellar-repro/stellar/internal/plot"
+)
+
+func main() {
+	providers := []string{"aws", "google", "azure"}
+	bursts := []int{1, 100, 500}
+
+	for _, regime := range []struct {
+		name string
+		iat  time.Duration
+		exec time.Duration
+	}{
+		{"short IAT (warm bursts)", 3 * time.Second, 0},
+		{"long IAT (cold bursts)", 15 * time.Minute, 0},
+		{"long IAT + 1s execution (scheduling policy)", 15 * time.Minute, time.Second},
+	} {
+		fmt.Printf("== %s ==\n", regime.name)
+		var rows []plot.Series
+		for _, prov := range providers {
+			for _, burst := range bursts {
+				if regime.exec > 0 && burst == 500 {
+					continue // Fig. 9 studies bursts of 1 and 100
+				}
+				res := runBurst(prov, regime.iat, regime.exec, burst)
+				sum := res.Summary()
+				fmt.Printf("%-7s burst=%-4d median=%9v p99=%9v tmr=%5.1f colds=%d\n",
+					prov, burst, sum.Median.Round(time.Millisecond),
+					sum.P99.Round(time.Millisecond), sum.TMR, res.Colds)
+				if burst == 100 {
+					rows = append(rows, plot.Series{
+						Label:  fmt.Sprintf("%s burst=100", prov),
+						Sample: res.Latencies,
+					})
+				}
+			}
+		}
+		fmt.Println()
+		if err := plot.CDF(os.Stdout, "burst=100 latency CDFs", rows, 72, 14); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+}
+
+// runBurst measures one provider at one burst size on a fresh cloud.
+func runBurst(provider string, iat, exec time.Duration, burst int) *core.RunResult {
+	env, err := experiments.NewEnv(provider, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer env.Close()
+	eps, err := env.Deployer().Deploy(&core.StaticConfig{
+		Provider:  provider,
+		Functions: []core.FunctionConfig{{Name: "burst", Runtime: "python3", Method: "zip"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples := 1000
+	if samples < burst*2 {
+		samples = burst * 2
+	}
+	rc := core.RuntimeConfig{
+		Samples:   samples,
+		IAT:       core.Duration(iat),
+		BurstSize: burst,
+		ExecTime:  core.Duration(exec),
+	}
+	if iat < time.Minute {
+		rc.WarmupDiscard = burst // first burst is necessarily cold
+	}
+	res, err := env.Client().Run(eps.Endpoints, rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

@@ -1,0 +1,3 @@
+module github.com/stellar-repro/stellar
+
+go 1.22

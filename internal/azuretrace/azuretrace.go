@@ -1,0 +1,205 @@
+// Package azuretrace synthesizes and analyzes a trace of per-function
+// execution-time distributions in the style of the public Azure Functions
+// trace (Shahrad et al., ATC'20) that the paper's §VII-B analyzes.
+//
+// The real trace records, for every function, percentiles of its execution
+// time (excluding cold starts). The paper computes each function's
+// tail-to-median ratio (TMR) from the 99th percentile and median and
+// reports (Fig. 10):
+//
+//   - ~70% of all functions have TMR < 10;
+//   - ~60% of functions running under a second have TMR < 10;
+//   - ~90% of functions running over ten seconds have TMR < 10;
+//   - ~50% of functions run for about 1 second on average, and >70% run
+//     for less than 10 seconds (§VI-C1).
+//
+// The generator here is calibrated to those published statistics, which is
+// exactly the information Fig. 10 visualizes.
+package azuretrace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/stats"
+)
+
+// Record is one function's execution-time distribution, as percentiles.
+type Record struct {
+	// Function is a synthetic identifier.
+	Function string
+	// Percentiles maps percentile (e.g., 50, 99) to execution time.
+	Percentiles map[int]time.Duration
+}
+
+// Median returns the 50th percentile.
+func (r Record) Median() time.Duration { return r.Percentiles[50] }
+
+// P99 returns the 99th percentile.
+func (r Record) P99() time.Duration { return r.Percentiles[99] }
+
+// TMR returns the tail-to-median ratio. Functions with a zero median
+// return +Inf.
+func (r Record) TMR() float64 {
+	m := r.Median()
+	if m <= 0 {
+		return math.Inf(1)
+	}
+	return float64(r.P99()) / float64(m)
+}
+
+// DurationClass buckets functions by their median execution time, matching
+// the paper's short/long split.
+type DurationClass string
+
+// Duration classes used in Fig. 10's discussion.
+const (
+	ClassAll      DurationClass = "all"
+	ClassSubSec   DurationClass = "<1s"
+	ClassMidRange DurationClass = "1s-10s"
+	ClassLong     DurationClass = ">10s"
+)
+
+// Class returns the record's duration class.
+func (r Record) Class() DurationClass {
+	switch m := r.Median(); {
+	case m < time.Second:
+		return ClassSubSec
+	case m <= 10*time.Second:
+		return ClassMidRange
+	default:
+		return ClassLong
+	}
+}
+
+// classParams hold the synthesis parameters for one duration class: the
+// share of functions and the log-normal of the TMR distribution, tuned so
+// P(TMR < 10) matches the paper's numbers.
+type classParams struct {
+	share     float64
+	medianLo  time.Duration
+	medianHi  time.Duration
+	tmrMedian float64
+	tmrSigma  float64
+}
+
+// Synthesis parameters. Sub-second functions make up half the population
+// (the trace's median function runs ~1s) and have the most variable
+// execution; long functions are the steadiest.
+var classes = map[DurationClass]classParams{
+	// P(TMR<10) = Phi(ln(10/6)/2.02) ~ 0.60
+	ClassSubSec: {share: 0.50, medianLo: 5 * time.Millisecond, medianHi: time.Second,
+		tmrMedian: 6, tmrSigma: 2.02},
+	// P(TMR<10) = Phi(ln(10/4)/1.21) ~ 0.78
+	ClassMidRange: {share: 0.28, medianLo: time.Second, medianHi: 10 * time.Second,
+		tmrMedian: 4, tmrSigma: 1.21},
+	// P(TMR<10) = Phi(ln(10/3)/0.94) ~ 0.90
+	ClassLong: {share: 0.22, medianLo: 10 * time.Second, medianHi: 10 * time.Minute,
+		tmrMedian: 3, tmrSigma: 0.94},
+}
+
+// Generate synthesizes a trace of n functions using rng.
+func Generate(n int, rng *rand.Rand) []Record {
+	records := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		class := pickClass(rng)
+		p := classes[class]
+		median := logUniform(rng, p.medianLo, p.medianHi)
+		tmr := math.Exp(math.Log(p.tmrMedian) + p.tmrSigma*rng.NormFloat64())
+		if tmr < 1 {
+			tmr = 1 + (1-tmr)*0.1 // TMR is >= 1 by definition
+		}
+		records = append(records, makeRecord(fmt.Sprintf("func-%05d", i), median, tmr, rng))
+	}
+	return records
+}
+
+// pickClass samples a duration class by share.
+func pickClass(rng *rand.Rand) DurationClass {
+	x := rng.Float64()
+	for _, class := range []DurationClass{ClassSubSec, ClassMidRange, ClassLong} {
+		p := classes[class].share
+		if x < p {
+			return class
+		}
+		x -= p
+	}
+	return ClassLong
+}
+
+// logUniform samples log-uniformly over [lo, hi).
+func logUniform(rng *rand.Rand, lo, hi time.Duration) time.Duration {
+	lnLo, lnHi := math.Log(float64(lo)), math.Log(float64(hi))
+	return time.Duration(math.Exp(lnLo + rng.Float64()*(lnHi-lnLo)))
+}
+
+// makeRecord builds a percentile set consistent with the median and TMR:
+// intermediate percentiles interpolate log-linearly between median and p99.
+func makeRecord(name string, median time.Duration, tmr float64, rng *rand.Rand) Record {
+	p99 := time.Duration(float64(median) * tmr)
+	interp := func(z float64) time.Duration {
+		// z in [0,1] position between median (z=0) and p99 (z=1) in
+		// log space.
+		return time.Duration(math.Exp(math.Log(float64(median)) + z*math.Log(tmr)))
+	}
+	lowSpread := 0.5 + 0.4*rng.Float64() // p25 relative to median
+	return Record{
+		Function: name,
+		Percentiles: map[int]time.Duration{
+			25: time.Duration(float64(median) * lowSpread),
+			50: median,
+			75: interp(0.35),
+			95: interp(0.8),
+			99: p99,
+		},
+	}
+}
+
+// TMRSample collects the TMRs of records in the given class into a sample
+// usable for CDF plotting. TMRs are stored as durations at nanosecond
+// scale (TMR 10 -> 10ns) purely to reuse the stats machinery; callers
+// should interpret the axis as a dimensionless ratio.
+func TMRSample(records []Record, class DurationClass) *stats.Sample {
+	s := stats.NewSample(len(records))
+	for _, r := range records {
+		if class != ClassAll && r.Class() != class {
+			continue
+		}
+		s.Add(time.Duration(r.TMR() * 1000)) // milli-TMR resolution
+	}
+	return s
+}
+
+// FracBelowTMR reports the fraction of class functions with TMR < limit.
+func FracBelowTMR(records []Record, class DurationClass, limit float64) float64 {
+	count, total := 0, 0
+	for _, r := range records {
+		if class != ClassAll && r.Class() != class {
+			continue
+		}
+		total++
+		if r.TMR() < limit {
+			count++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(count) / float64(total)
+}
+
+// ClassShare reports the fraction of functions in the class.
+func ClassShare(records []Record, class DurationClass) float64 {
+	if len(records) == 0 {
+		return 0
+	}
+	count := 0
+	for _, r := range records {
+		if r.Class() == class {
+			count++
+		}
+	}
+	return float64(count) / float64(len(records))
+}

@@ -1,0 +1,139 @@
+package azuretrace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func genTrace(n int, seed int64) []Record {
+	return Generate(n, rand.New(rand.NewSource(seed)))
+}
+
+func TestGenerateCount(t *testing.T) {
+	records := genTrace(1000, 1)
+	if len(records) != 1000 {
+		t.Fatalf("generated %d records", len(records))
+	}
+	seen := map[string]bool{}
+	for _, r := range records {
+		if seen[r.Function] {
+			t.Fatalf("duplicate function id %s", r.Function)
+		}
+		seen[r.Function] = true
+	}
+}
+
+func TestPercentilesConsistent(t *testing.T) {
+	for _, r := range genTrace(500, 2) {
+		prev := time.Duration(0)
+		for _, p := range []int{25, 50, 75, 95, 99} {
+			v, ok := r.Percentiles[p]
+			if !ok {
+				t.Fatalf("%s missing percentile %d", r.Function, p)
+			}
+			if v < prev {
+				t.Fatalf("%s percentile %d (%v) below previous (%v)", r.Function, p, v, prev)
+			}
+			prev = v
+		}
+		if r.TMR() < 1 {
+			t.Fatalf("%s TMR %.2f below 1", r.Function, r.TMR())
+		}
+	}
+}
+
+func TestPaperFractions(t *testing.T) {
+	records := genTrace(40000, 3)
+	cases := []struct {
+		class DurationClass
+		want  float64
+		tol   float64
+	}{
+		{ClassAll, 0.70, 0.04},
+		{ClassSubSec, 0.60, 0.04},
+		{ClassLong, 0.90, 0.04},
+	}
+	for _, tc := range cases {
+		got := FracBelowTMR(records, tc.class, 10)
+		if math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("P(TMR<10 | %s) = %.3f, want %.2f±%.2f", tc.class, got, tc.want, tc.tol)
+		}
+	}
+	// Duration mix: ~50% sub-second, >70% under ten seconds.
+	if share := ClassShare(records, ClassSubSec); math.Abs(share-0.50) > 0.03 {
+		t.Errorf("sub-second share %.2f, want ~0.50", share)
+	}
+	under10 := ClassShare(records, ClassSubSec) + ClassShare(records, ClassMidRange)
+	if under10 < 0.70 {
+		t.Errorf("under-10s share %.2f, want > 0.70", under10)
+	}
+}
+
+func TestClassBoundaries(t *testing.T) {
+	mk := func(med time.Duration) Record {
+		return Record{Percentiles: map[int]time.Duration{50: med, 99: med * 2}}
+	}
+	if c := mk(500 * time.Millisecond).Class(); c != ClassSubSec {
+		t.Errorf("500ms class = %s", c)
+	}
+	if c := mk(5 * time.Second).Class(); c != ClassMidRange {
+		t.Errorf("5s class = %s", c)
+	}
+	if c := mk(30 * time.Second).Class(); c != ClassLong {
+		t.Errorf("30s class = %s", c)
+	}
+}
+
+func TestTMRInfinityOnZeroMedian(t *testing.T) {
+	r := Record{Percentiles: map[int]time.Duration{50: 0, 99: time.Second}}
+	if !math.IsInf(r.TMR(), 1) {
+		t.Fatalf("TMR of zero-median record = %v", r.TMR())
+	}
+}
+
+func TestTMRSampleFiltering(t *testing.T) {
+	records := genTrace(5000, 4)
+	all := TMRSample(records, ClassAll)
+	sub := TMRSample(records, ClassSubSec)
+	long := TMRSample(records, ClassLong)
+	if all.Len() != len(records) {
+		t.Fatalf("all-class sample has %d of %d", all.Len(), len(records))
+	}
+	if sub.Len()+long.Len() >= all.Len() {
+		t.Fatal("class filters do not partition")
+	}
+	// Sub-second functions have the heavier TMR distribution.
+	if sub.Percentile(75) <= long.Percentile(75) {
+		t.Error("sub-second TMR p75 should exceed long-function p75")
+	}
+}
+
+func TestEmptyClassShare(t *testing.T) {
+	if ClassShare(nil, ClassAll) != 0 || FracBelowTMR(nil, ClassAll, 10) != 0 {
+		t.Fatal("empty trace should yield zero shares")
+	}
+}
+
+// Property: generation is deterministic per seed and all records are valid.
+func TestQuickGenerateValid(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		a := genTrace(n, seed)
+		b := genTrace(n, seed)
+		for i := range a {
+			if a[i].Median() != b[i].Median() || a[i].P99() != b[i].P99() {
+				return false
+			}
+			if a[i].Median() <= 0 || a[i].P99() < a[i].Median() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package azuretrace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The CSV schema is one function per row with millisecond duration
+// percentiles, a simplification of the public Azure Functions trace's
+// duration file that preserves exactly the fields Fig. 10 needs:
+//
+//	function,p25_ms,p50_ms,p75_ms,p95_ms,p99_ms
+//
+// Users holding the real trace can project it onto this schema and run the
+// Fig. 10 analysis over production data instead of the synthesizer.
+
+var csvPercentiles = []int{25, 50, 75, 95, 99}
+
+// WriteCSV serializes records.
+func WriteCSV(w io.Writer, records []Record) error {
+	if _, err := fmt.Fprintln(w, "function,p25_ms,p50_ms,p75_ms,p95_ms,p99_ms"); err != nil {
+		return err
+	}
+	for _, r := range records {
+		fields := make([]string, 0, 1+len(csvPercentiles))
+		fields = append(fields, r.Function)
+		for _, p := range csvPercentiles {
+			ms := float64(r.Percentiles[p]) / float64(time.Millisecond)
+			fields = append(fields, strconv.FormatFloat(ms, 'f', 3, 64))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(fields, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCSV parses records, validating that each row's percentiles are
+// non-decreasing and positive at the median.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	scanner := bufio.NewScanner(r)
+	var records []Record
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || (lineNo == 1 && strings.HasPrefix(line, "function,")) {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 1+len(csvPercentiles) {
+			return nil, fmt.Errorf("azuretrace: line %d: want %d fields, got %d",
+				lineNo, 1+len(csvPercentiles), len(parts))
+		}
+		rec := Record{Function: parts[0], Percentiles: make(map[int]time.Duration, len(csvPercentiles))}
+		prev := time.Duration(-1)
+		for i, p := range csvPercentiles {
+			ms, err := strconv.ParseFloat(parts[i+1], 64)
+			if err != nil || ms < 0 {
+				return nil, fmt.Errorf("azuretrace: line %d: bad p%d value %q", lineNo, p, parts[i+1])
+			}
+			d := time.Duration(ms * float64(time.Millisecond))
+			if d < prev {
+				return nil, fmt.Errorf("azuretrace: line %d: percentiles not monotone at p%d", lineNo, p)
+			}
+			rec.Percentiles[p] = d
+			prev = d
+		}
+		if rec.Median() <= 0 {
+			return nil, fmt.Errorf("azuretrace: line %d: non-positive median", lineNo)
+		}
+		records = append(records, rec)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("azuretrace: no records")
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].Function < records[j].Function })
+	return records, nil
+}

@@ -1,0 +1,71 @@
+package azuretrace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	records := Generate(200, rand.New(rand.NewSource(1)))
+	var sb strings.Builder
+	if err := WriteCSV(&sb, records); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(records) {
+		t.Fatalf("loaded %d of %d", len(loaded), len(records))
+	}
+	// ReadCSV sorts by function name; Generate emits sorted names already.
+	for i := range records {
+		if loaded[i].Function != records[i].Function {
+			t.Fatalf("row %d: %s != %s", i, loaded[i].Function, records[i].Function)
+		}
+		// Millisecond formatting rounds to microseconds; TMR must survive
+		// to within a 0.1% relative tolerance.
+		origTMR, loadTMR := records[i].TMR(), loaded[i].TMR()
+		tol := 0.01
+		if rel := origTMR * 0.001; rel > tol {
+			tol = rel
+		}
+		if diff := origTMR - loadTMR; diff > tol || diff < -tol {
+			t.Fatalf("row %d: TMR %.4f -> %.4f", i, origTMR, loadTMR)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"wrong fields": "function,p25_ms,p50_ms,p75_ms,p95_ms,p99_ms\nf,1,2,3\n",
+		"bad value":    "f,1,soon,3,4,5\n",
+		"negative":     "f,1,-2,3,4,5\n",
+		"non-monotone": "f,5,4,3,2,1\n",
+		"zero median":  "f,0,0,1,2,3\n",
+		"empty":        "function,p25_ms,p50_ms,p75_ms,p95_ms,p99_ms\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadCSV(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadCSVSortsAndSkipsBlank(t *testing.T) {
+	data := "function,p25_ms,p50_ms,p75_ms,p95_ms,p99_ms\n" +
+		"zeta,1,2,3,4,5\n" +
+		"\n" +
+		"alpha,10,20,30,40,50\n"
+	records, err := ReadCSV(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 || records[0].Function != "alpha" || records[1].Function != "zeta" {
+		t.Fatalf("records = %+v", records)
+	}
+	if records[0].TMR() != 2.5 {
+		t.Fatalf("alpha TMR = %v", records[0].TMR())
+	}
+}

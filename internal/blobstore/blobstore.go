@@ -1,0 +1,227 @@
+// Package blobstore simulates a cost-optimized cloud object store (AWS S3,
+// Google Cloud Storage) in virtual time. The paper identifies such stores as
+// the key contributor to serverless tail latency (§VI-C2, Obs. 4): they are
+// optimized for cost, not latency, so per-operation delay is heavy-tailed,
+// while sustained transfer bandwidth grows with object size.
+//
+// The store also models load-adaptive caching of hot objects, which the
+// paper hypothesizes explains two burst-traffic effects (§VI-D2): AWS cold
+// bursts completing faster than individual cold starts (image cached after
+// the first retrieval) and Google's latency dropping between burst sizes 300
+// and 500 (caching aggressiveness adjusting to load).
+package blobstore
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/des"
+	"github.com/stellar-repro/stellar/internal/dist"
+)
+
+// CacheConfig controls the store's hot-object cache.
+type CacheConfig struct {
+	// Enabled turns the cache on.
+	Enabled bool
+	// ActivationCount is the number of retrievals of an object within
+	// ActivationWindow after which the object becomes cached. 1 models an
+	// always-cache policy (AWS image store); large values model a
+	// load-adaptive policy that only reacts to heavy traffic (Google).
+	ActivationCount  int
+	ActivationWindow time.Duration
+	// TTL is how long an object stays cached after activation.
+	TTL time.Duration
+	// HitLatency is the per-op latency for cached reads.
+	HitLatency dist.Dist
+	// HitBandwidthBps is the transfer bandwidth for cached reads (bits/s).
+	HitBandwidthBps float64
+}
+
+// Config describes one storage service.
+type Config struct {
+	// Name identifies the store in errors and metrics.
+	Name string
+	// GetLatency and PutLatency are per-operation first-byte delays,
+	// excluding transfer time.
+	GetLatency dist.Dist
+	PutLatency dist.Dist
+	// GetBandwidthBps and PutBandwidthBps are sustained transfer rates in
+	// bits per second. Zero means infinitely fast transfer.
+	GetBandwidthBps float64
+	PutBandwidthBps float64
+	// SmallObjectBytes, when positive, reads objects up to that size at
+	// SmallGetBandwidthBps instead (a fast tier for small objects, e.g.,
+	// deployment packages served from SSD-backed metadata storage).
+	SmallObjectBytes     int64
+	SmallGetBandwidthBps float64
+	// BandwidthJitterPct varies each operation's effective bandwidth
+	// uniformly within ±pct (0.2 = ±20%).
+	BandwidthJitterPct float64
+	// MissCongestionUnit models store-side queueing of uncached reads: a
+	// GET that misses the cache waits an extra (concurrent outstanding
+	// misses) * unit before being served. Cache hits bypass the queue,
+	// which is how a load-adaptive cache can make very large bursts
+	// cheaper than medium ones (§VI-D2).
+	MissCongestionUnit time.Duration
+	// Cache is the hot-object cache policy.
+	Cache CacheConfig
+}
+
+// Metrics aggregates store activity.
+type Metrics struct {
+	Gets      uint64
+	Puts      uint64
+	CacheHits uint64
+	BytesRead uint64
+	BytesPut  uint64
+}
+
+type object struct {
+	size int64
+	// cache state
+	fetches     int
+	windowStart time.Duration
+	cachedUntil time.Duration
+}
+
+// Store is a simulated object store. All methods must be called from
+// simulation context; operations advance the calling process's virtual time.
+type Store struct {
+	eng          *des.Engine
+	cfg          Config
+	rng          *rand.Rand
+	objects      map[string]*object
+	missInflight int
+	metrics      Metrics
+}
+
+// New creates a store on the given engine. rng must be a dedicated stream.
+func New(eng *des.Engine, cfg Config, rng *rand.Rand) *Store {
+	if cfg.GetLatency == nil {
+		cfg.GetLatency = dist.Constant(0)
+	}
+	if cfg.PutLatency == nil {
+		cfg.PutLatency = dist.Constant(0)
+	}
+	return &Store{eng: eng, cfg: cfg, rng: rng, objects: make(map[string]*object)}
+}
+
+// Seed registers an object without simulating an upload (used for function
+// images placed by the deployer outside the measured window).
+func (s *Store) Seed(key string, size int64) {
+	s.objects[key] = &object{size: size}
+}
+
+// Exists reports whether key is present.
+func (s *Store) Exists(key string) bool {
+	_, ok := s.objects[key]
+	return ok
+}
+
+// Size returns the stored size of key.
+func (s *Store) Size(key string) (int64, error) {
+	obj, ok := s.objects[key]
+	if !ok {
+		return 0, fmt.Errorf("blobstore %s: object %q not found", s.cfg.Name, key)
+	}
+	return obj.size, nil
+}
+
+// Put uploads size bytes under key, blocking the process for the operation's
+// latency plus transfer time. It returns the simulated duration.
+func (s *Store) Put(p *des.Proc, key string, size int64) time.Duration {
+	lat := s.cfg.PutLatency.Sample(s.rng) + s.transferTime(size, s.cfg.PutBandwidthBps)
+	p.Sleep(lat)
+	obj, ok := s.objects[key]
+	if !ok {
+		obj = &object{}
+		s.objects[key] = obj
+	}
+	obj.size = size
+	s.metrics.Puts++
+	s.metrics.BytesPut += uint64(size)
+	return lat
+}
+
+// Get downloads key, blocking the process for the operation's latency plus
+// transfer time. It returns the object size and the simulated duration.
+func (s *Store) Get(p *des.Proc, key string) (int64, time.Duration, error) {
+	obj, ok := s.objects[key]
+	if !ok {
+		return 0, 0, fmt.Errorf("blobstore %s: object %q not found", s.cfg.Name, key)
+	}
+	s.metrics.Gets++
+	s.metrics.BytesRead += uint64(obj.size)
+
+	var lat time.Duration
+	if s.cacheHit(obj) {
+		s.metrics.CacheHits++
+		hit := s.cfg.Cache.HitLatency
+		if hit == nil {
+			hit = dist.Constant(0)
+		}
+		lat = hit.Sample(s.rng) + s.transferTime(obj.size, s.cfg.Cache.HitBandwidthBps)
+		p.Sleep(lat)
+		return obj.size, lat, nil
+	}
+	if s.cfg.MissCongestionUnit > 0 && s.missInflight > 0 {
+		lat += time.Duration(s.missInflight) * s.cfg.MissCongestionUnit
+	}
+	bps := s.cfg.GetBandwidthBps
+	if s.cfg.SmallObjectBytes > 0 && obj.size <= s.cfg.SmallObjectBytes && s.cfg.SmallGetBandwidthBps > 0 {
+		bps = s.cfg.SmallGetBandwidthBps
+	}
+	lat += s.cfg.GetLatency.Sample(s.rng) + s.transferTime(obj.size, bps)
+	s.missInflight++
+	p.Sleep(lat)
+	s.missInflight--
+	return obj.size, lat, nil
+}
+
+// cacheHit updates the object's cache-activation state at the start of a
+// retrieval and reports whether this retrieval is served from cache.
+// Activation is recorded at fetch start: once traffic crosses the threshold,
+// the storage front-end coalesces concurrent readers onto the cached copy.
+func (s *Store) cacheHit(obj *object) bool {
+	c := s.cfg.Cache
+	if !c.Enabled {
+		return false
+	}
+	now := s.eng.Now()
+	if now < obj.cachedUntil {
+		obj.cachedUntil = now + c.TTL // reads refresh the TTL
+		return true
+	}
+	if c.ActivationWindow > 0 && now-obj.windowStart > c.ActivationWindow {
+		obj.windowStart = now
+		obj.fetches = 0
+	}
+	obj.fetches++
+	if obj.fetches >= c.ActivationCount {
+		obj.cachedUntil = now + c.TTL
+		obj.fetches = 0
+		// The activating retrieval itself still pays the miss cost.
+	}
+	return false
+}
+
+// transferTime converts a payload size into transfer latency at the given
+// nominal bandwidth with per-op jitter.
+func (s *Store) transferTime(size int64, bps float64) time.Duration {
+	if bps <= 0 || size <= 0 {
+		return 0
+	}
+	eff := bps
+	if j := s.cfg.BandwidthJitterPct; j > 0 {
+		eff = bps * (1 - j + 2*j*s.rng.Float64())
+	}
+	sec := float64(size) * 8 / eff
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Metrics returns a snapshot of the store's counters.
+func (s *Store) Metrics() Metrics { return s.metrics }
+
+// Name returns the configured store name.
+func (s *Store) Name() string { return s.cfg.Name }

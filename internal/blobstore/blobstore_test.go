@@ -1,0 +1,278 @@
+package blobstore
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/des"
+	"github.com/stellar-repro/stellar/internal/dist"
+)
+
+func testStore(t *testing.T, cfg Config) (*des.Engine, *Store) {
+	t.Helper()
+	eng := des.NewEngine()
+	t.Cleanup(eng.Close)
+	return eng, New(eng, cfg, dist.NewStreams(1).Stream("store"))
+}
+
+// run executes fn as a process and drains the engine.
+func run(eng *des.Engine, fn func(p *des.Proc)) {
+	eng.Spawn("test", fn)
+	eng.Run(0)
+}
+
+func TestPutThenGet(t *testing.T) {
+	eng, s := testStore(t, Config{
+		Name:       "s3",
+		GetLatency: dist.Constant(20 * time.Millisecond),
+		PutLatency: dist.Constant(30 * time.Millisecond),
+	})
+	var getLat time.Duration
+	var size int64
+	run(eng, func(p *des.Proc) {
+		putLat := s.Put(p, "obj", 1024)
+		if putLat != 30*time.Millisecond {
+			t.Errorf("put latency = %v", putLat)
+		}
+		var err error
+		size, getLat, err = s.Get(p, "obj")
+		if err != nil {
+			t.Errorf("get: %v", err)
+		}
+	})
+	if size != 1024 {
+		t.Fatalf("size = %d", size)
+	}
+	if getLat != 20*time.Millisecond {
+		t.Fatalf("get latency = %v", getLat)
+	}
+	m := s.Metrics()
+	if m.Gets != 1 || m.Puts != 1 || m.BytesRead != 1024 || m.BytesPut != 1024 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	eng, s := testStore(t, Config{Name: "s3"})
+	run(eng, func(p *des.Proc) {
+		if _, _, err := s.Get(p, "nope"); err == nil {
+			t.Error("expected error for missing object")
+		}
+	})
+}
+
+func TestSeedAndSize(t *testing.T) {
+	_, s := testStore(t, Config{Name: "s3"})
+	s.Seed("image", 50<<20)
+	if !s.Exists("image") {
+		t.Fatal("seeded object missing")
+	}
+	size, err := s.Size("image")
+	if err != nil || size != 50<<20 {
+		t.Fatalf("size = %d, err = %v", size, err)
+	}
+	if _, err := s.Size("absent"); err == nil {
+		t.Fatal("expected error for absent object size")
+	}
+}
+
+func TestBandwidthScalesWithSize(t *testing.T) {
+	eng, s := testStore(t, Config{
+		Name:            "s3",
+		GetLatency:      dist.Constant(100 * time.Millisecond),
+		GetBandwidthBps: 800e6, // 100 MB/s
+	})
+	s.Seed("small", 1e6)   // 1 MB -> 10ms transfer
+	s.Seed("large", 100e6) // 100 MB -> 1s transfer
+	var smallLat, largeLat time.Duration
+	run(eng, func(p *des.Proc) {
+		_, smallLat, _ = s.Get(p, "small")
+		_, largeLat, _ = s.Get(p, "large")
+	})
+	if smallLat != 110*time.Millisecond {
+		t.Fatalf("small = %v, want 110ms", smallLat)
+	}
+	if largeLat != 1100*time.Millisecond {
+		t.Fatalf("large = %v, want 1.1s", largeLat)
+	}
+}
+
+func TestBandwidthJitterBounds(t *testing.T) {
+	eng, s := testStore(t, Config{
+		Name:               "s3",
+		GetBandwidthBps:    8e6, // 1 MB/s
+		BandwidthJitterPct: 0.25,
+	})
+	s.Seed("obj", 1e6) // nominal 1s transfer
+	var lats []time.Duration
+	run(eng, func(p *des.Proc) {
+		for i := 0; i < 200; i++ {
+			_, lat, _ := s.Get(p, "obj")
+			lats = append(lats, lat)
+		}
+	})
+	nominal := float64(time.Second)
+	lo := time.Duration(nominal / 1.25)
+	hi := time.Duration(nominal / 0.75)
+	varied := false
+	for _, l := range lats {
+		if l < lo-time.Millisecond || l > hi+time.Millisecond {
+			t.Fatalf("jittered latency %v outside [%v,%v]", l, lo, hi)
+		}
+		if l != lats[0] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter produced constant latencies")
+	}
+}
+
+func TestCacheAlwaysPolicy(t *testing.T) {
+	eng, s := testStore(t, Config{
+		Name:       "aws-image-store",
+		GetLatency: dist.Constant(400 * time.Millisecond),
+		Cache: CacheConfig{
+			Enabled:          true,
+			ActivationCount:  1,
+			ActivationWindow: time.Minute,
+			TTL:              2 * time.Minute,
+			HitLatency:       dist.Constant(10 * time.Millisecond),
+		},
+	})
+	s.Seed("img", 1)
+	var first, second, afterTTL time.Duration
+	run(eng, func(p *des.Proc) {
+		_, first, _ = s.Get(p, "img")
+		_, second, _ = s.Get(p, "img")
+		p.Sleep(10 * time.Minute) // past TTL
+		_, afterTTL, _ = s.Get(p, "img")
+	})
+	if first != 400*time.Millisecond {
+		t.Fatalf("first (activating) get = %v, want miss cost", first)
+	}
+	if second != 10*time.Millisecond {
+		t.Fatalf("second get = %v, want cache hit", second)
+	}
+	if afterTTL != 400*time.Millisecond {
+		t.Fatalf("post-TTL get = %v, want miss cost", afterTTL)
+	}
+	if s.Metrics().CacheHits != 1 {
+		t.Fatalf("cache hits = %d", s.Metrics().CacheHits)
+	}
+}
+
+func TestCacheLoadAdaptivePolicy(t *testing.T) {
+	eng, s := testStore(t, Config{
+		Name:       "gcs-image-store",
+		GetLatency: dist.Constant(300 * time.Millisecond),
+		Cache: CacheConfig{
+			Enabled:          true,
+			ActivationCount:  5,
+			ActivationWindow: time.Minute,
+			TTL:              time.Minute,
+			HitLatency:       dist.Constant(5 * time.Millisecond),
+		},
+	})
+	s.Seed("img", 1)
+	var lats []time.Duration
+	run(eng, func(p *des.Proc) {
+		for i := 0; i < 8; i++ {
+			_, lat, _ := s.Get(p, "img")
+			lats = append(lats, lat)
+		}
+	})
+	for i := 0; i < 5; i++ {
+		if lats[i] != 300*time.Millisecond {
+			t.Fatalf("get %d = %v, want miss until activation", i, lats[i])
+		}
+	}
+	for i := 5; i < 8; i++ {
+		if lats[i] != 5*time.Millisecond {
+			t.Fatalf("get %d = %v, want hit after activation", i, lats[i])
+		}
+	}
+}
+
+func TestCacheWindowExpiryResetsCount(t *testing.T) {
+	eng, s := testStore(t, Config{
+		Name:       "img",
+		GetLatency: dist.Constant(100 * time.Millisecond),
+		Cache: CacheConfig{
+			Enabled:          true,
+			ActivationCount:  2,
+			ActivationWindow: 10 * time.Second,
+			TTL:              time.Minute,
+			HitLatency:       dist.Constant(time.Millisecond),
+		},
+	})
+	s.Seed("img", 1)
+	var third time.Duration
+	run(eng, func(p *des.Proc) {
+		s.Get(p, "img")               // count 1
+		p.Sleep(30 * time.Second)     // window expires
+		s.Get(p, "img")               // count resets to 1
+		_, third, _ = s.Get(p, "img") // count 2 -> activates, still a miss
+	})
+	if third != 100*time.Millisecond {
+		t.Fatalf("activating get = %v, want miss cost", third)
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	eng, s := testStore(t, Config{Name: "s3"})
+	run(eng, func(p *des.Proc) {
+		s.Put(p, "obj", 10)
+		s.Put(p, "obj", 20)
+	})
+	size, _ := s.Size("obj")
+	if size != 20 {
+		t.Fatalf("size after overwrite = %d", size)
+	}
+}
+
+// Property: get latency is non-negative and grows monotonically with object
+// size for a fixed-latency, jitter-free store.
+func TestQuickTransferMonotone(t *testing.T) {
+	f := func(sizes []uint32) bool {
+		eng := des.NewEngine()
+		defer eng.Close()
+		s := New(eng, Config{
+			Name:            "q",
+			GetLatency:      dist.Constant(time.Millisecond),
+			GetBandwidthBps: 1e9,
+		}, dist.NewStreams(2).Stream("q"))
+		type res struct {
+			size int64
+			lat  time.Duration
+		}
+		var out []res
+		eng.Spawn("t", func(p *des.Proc) {
+			for i, raw := range sizes {
+				key := string(rune('a' + i%26))
+				s.Seed(key, int64(raw))
+				_, lat, err := s.Get(p, key)
+				if err != nil {
+					return
+				}
+				out = append(out, res{int64(raw), lat})
+			}
+		})
+		eng.Run(0)
+		for i := range out {
+			if out[i].lat < time.Millisecond {
+				return false
+			}
+			for j := range out {
+				if out[i].size > out[j].size && out[i].lat < out[j].lat {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

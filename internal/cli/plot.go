@@ -1,0 +1,95 @@
+package cli
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/plot"
+	"github.com/stellar-repro/stellar/internal/stats"
+)
+
+// PlotMain dispatches the stellar-plot CLI: it renders CSV measurement
+// files (label,value_ns,frac) as terminal CDF charts.
+func PlotMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("stellar-plot", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	width := fs.Int("width", 72, "chart width in characters")
+	height := fs.Int("height", 18, "chart height in rows")
+	title := fs.String("title", "latency CDF", "chart title")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "stellar-plot: need at least one CSV file")
+		return 2
+	}
+	var series []plot.Series
+	for _, path := range fs.Args() {
+		loaded, err := loadCSV(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "stellar-plot:", err)
+			return 1
+		}
+		series = append(series, loaded...)
+	}
+	if err := plot.CDF(stdout, *title, series, *width, *height); err != nil {
+		fmt.Fprintln(stderr, "stellar-plot:", err)
+		return 1
+	}
+	return 0
+}
+
+// loadCSV parses a label,value_ns,frac file back into per-label samples.
+// The frac column is ignored: the empirical CDF is reconstructed from the
+// raw values, which is exact because plot.CSV writes every distinct value.
+func loadCSV(path string) ([]plot.Series, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	byLabel := map[string]*stats.Sample{}
+	var order []string
+	scanner := bufio.NewScanner(f)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || (lineNo == 1 && strings.HasPrefix(line, "label,")) {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("%s:%d: malformed row %q", path, lineNo, line)
+		}
+		ns, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad value %q", path, lineNo, parts[1])
+		}
+		label := parts[0]
+		s, ok := byLabel[label]
+		if !ok {
+			s = stats.NewSample(0)
+			byLabel[label] = s
+			order = append(order, label)
+		}
+		s.Add(time.Duration(ns))
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	series := make([]plot.Series, 0, len(order))
+	for _, label := range order {
+		series = append(series, plot.Series{Label: label, Sample: byLabel[label]})
+	}
+	if len(series) == 0 {
+		return nil, fmt.Errorf("%s: no data rows", path)
+	}
+	return series, nil
+}

@@ -1,0 +1,80 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"github.com/stellar-repro/stellar/internal/core"
+	"github.com/stellar-repro/stellar/internal/httpfaas"
+	"github.com/stellar-repro/stellar/internal/providers"
+)
+
+// SimMain dispatches the stellar-sim CLI: it serves a simulated provider as
+// live HTTP endpoints until stop fires (the main wires stop to SIGINT; tests
+// pass their own channel). ready, when non-nil, receives the base URL once
+// the server listens.
+func SimMain(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready chan<- string) int {
+	fs := flag.NewFlagSet("stellar-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	provider := fs.String("provider", "aws", "provider profile to simulate")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	scale := fs.Float64("scale", 1, "time compression (10 = 10 virtual seconds per wall second)")
+	staticPath := fs.String("static", "", "static function configuration to deploy at startup")
+	endpointsPath := fs.String("endpoints", "", "endpoints file to write after deployment")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := runSim(*provider, *addr, *scale, *staticPath, *endpointsPath, *seed, stdout, stop, ready); err != nil {
+		fmt.Fprintln(stderr, "stellar-sim:", err)
+		return 1
+	}
+	return 0
+}
+
+func runSim(provider, addr string, scale float64, staticPath, endpointsPath string,
+	seed int64, stdout io.Writer, stop <-chan struct{}, ready chan<- string) error {
+	cfg, err := providers.Get(provider)
+	if err != nil {
+		return err
+	}
+	srv, err := httpfaas.NewServer(cfg, seed, scale)
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(addr); err != nil {
+		return err
+	}
+	defer srv.Stop()
+	fmt.Fprintf(stdout, "serving simulated %s at %s (time scale %gx)\n", provider, srv.BaseURL(), scale)
+
+	if staticPath != "" {
+		sc, err := core.LoadStaticConfig(staticPath)
+		if err != nil {
+			return err
+		}
+		deployer := core.NewDeployer(srv.Provider())
+		sc.Provider = provider
+		eps, err := deployer.Deploy(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "deployed %d endpoints\n", len(eps.Endpoints))
+		for _, ep := range eps.Endpoints {
+			fmt.Fprintln(stdout, " ", ep.URL)
+		}
+		if endpointsPath != "" {
+			if err := eps.Save(endpointsPath); err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, "endpoints written to", endpointsPath)
+		}
+	}
+	if ready != nil {
+		ready <- srv.BaseURL()
+	}
+	<-stop
+	fmt.Fprintln(stdout, "shutting down")
+	return nil
+}

@@ -1,0 +1,76 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"github.com/stellar-repro/stellar/internal/core"
+	"github.com/stellar-repro/stellar/internal/experiments"
+)
+
+// cmdSuite runs a whole measurement campaign from a suite configuration
+// file: each experiment deploys into a fresh simulated cloud, runs its load
+// scenario, and reports; optional per-experiment CSVs land in -csv-dir.
+func cmdSuite(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("suite", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	configPath := fs.String("config", "", "suite configuration file (required)")
+	seed := fs.Int64("seed", 1, "random seed")
+	csvDir := fs.String("csv-dir", "", "directory for per-experiment CSV files")
+	breakdown := fs.Bool("breakdown", false, "print per-component latency breakdowns")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *configPath == "" {
+		return fmt.Errorf("suite: -config is required")
+	}
+	sc, err := core.LoadSuiteConfig(*configPath)
+	if err != nil {
+		return err
+	}
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "suite: %d experiments\n\n", len(sc.Experiments))
+	type row struct {
+		name string
+		sum  string
+	}
+	var rows []row
+	for _, exp := range sc.Experiments {
+		env, err := experiments.NewEnv(exp.Static.Provider, *seed)
+		if err != nil {
+			return fmt.Errorf("suite %q: %w", exp.Name, err)
+		}
+		eps, err := env.Deployer().Deploy(&exp.Static)
+		if err != nil {
+			env.Close()
+			return fmt.Errorf("suite %q: %w", exp.Name, err)
+		}
+		res, err := env.Client().Run(eps.Endpoints, exp.Runtime)
+		if err != nil {
+			env.Close()
+			return fmt.Errorf("suite %q: %w", exp.Name, err)
+		}
+		fmt.Fprintf(stdout, "== %s (%s, %d endpoints)\n", exp.Name, exp.Static.Provider, len(eps.Endpoints))
+		printRun(stdout, res, *breakdown)
+		fmt.Fprintln(stdout)
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, exp.Name+".csv")
+			if err := writeCSV(path, exp.Name, res); err != nil {
+				env.Close()
+				return fmt.Errorf("suite %q: %w", exp.Name, err)
+			}
+			fmt.Fprintf(stdout, "csv written to %s\n\n", path)
+		}
+		rows = append(rows, row{exp.Name, res.Summary().String()})
+		env.Close()
+	}
+	fmt.Fprintln(stdout, "== suite summary")
+	for _, r := range rows {
+		fmt.Fprintf(stdout, "%-28s %s\n", r.name, r.sum)
+	}
+	return nil
+}

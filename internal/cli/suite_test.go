@@ -1,0 +1,93 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const validSuite = `{
+  "experiments": [
+    {
+      "name": "warm-aws",
+      "static": {"provider": "aws", "functions": [
+        {"name": "w", "runtime": "python3", "method": "zip"}]},
+      "runtime": {"samples": 30, "iat": "3s", "warmup_discard": 1}
+    },
+    {
+      "name": "chain-google",
+      "static": {"provider": "google", "functions": [
+        {"name": "c", "runtime": "go1.x", "method": "zip",
+         "chain": {"length": 2, "transfer": "inline", "payload_bytes": 4096}}]},
+      "runtime": {"samples": 20, "iat": "3s", "warmup_discard": 2}
+    }
+  ]
+}`
+
+func TestSuiteCommand(t *testing.T) {
+	cfg := writeTestFile(t, "suite.json", validSuite)
+	csvDir := t.TempDir()
+	code, out, errOut := run(t, "suite", "-config", cfg, "-csv-dir", csvDir)
+	if code != 0 {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+	for _, want := range []string{
+		"suite: 2 experiments", "== warm-aws", "== chain-google",
+		"transfer:", "== suite summary",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("suite output missing %q", want)
+		}
+	}
+	for _, name := range []string{"warm-aws.csv", "chain-google.csv"} {
+		if _, err := os.Stat(filepath.Join(csvDir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestSuiteCommandErrors(t *testing.T) {
+	code, _, errOut := run(t, "suite")
+	if code != 1 || !strings.Contains(errOut, "-config is required") {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+	code, _, _ = run(t, "suite", "-config", "/does/not/exist.json")
+	if code != 1 {
+		t.Fatalf("missing file: code=%d", code)
+	}
+	empty := writeTestFile(t, "empty.json", `{"experiments": []}`)
+	code, _, errOut = run(t, "suite", "-config", empty)
+	if code != 1 || !strings.Contains(errOut, "no experiments") {
+		t.Fatalf("empty suite: code=%d err=%q", code, errOut)
+	}
+	dup := writeTestFile(t, "dup.json", `{"experiments": [
+		{"name": "x", "static": {"provider": "aws", "functions": [{"name": "f"}]},
+		 "runtime": {"samples": 5, "iat": "1s"}},
+		{"name": "x", "static": {"provider": "aws", "functions": [{"name": "f"}]},
+		 "runtime": {"samples": 5, "iat": "1s"}}
+	]}`)
+	code, _, errOut = run(t, "suite", "-config", dup)
+	if code != 1 || !strings.Contains(errOut, "duplicate") {
+		t.Fatalf("dup suite: code=%d err=%q", code, errOut)
+	}
+	badProvider := writeTestFile(t, "badprov.json", `{"experiments": [
+		{"name": "x", "static": {"provider": "oracle", "functions": [{"name": "f", "runtime": "python3"}]},
+		 "runtime": {"samples": 5, "iat": "1s"}}
+	]}`)
+	code, _, errOut = run(t, "suite", "-config", badProvider)
+	if code != 1 || !strings.Contains(errOut, "unknown provider") {
+		t.Fatalf("bad provider: code=%d err=%q", code, errOut)
+	}
+}
+
+func TestSuiteValidateUnnamed(t *testing.T) {
+	unnamed := writeTestFile(t, "unnamed.json", `{"experiments": [
+		{"static": {"provider": "aws", "functions": [{"name": "f"}]},
+		 "runtime": {"samples": 5, "iat": "1s"}}
+	]}`)
+	code, _, errOut := run(t, "suite", "-config", unnamed)
+	if code != 1 || !strings.Contains(errOut, "no name") {
+		t.Fatalf("unnamed: code=%d err=%q", code, errOut)
+	}
+}

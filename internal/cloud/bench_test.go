@@ -1,0 +1,83 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/des"
+	"github.com/stellar-repro/stellar/internal/dist"
+)
+
+// BenchmarkWarmInvoke measures the simulator's cost per warm invocation —
+// the throughput bound for large virtual experiments.
+func BenchmarkWarmInvoke(b *testing.B) {
+	eng := des.NewEngine()
+	defer eng.Close()
+	c, err := New(eng, testConfig(), dist.NewStreams(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Deploy(FunctionSpec{Name: "f", Runtime: RuntimePython, Method: DeployZIP}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	eng.Spawn("bench", func(p *des.Proc) {
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Invoke(p, &Request{Fn: "f"}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	eng.Run(0)
+}
+
+// BenchmarkColdInvoke measures cost per cold invocation (spawn pipeline,
+// keep-alive timers, storage fetch).
+func BenchmarkColdInvoke(b *testing.B) {
+	cfg := testConfig()
+	cfg.KeepAlive = KeepAlivePolicy{Fixed: time.Millisecond} // reap instantly
+	eng := des.NewEngine()
+	defer eng.Close()
+	c, err := New(eng, cfg, dist.NewStreams(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Deploy(FunctionSpec{Name: "f", Runtime: RuntimePython, Method: DeployZIP}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	eng.Spawn("bench", func(p *des.Proc) {
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Invoke(p, &Request{Fn: "f"}); err != nil {
+				b.Error(err)
+				return
+			}
+			p.Sleep(10 * time.Millisecond) // let the keep-alive reap
+		}
+	})
+	eng.Run(0)
+}
+
+// BenchmarkBurst100 measures a full 100-request cold burst round.
+func BenchmarkBurst100(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := des.NewEngine()
+		c, err := New(eng, testConfig(), dist.NewStreams(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Deploy(FunctionSpec{Name: "f", Runtime: RuntimePython, Method: DeployZIP}); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 100; j++ {
+			eng.Spawn("client", func(p *des.Proc) {
+				if _, err := c.Invoke(p, &Request{Fn: "f", ExecTime: time.Second}); err != nil {
+					b.Error(err)
+				}
+			})
+		}
+		eng.Run(time.Minute)
+		eng.Close()
+	}
+}

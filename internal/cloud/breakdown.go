@@ -1,0 +1,83 @@
+package cloud
+
+import "time"
+
+// ColdBreakdown itemizes the phases of one instance's cold start, recorded
+// by the instance manager during spawn (§II-B steps 3-7).
+type ColdBreakdown struct {
+	// SchedulerQueue is time spent waiting for the cluster scheduler.
+	SchedulerQueue time.Duration
+	// Placement is the scheduler's placement decision time.
+	Placement time.Duration
+	// SandboxBoot is the MicroVM/container boot time.
+	SandboxBoot time.Duration
+	// ImageFetch is the function image retrieval from the image store.
+	ImageFetch time.Duration
+	// ChunkReads is the on-demand container chunk loading time.
+	ChunkReads time.Duration
+	// RuntimeInit is the language runtime initialization time.
+	RuntimeInit time.Duration
+	// SnapshotRestore is the snapshot-restore time when the fast path
+	// replaced the boot pipeline (vHive/REAP extension).
+	SnapshotRestore time.Duration
+	// SnapshotCapture is the one-time capture overhead on the first boot.
+	SnapshotCapture time.Duration
+}
+
+// Total sums the cold-start phases.
+func (c ColdBreakdown) Total() time.Duration {
+	return c.SchedulerQueue + c.Placement + c.SandboxBoot + c.ImageFetch +
+		c.ChunkReads + c.RuntimeInit + c.SnapshotRestore + c.SnapshotCapture
+}
+
+// Breakdown itemizes where one invocation's latency went, implementing the
+// paper's per-component performance analysis (§I: "the accurate measurement
+// of latency contributions from different cloud infrastructure
+// components"). The fields sum to the client-observed latency.
+type Breakdown struct {
+	// Propagation is the client<->datacenter round trip.
+	Propagation time.Duration
+	// Frontend is the front-end admission delay (internal-ingress delay
+	// for function-to-function calls).
+	Frontend time.Duration
+	// Wire is the inline-payload transmission time on the ingress path.
+	Wire time.Duration
+	// Congestion is the ingestion queueing delay under concurrent load.
+	Congestion time.Duration
+	// SlowPath is retry/throttling slow-path delay.
+	SlowPath time.Duration
+	// Routing is the load balancer's routing decision.
+	Routing time.Duration
+	// QueueWait is time spent buffered waiting for an instance — cold
+	// start time for requests that trigger a spawn, queueing behind other
+	// requests under queueing policies.
+	QueueWait time.Duration
+	// QueueHandoff is the dispatch cost of receiving a recycled instance.
+	QueueHandoff time.Duration
+	// Overhead is the instance-side per-invocation overhead.
+	Overhead time.Duration
+	// PayloadFetch is the storage GET for storage-based incoming payloads.
+	PayloadFetch time.Duration
+	// Exec is the handler's busy-spin execution time.
+	Exec time.Duration
+	// PayloadStore is the storage PUT for storage-based outgoing payloads.
+	PayloadStore time.Duration
+	// Downstream is the full latency of the chained downstream invocation.
+	Downstream time.Duration
+	// Retried accumulates the time spent in failed (crashed) attempts and
+	// retry backoffs.
+	Retried time.Duration
+	// ResponsePath is the response-side delay back through the front end.
+	ResponsePath time.Duration
+	// ColdStart itemizes the serving instance's spawn phases (zero value
+	// unless this request was served by an instance created for it; its
+	// Total is included in QueueWait, not additional).
+	ColdStart ColdBreakdown
+}
+
+// Total sums the components; it equals the client-observed latency.
+func (b Breakdown) Total() time.Duration {
+	return b.Propagation + b.Frontend + b.Wire + b.Congestion + b.SlowPath +
+		b.Routing + b.QueueWait + b.QueueHandoff + b.Overhead + b.PayloadFetch +
+		b.Exec + b.PayloadStore + b.Downstream + b.Retried + b.ResponsePath
+}

@@ -1,0 +1,81 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFanoutParallelInvocation(t *testing.T) {
+	eng, c := newTestCloud(t, testConfig())
+	deploy(t, c, FunctionSpec{Name: "worker", Runtime: RuntimeGo, ExecTime: 500 * time.Millisecond})
+	deploy(t, c, FunctionSpec{Name: "scatter", Runtime: RuntimeGo,
+		Chain: &ChainSpec{Next: "worker", Transfer: TransferInline, PayloadBytes: 1 << 10, Fanout: 4}})
+	// Warm everything: one scatter round creates four worker instances.
+	invokeAt(eng, c, 0, &Request{Fn: "scatter"})
+	warm := invokeAt(eng, c, time.Minute, &Request{Fn: "scatter"})
+	eng.Run(2 * time.Minute)
+	if warm.err != nil {
+		t.Fatal(warm.err)
+	}
+	// Four parallel 500ms workers complete in ~one worker's latency, far
+	// below 4x sequential.
+	down := warm.resp.Breakdown.Downstream
+	if down < 500*time.Millisecond {
+		t.Fatalf("downstream %v shorter than one worker execution", down)
+	}
+	if down > 900*time.Millisecond {
+		t.Fatalf("downstream %v looks sequential, want parallel (~550ms)", down)
+	}
+	if got := c.Metrics().InternalInvocations; got != 8 {
+		t.Fatalf("internal invocations = %d, want 8 (two rounds of fanout 4)", got)
+	}
+	if warm.resp.Breakdown.Total() != warm.lat {
+		t.Fatalf("breakdown %v != latency %v", warm.resp.Breakdown.Total(), warm.lat)
+	}
+}
+
+func TestFanoutStorageBroadcast(t *testing.T) {
+	eng, c := newTestCloud(t, testConfig())
+	deploy(t, c, FunctionSpec{Name: "worker", Runtime: RuntimeGo})
+	deploy(t, c, FunctionSpec{Name: "scatter", Runtime: RuntimeGo,
+		Chain: &ChainSpec{Next: "worker", Transfer: TransferStorage, PayloadBytes: 1e6, Fanout: 3}})
+	r := invokeAt(eng, c, 0, &Request{Fn: "scatter"})
+	eng.Run(time.Minute)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	m := c.PayloadStore().Metrics()
+	// One producer PUT, one GET per fanned-out consumer.
+	if m.Puts != 1 || m.Gets != 3 {
+		t.Fatalf("payload store ops = %+v, want 1 put / 3 gets", m)
+	}
+}
+
+func TestFanoutDownstreamFailurePropagates(t *testing.T) {
+	eng, c := newTestCloud(t, testConfig())
+	deploy(t, c, FunctionSpec{Name: "scatter", Runtime: RuntimeGo,
+		Chain: &ChainSpec{Next: "ghost", Transfer: TransferInline, PayloadBytes: 1, Fanout: 3}})
+	r := invokeAt(eng, c, 0, &Request{Fn: "scatter"})
+	eng.Run(time.Minute)
+	if r.err == nil {
+		t.Fatal("expected chain error from fanned-out invocations")
+	}
+}
+
+func TestFanoutOneEqualsSequential(t *testing.T) {
+	eng, c := newTestCloud(t, testConfig())
+	deploy(t, c, FunctionSpec{Name: "worker", Runtime: RuntimeGo})
+	deploy(t, c, FunctionSpec{Name: "chain1", Runtime: RuntimeGo,
+		Chain: &ChainSpec{Next: "worker", Transfer: TransferInline, PayloadBytes: 1 << 10, Fanout: 1}})
+	r := invokeAt(eng, c, 0, &Request{Fn: "chain1"})
+	eng.Run(time.Minute)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if c.Metrics().InternalInvocations != 1 {
+		t.Fatalf("internal invocations = %d, want 1", c.Metrics().InternalInvocations)
+	}
+	if _, ok := r.resp.TransferTime("chain1", "worker"); !ok {
+		t.Fatal("timestamps missing for fanout=1 chain")
+	}
+}

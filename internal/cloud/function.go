@@ -1,0 +1,373 @@
+package cloud
+
+import (
+	"github.com/stellar-repro/stellar/internal/des"
+	"github.com/stellar-repro/stellar/internal/dist"
+)
+
+type instanceState int
+
+const (
+	stateBusy instanceState = iota
+	stateIdle
+	stateGone
+)
+
+// Instance is one function instance (an HTTP server sandbox on a worker).
+type Instance struct {
+	id            int
+	fn            *Function
+	worker        *Worker
+	state         instanceState
+	served        uint64
+	keepAlive     *des.Timer
+	createdAt     des.Time
+	coldBreakdown ColdBreakdown
+}
+
+// ID returns the instance's unique identifier.
+func (i *Instance) ID() int { return i.id }
+
+// Served returns the number of invocations this instance has processed.
+func (i *Instance) Served() uint64 { return i.served }
+
+// pendingReq is a buffered invocation waiting for an instance grant.
+type pendingReq struct {
+	sig      *des.Signal
+	inst     *Instance
+	handoff  bool // granted a recycled instance (queue dispatch)
+	enqueued des.Time
+}
+
+// Function is the load balancer's and scheduler's view of one deployed
+// function: its live instances, idle pool, buffered requests, and scale-out
+// state.
+type Function struct {
+	c          *Cloud
+	spec       FunctionSpec
+	imageKey   string
+	imageBytes int64
+	initDelay  dist.Dist
+	chunkReads int
+
+	live   map[int]*Instance
+	idle   []*Instance
+	buffer []*pendingReq
+
+	pending  int // spawns in flight
+	inflight int // requests admitted and not yet responded
+
+	// snapshotReady marks that a MicroVM snapshot of this function exists
+	// (captured on the first full cold boot when snapshotting is enabled).
+	snapshotReady bool
+
+	// Token bucket for the rate-limited (Azure-style) scale controller.
+	tokens        float64
+	lastRefill    des.Time
+	evalScheduled bool
+}
+
+// claimIdle pops the most-recently-used idle instance, canceling its
+// keep-alive timer. MRU reuse keeps hot instances hot, matching provider
+// behavior of routing to recently-active instances.
+func (fn *Function) claimIdle() *Instance {
+	for len(fn.idle) > 0 {
+		inst := fn.idle[len(fn.idle)-1]
+		fn.idle = fn.idle[:len(fn.idle)-1]
+		if inst.state != stateIdle {
+			continue // raced with expiry bookkeeping; skip
+		}
+		if inst.keepAlive != nil {
+			inst.keepAlive.Cancel()
+			inst.keepAlive = nil
+		}
+		inst.state = stateBusy
+		return inst
+	}
+	return nil
+}
+
+// release returns an instance after serving a request. Under queueing
+// policies the oldest buffered request (if any) is granted the instance
+// directly; under the no-queue policy every buffered request is bound to a
+// dedicated pending instance (the paper observes AWS and Google burst
+// latencies never drop into the warm range, §VI-D2), so freed instances
+// always park idle.
+func (fn *Function) release(inst *Instance) {
+	if inst.state == stateGone {
+		return
+	}
+	if len(fn.buffer) > 0 {
+		if fn.c.cfg.Policy.Kind != PolicyNoQueue {
+			fn.grant(inst, true)
+			return
+		}
+		// Saturation exception: when the cluster is at capacity and
+		// spawns are blocked waiting for slots, even a no-queue provider
+		// routes buffered requests to freed warm instances — the
+		// dedicated-instance policy is physically unavailable.
+		if fn.c.capRes != nil && fn.c.capRes.QueueLen() > 0 {
+			fn.grant(inst, true)
+			return
+		}
+	}
+	fn.parkIdle(inst)
+}
+
+// grant hands an instance to the oldest buffered request. handoff marks
+// grants of recycled instances to queued requests, which pay the provider's
+// queue-dispatch overhead.
+func (fn *Function) grant(inst *Instance, handoff bool) {
+	pr := fn.buffer[0]
+	copy(fn.buffer, fn.buffer[1:])
+	fn.buffer[len(fn.buffer)-1] = nil
+	fn.buffer = fn.buffer[:len(fn.buffer)-1]
+	inst.state = stateBusy
+	pr.inst = inst
+	pr.handoff = handoff
+	pr.sig.Fire()
+}
+
+// dropBuffered removes a timed-out request from the buffer. A no-op when
+// the request was already granted an instance.
+func (fn *Function) dropBuffered(pr *pendingReq) {
+	for i, cand := range fn.buffer {
+		if cand == pr {
+			fn.buffer = append(fn.buffer[:i], fn.buffer[i+1:]...)
+			return
+		}
+	}
+}
+
+// parkIdle moves an instance to the idle pool and arms its keep-alive timer.
+func (fn *Function) parkIdle(inst *Instance) {
+	inst.state = stateIdle
+	fn.idle = append(fn.idle, inst)
+	life := fn.c.cfg.KeepAlive.Fixed
+	if life <= 0 {
+		life = fn.c.cfg.KeepAlive.Dist.Sample(fn.c.rngSched)
+	}
+	inst.keepAlive = fn.c.eng.After(life, func() { fn.expire(inst) })
+}
+
+// destroy removes a crashed instance immediately.
+func (fn *Function) destroy(inst *Instance) {
+	if inst.state == stateGone {
+		return
+	}
+	if inst.keepAlive != nil {
+		inst.keepAlive.Cancel()
+		inst.keepAlive = nil
+	}
+	inst.state = stateGone
+	delete(fn.live, inst.id)
+	inst.worker.Instances--
+	fn.c.noteInstanceDelta(-1)
+	fn.c.releaseClusterSlot()
+}
+
+// expire reaps an idle instance whose keep-alive elapsed.
+func (fn *Function) expire(inst *Instance) {
+	if inst.state != stateIdle {
+		return
+	}
+	inst.state = stateGone
+	inst.keepAlive = nil
+	for i, cand := range fn.idle {
+		if cand == inst {
+			fn.idle = append(fn.idle[:i], fn.idle[i+1:]...)
+			break
+		}
+	}
+	delete(fn.live, inst.id)
+	inst.worker.Instances--
+	fn.c.noteInstanceDelta(-1)
+	fn.c.releaseClusterSlot()
+	fn.c.metrics.Expirations++
+}
+
+// maybeScale applies the provider's scheduling policy to the current buffer,
+// spawning however many instances the policy allows (§VI-D3).
+func (fn *Function) maybeScale() {
+	buffered := len(fn.buffer)
+	if buffered == 0 {
+		return
+	}
+	var need int
+	policy := fn.c.cfg.Policy
+	switch policy.Kind {
+	case PolicyNoQueue:
+		// One dedicated instance per buffered request.
+		need = buffered - fn.pending
+	case PolicyBoundedQueue:
+		// Each pending instance will absorb up to MaxQueuePerInstance
+		// buffered requests when it comes up.
+		need = ceilDiv(buffered, policy.MaxQueuePerInstance) - fn.pending
+	case PolicyRateLimited:
+		fn.refillTokens()
+		need = ceilDiv(buffered, policy.MaxQueuePerInstance) - fn.pending
+		if allowed := int(fn.tokens); need > allowed {
+			need = allowed
+		}
+		if need > 0 {
+			fn.tokens -= float64(need)
+		}
+		// The scale controller re-evaluates periodically while demand
+		// remains, mimicking Azure's gradual scale-out.
+		fn.scheduleEval()
+	}
+	for i := 0; i < need; i++ {
+		fn.spawnOne()
+	}
+}
+
+// refillTokens lazily accrues scale-out tokens.
+func (fn *Function) refillTokens() {
+	now := fn.c.eng.Now()
+	elapsed := now - fn.lastRefill
+	if elapsed > 0 {
+		fn.tokens += elapsed.Seconds() * fn.c.cfg.Policy.TokensPerSec
+		if fn.tokens > fn.c.cfg.Policy.MaxTokens {
+			fn.tokens = fn.c.cfg.Policy.MaxTokens
+		}
+	}
+	fn.lastRefill = now
+}
+
+// scheduleEval arms one pending re-evaluation of the scale controller.
+func (fn *Function) scheduleEval() {
+	if fn.evalScheduled {
+		return
+	}
+	interval := fn.c.cfg.Policy.EvalInterval
+	if interval <= 0 {
+		return
+	}
+	fn.evalScheduled = true
+	fn.c.eng.After(interval, func() {
+		fn.evalScheduled = false
+		fn.maybeScale()
+	})
+}
+
+// spawnOne launches the cold-start pipeline for a new instance: cluster
+// scheduler placement (3)-(4), sandbox boot, image fetch from storage (5),
+// and runtime initialization (8).
+func (fn *Function) spawnOne() {
+	c := fn.c
+	fn.pending++
+	c.metrics.Spawns++
+	c.eng.Spawn("spawn/"+fn.spec.Name, func(p *des.Proc) {
+		var cb ColdBreakdown
+		var w *Worker
+		// Bounded cluster capacity: wait for a free instance slot before
+		// placement (the saturation regime of a full cluster).
+		if c.capRes != nil {
+			capStart := p.Now()
+			p.Acquire(c.capRes)
+			cb.SchedulerQueue += p.Now() - capStart
+		}
+		for {
+			// Cluster scheduler: placement decisions contend on a shared
+			// resource, so mass cold starts queue (§VI-D2).
+			acquireStart := p.Now()
+			p.Acquire(c.schedRes)
+			cb.SchedulerQueue += p.Now() - acquireStart
+			placement := c.cfg.PlacementDelay.Sample(c.rngSched)
+			cb.Placement += placement
+			p.Sleep(placement)
+			c.schedRes.Release()
+
+			// Reserve the chosen worker's slot immediately so concurrent
+			// placements see each other's choices (least-loaded correctness).
+			w = c.pickWorker()
+			w.Instances++
+
+			// Snapshot fast path: restore a previously captured MicroVM
+			// image instead of booting and initializing from scratch.
+			if c.cfg.Snapshots.Enabled && fn.snapshotReady {
+				restore := c.cfg.Snapshots.RestoreDelay.Sample(c.rngSched)
+				cb.SnapshotRestore += restore
+				p.Sleep(restore)
+				c.metrics.SnapshotRestores++
+				break
+			}
+
+			// Instance manager on the chosen worker: boot the sandbox.
+			boot := c.cfg.SandboxBoot.Sample(c.rngSched)
+			cb.SandboxBoot += boot
+			p.Sleep(boot)
+
+			// Retrieve the function image from the image store
+			// (cost-optimized, possibly cached under load).
+			_, fetchLat, err := c.imageStore.Get(p, fn.imageKey)
+			if err != nil {
+				// Image was seeded at deploy time; missing means a
+				// programming error in the simulator itself.
+				panic(err)
+			}
+			cb.ImageFetch += fetchLat
+
+			// Interpreted runtimes in splintered container images perform
+			// on-demand chunk loads against the image store (§VI-B3).
+			for i := 0; i < fn.chunkReads; i++ {
+				d := c.cfg.ChunkReadLatency.Sample(c.rngSched)
+				cb.ChunkReads += d
+				p.Sleep(d)
+			}
+
+			// Language runtime initialization.
+			initD := fn.initDelay.Sample(c.rngSched)
+			cb.RuntimeInit += initD
+			p.Sleep(initD)
+
+			// Injected spawn failure: release the reservation and repeat
+			// the pipeline from placement.
+			if f := c.cfg.Faults.SpawnFailureProb; f > 0 && c.rngSched.Float64() < f {
+				c.metrics.SpawnFailures++
+				w.Instances--
+				continue
+			}
+
+			// First full boot with snapshotting enabled: capture a
+			// snapshot for future restores.
+			if c.cfg.Snapshots.Enabled && !fn.snapshotReady {
+				capture := c.cfg.Snapshots.CaptureOverhead.Sample(c.rngSched)
+				cb.SnapshotCapture += capture
+				p.Sleep(capture)
+				fn.snapshotReady = true
+				c.metrics.SnapshotCaptures++
+			}
+			break
+		}
+
+		fn.pending--
+		c.instanceSeq++
+		inst := &Instance{
+			id:            c.instanceSeq,
+			fn:            fn,
+			worker:        w,
+			state:         stateBusy,
+			createdAt:     p.Now(),
+			coldBreakdown: cb,
+		}
+		fn.live[inst.id] = inst
+		w.Spawned++
+		c.noteInstanceDelta(1)
+		// A fresh instance serves the oldest buffered request; if every
+		// buffered request was already granted (or none remain), it parks.
+		if len(fn.buffer) > 0 {
+			fn.grant(inst, false)
+		} else {
+			fn.parkIdle(inst)
+		}
+	})
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/cloud"
+	"github.com/stellar-repro/stellar/internal/stats"
+)
+
+// breakdownComponents lists the per-component axes in path order.
+var breakdownComponents = []struct {
+	name string
+	get  func(cloud.Breakdown) time.Duration
+}{
+	{"propagation", func(b cloud.Breakdown) time.Duration { return b.Propagation }},
+	{"frontend", func(b cloud.Breakdown) time.Duration { return b.Frontend }},
+	{"wire", func(b cloud.Breakdown) time.Duration { return b.Wire }},
+	{"congestion", func(b cloud.Breakdown) time.Duration { return b.Congestion }},
+	{"slow-path", func(b cloud.Breakdown) time.Duration { return b.SlowPath }},
+	{"routing", func(b cloud.Breakdown) time.Duration { return b.Routing }},
+	{"queue-wait", func(b cloud.Breakdown) time.Duration { return b.QueueWait }},
+	{"queue-handoff", func(b cloud.Breakdown) time.Duration { return b.QueueHandoff }},
+	{"overhead", func(b cloud.Breakdown) time.Duration { return b.Overhead }},
+	{"payload-fetch", func(b cloud.Breakdown) time.Duration { return b.PayloadFetch }},
+	{"exec", func(b cloud.Breakdown) time.Duration { return b.Exec }},
+	{"payload-store", func(b cloud.Breakdown) time.Duration { return b.PayloadStore }},
+	{"downstream", func(b cloud.Breakdown) time.Duration { return b.Downstream }},
+	{"retried", func(b cloud.Breakdown) time.Duration { return b.Retried }},
+	{"response-path", func(b cloud.Breakdown) time.Duration { return b.ResponsePath }},
+}
+
+// coldComponents lists the cold-start phases.
+var coldComponents = []struct {
+	name string
+	get  func(cloud.ColdBreakdown) time.Duration
+}{
+	{"cold/scheduler-queue", func(c cloud.ColdBreakdown) time.Duration { return c.SchedulerQueue }},
+	{"cold/placement", func(c cloud.ColdBreakdown) time.Duration { return c.Placement }},
+	{"cold/sandbox-boot", func(c cloud.ColdBreakdown) time.Duration { return c.SandboxBoot }},
+	{"cold/image-fetch", func(c cloud.ColdBreakdown) time.Duration { return c.ImageFetch }},
+	{"cold/chunk-reads", func(c cloud.ColdBreakdown) time.Duration { return c.ChunkReads }},
+	{"cold/runtime-init", func(c cloud.ColdBreakdown) time.Duration { return c.RuntimeInit }},
+	{"cold/snapshot-restore", func(c cloud.ColdBreakdown) time.Duration { return c.SnapshotRestore }},
+	{"cold/snapshot-capture", func(c cloud.ColdBreakdown) time.Duration { return c.SnapshotCapture }},
+}
+
+// BreakdownStats aggregates per-component latency samples across a run,
+// implementing the paper's per-component analysis: which infrastructure
+// component contributed how much to the distribution.
+type BreakdownStats struct {
+	// Order lists component names in invocation-path order.
+	Order []string
+	// Components maps names to their samples (one observation per
+	// successful request).
+	Components map[string]*stats.Sample
+	// ColdOrder and Cold hold the cold-start phases over cold-served
+	// requests only.
+	ColdOrder []string
+	Cold      map[string]*stats.Sample
+}
+
+// CollectBreakdowns builds per-component statistics from a run's samples.
+func CollectBreakdowns(samples []Sample) *BreakdownStats {
+	bs := &BreakdownStats{
+		Components: make(map[string]*stats.Sample, len(breakdownComponents)),
+		Cold:       make(map[string]*stats.Sample, len(coldComponents)),
+	}
+	for _, c := range breakdownComponents {
+		bs.Order = append(bs.Order, c.name)
+		bs.Components[c.name] = stats.NewSample(len(samples))
+	}
+	for _, c := range coldComponents {
+		bs.ColdOrder = append(bs.ColdOrder, c.name)
+		bs.Cold[c.name] = stats.NewSample(0)
+	}
+	for _, s := range samples {
+		if s.Err != nil {
+			continue
+		}
+		for _, c := range breakdownComponents {
+			bs.Components[c.name].Add(c.get(s.Breakdown))
+		}
+		if s.Cold {
+			for _, c := range coldComponents {
+				bs.Cold[c.name].Add(c.get(s.Breakdown.ColdStart))
+			}
+		}
+	}
+	return bs
+}
+
+// Write renders the aggregation as a table: median and p99 contribution of
+// each component, skipping components that never contributed.
+func (bs *BreakdownStats) Write(w io.Writer) {
+	fmt.Fprintf(w, "%-22s %12s %12s %12s\n", "component", "median", "p99", "mean")
+	row := func(name string, s *stats.Sample) {
+		if s.Len() == 0 || s.Max() == 0 {
+			return
+		}
+		fmt.Fprintf(w, "%-22s %12v %12v %12v\n", name,
+			s.Median().Round(time.Microsecond*100),
+			s.P99().Round(time.Microsecond*100),
+			s.Mean().Round(time.Microsecond*100))
+	}
+	for _, name := range bs.Order {
+		row(name, bs.Components[name])
+	}
+	if cold := bs.Cold[bs.ColdOrder[0]]; cold != nil && cold.Len() > 0 {
+		fmt.Fprintf(w, "cold-start phases (%d cold-served requests; included in queue-wait):\n", cold.Len())
+		for _, name := range bs.ColdOrder {
+			row("  "+name, bs.Cold[name])
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBreakdownPlumbedThroughRun(t *testing.T) {
+	h := newHarness(t)
+	eps, err := h.deployer.Deploy(&StaticConfig{Provider: "sim", Functions: []FunctionConfig{{
+		Name: "f", Runtime: "python3", Method: "zip",
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.client.Run(eps.Endpoints, RuntimeConfig{
+		Samples: 10, IAT: Duration(3 * time.Second),
+		ExecTime: Duration(100 * time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Samples {
+		if s.Breakdown.Total() != s.Latency {
+			t.Fatalf("sample %d: breakdown total %v != latency %v", i, s.Breakdown.Total(), s.Latency)
+		}
+		if s.BilledGBSeconds <= 0 {
+			t.Fatalf("sample %d: missing bill", i)
+		}
+	}
+	if res.BilledGBSeconds <= 0 {
+		t.Fatal("run bill not aggregated")
+	}
+}
+
+func TestCollectBreakdowns(t *testing.T) {
+	h := newHarness(t)
+	eps, err := h.deployer.Deploy(&StaticConfig{Provider: "sim", Functions: []FunctionConfig{{
+		Name: "f", Runtime: "python3", Method: "zip",
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.client.Run(eps.Endpoints, RuntimeConfig{
+		Samples: 20, IAT: Duration(3 * time.Second),
+		ExecTime: Duration(50 * time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := res.Breakdowns()
+	if bs.Components["exec"].Median() != 50*time.Millisecond {
+		t.Errorf("exec median = %v", bs.Components["exec"].Median())
+	}
+	if bs.Components["propagation"].Median() != 20*time.Millisecond {
+		t.Errorf("propagation median = %v", bs.Components["propagation"].Median())
+	}
+	// Exactly one cold-served request (the first).
+	if n := bs.Cold["cold/sandbox-boot"].Len(); n != 1 {
+		t.Errorf("cold breakdown count = %d, want 1", n)
+	}
+	if bs.Cold["cold/sandbox-boot"].Median() != 50*time.Millisecond {
+		t.Errorf("boot median = %v", bs.Cold["cold/sandbox-boot"].Median())
+	}
+
+	var sb strings.Builder
+	bs.Write(&sb)
+	out := sb.String()
+	for _, want := range []string{"component", "exec", "propagation", "cold-start phases", "cold/image-fetch"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("breakdown table missing %q:\n%s", want, out)
+		}
+	}
+	// Components that never contribute are omitted.
+	if strings.Contains(out, "queue-handoff") {
+		t.Errorf("zero component should be omitted:\n%s", out)
+	}
+}
+
+func TestBuildPlanBurstyIAT(t *testing.T) {
+	h := newHarness(t)
+	eps := []Endpoint{{Function: "a", Provider: "sim"}}
+	rc := RuntimeConfig{
+		Samples: 12,
+		IAT:     Duration(time.Second),
+		IATDist: IATBursty,
+		OnSteps: 4,
+		OffIAT:  Duration(30 * time.Second),
+	}
+	plan, err := h.client.BuildPlan(eps, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steps 0-3 at 0,1,2,3s; gap; steps 4-7 at 33,34,35,36s; gap; ...
+	want := []time.Duration{
+		0, time.Second, 2 * time.Second, 3 * time.Second,
+		33 * time.Second, 34 * time.Second, 35 * time.Second, 36 * time.Second,
+		66 * time.Second, 67 * time.Second, 68 * time.Second, 69 * time.Second,
+	}
+	for i, pr := range plan {
+		if pr.At != want[i] {
+			t.Fatalf("request %d at %v, want %v (plan %v)", i, pr.At, want[i], plan)
+		}
+	}
+}
+
+func TestBurstyIATDefaults(t *testing.T) {
+	rc := RuntimeConfig{Samples: 5, IAT: Duration(time.Second), IATDist: IATBursty}
+	if err := rc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rc.OnSteps != 10 || rc.OffIAT != Duration(10*time.Second) {
+		t.Fatalf("defaults: %+v", rc)
+	}
+	bad := RuntimeConfig{Samples: 5, IAT: Duration(time.Second), IATDist: IATBursty, OnSteps: -1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for negative on_steps")
+	}
+}
+
+func TestBurstyIATEndToEnd(t *testing.T) {
+	h := newHarness(t)
+	eps, err := h.deployer.Deploy(&StaticConfig{Provider: "sim", Functions: []FunctionConfig{{
+		Name: "f", Runtime: "python3", Method: "zip",
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.client.Run(eps.Endpoints, RuntimeConfig{
+		Samples: 30,
+		IAT:     Duration(time.Second),
+		IATDist: IATBursty,
+		OnSteps: 5,
+		OffIAT:  Duration(20 * time.Minute), // instances expire between trains
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One cold start per train: 30 samples / 5 per train = 6 trains.
+	if res.Colds != 6 {
+		t.Fatalf("colds = %d, want 6 (one per train)", res.Colds)
+	}
+}
+
+func TestRunResultTimeline(t *testing.T) {
+	h := newHarness(t)
+	eps, err := h.deployer.Deploy(&StaticConfig{Provider: "sim", Functions: []FunctionConfig{{
+		Name: "f", Runtime: "python3", Method: "zip",
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.client.Run(eps.Endpoints, RuntimeConfig{
+		Samples: 20, IAT: Duration(3 * time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := res.Timeline(6 * time.Second)
+	if len(wins) != 10 {
+		t.Fatalf("windows = %d, want 10 (two samples per 6s window)", len(wins))
+	}
+	// The first window contains the cold start; later windows are warm.
+	if wins[0].Stats.Max <= wins[1].Stats.Max {
+		t.Error("first window should contain the cold-start outlier")
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/cloud"
+	"github.com/stellar-repro/stellar/internal/stats"
+)
+
+// PlannedRequest is one scheduled invocation of an endpoint.
+type PlannedRequest struct {
+	// At is the offset from experiment start at which the request fires.
+	At time.Duration
+	// Endpoint is the invocation target.
+	Endpoint Endpoint
+	// ExecTime is the busy-spin override for this run.
+	ExecTime time.Duration
+	// PayloadBytes is the chain payload override for this run.
+	PayloadBytes int64
+}
+
+// Sample is one measured invocation.
+type Sample struct {
+	// At echoes the scheduled offset.
+	At time.Duration
+	// Latency is the client-observed response time (includes propagation,
+	// matching the paper's reporting).
+	Latency time.Duration
+	// Cold reports whether a fresh instance served the request.
+	Cold bool
+	// InstanceID identifies the serving instance when the transport knows
+	// it (simulated transports; zero otherwise).
+	InstanceID int
+	// QueueWait is time spent buffered awaiting an instance.
+	QueueWait time.Duration
+	// TransferTime is the instrumented producer->consumer payload transfer
+	// time for chained functions (zero when not instrumented).
+	TransferTime time.Duration
+	// Breakdown itemizes per-component latency contributions when the
+	// transport provides them (simulated transports do).
+	Breakdown cloud.Breakdown
+	// BilledGBSeconds is the invocation's pay-per-use bill.
+	BilledGBSeconds float64
+	// Err records an invocation failure.
+	Err error
+}
+
+// Transport executes a load plan and returns one sample per planned request
+// in plan order. Implementations choose the time base (virtual or wall).
+type Transport interface {
+	Execute(plan []PlannedRequest) ([]Sample, error)
+}
+
+// Client is STeLLAR's load generator (§IV): it turns a runtime
+// configuration plus a set of endpoints into an executed measurement run.
+type Client struct {
+	// Transport issues the invocations.
+	Transport Transport
+	// RNG drives stochastic inter-arrival times. Required for
+	// IATExponential; unused otherwise.
+	RNG *rand.Rand
+}
+
+// BuildPlan expands a runtime configuration over endpoints into a concrete
+// schedule: steps fire every IAT; each step sends BurstSize simultaneous
+// requests to the next endpoint in round-robin order (§IV: "invokes
+// functions from the file with the endpoints' URLs in a round-robin
+// fashion"). WarmupDiscard extra samples are prepended.
+func (c *Client) BuildPlan(eps []Endpoint, rc RuntimeConfig) ([]PlannedRequest, error) {
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
+	if len(eps) == 0 {
+		return nil, fmt.Errorf("core: no endpoints to invoke")
+	}
+	total := rc.Samples + rc.WarmupDiscard
+	steps := (total + rc.BurstSize - 1) / rc.BurstSize
+	plan := make([]PlannedRequest, 0, total)
+	var at time.Duration
+	for s := 0; s < steps; s++ {
+		ep := eps[s%len(eps)]
+		for b := 0; b < rc.BurstSize && len(plan) < total; b++ {
+			plan = append(plan, PlannedRequest{
+				At:           at,
+				Endpoint:     ep,
+				ExecTime:     rc.ExecTime.Std(),
+				PayloadBytes: rc.PayloadBytes,
+			})
+		}
+		switch rc.IATDist {
+		case IATExponential:
+			if c.RNG == nil {
+				return nil, fmt.Errorf("core: exponential IAT needs a client RNG")
+			}
+			at += time.Duration(c.RNG.ExpFloat64() * float64(rc.IAT.Std()))
+		case IATBursty:
+			if (s+1)%rc.OnSteps == 0 {
+				at += rc.OffIAT.Std() // quiet gap between trains
+			} else {
+				at += rc.IAT.Std()
+			}
+		default:
+			at += rc.IAT.Std()
+		}
+	}
+	return plan, nil
+}
+
+// RunResult aggregates a measurement run.
+type RunResult struct {
+	// Samples are the measured (post-warmup) samples in schedule order.
+	Samples []Sample
+	// Latencies collects successful samples' response times.
+	Latencies *stats.Sample
+	// Transfers collects instrumented transfer times (chained runs).
+	Transfers *stats.Sample
+	// Colds counts cold-served requests; Errors counts failures.
+	Colds  int
+	Errors int
+	// BilledGBSeconds totals the run's pay-per-use bill.
+	BilledGBSeconds float64
+}
+
+// Breakdowns aggregates the run's per-component latency contributions.
+func (r *RunResult) Breakdowns() *BreakdownStats { return CollectBreakdowns(r.Samples) }
+
+// Summary returns the latency summary of the run.
+func (r *RunResult) Summary() stats.Summary { return r.Latencies.Summarize() }
+
+// Run builds the plan, executes it on the transport, discards warm-up
+// samples, and aggregates the measurements.
+func (c *Client) Run(eps []Endpoint, rc RuntimeConfig) (*RunResult, error) {
+	plan, err := c.BuildPlan(eps, rc)
+	if err != nil {
+		return nil, err
+	}
+	return c.RunPlan(plan, rc.WarmupDiscard)
+}
+
+// RunPlan executes an explicit schedule — round-robin plans from Run, or
+// trace-driven plans built externally (e.g., by the workload package) — and
+// aggregates the measurements, discarding the first warmup samples.
+func (c *Client) RunPlan(plan []PlannedRequest, warmup int) (*RunResult, error) {
+	if len(plan) == 0 {
+		return nil, fmt.Errorf("core: empty plan")
+	}
+	if warmup < 0 || warmup > len(plan) {
+		return nil, fmt.Errorf("core: warmup discard %d out of range for %d requests", warmup, len(plan))
+	}
+	samples, err := c.Transport.Execute(plan)
+	if err != nil {
+		return nil, err
+	}
+	if len(samples) != len(plan) {
+		return nil, fmt.Errorf("core: transport returned %d samples for %d requests", len(samples), len(plan))
+	}
+	measured := samples[warmup:]
+	res := &RunResult{
+		Samples:   measured,
+		Latencies: stats.NewSample(len(measured)),
+		Transfers: stats.NewSample(0),
+	}
+	for _, s := range measured {
+		if s.Err != nil {
+			res.Errors++
+			continue
+		}
+		res.Latencies.Add(s.Latency)
+		if s.Cold {
+			res.Colds++
+		}
+		if s.TransferTime > 0 {
+			res.Transfers.Add(s.TransferTime)
+		}
+		res.BilledGBSeconds += s.BilledGBSeconds
+	}
+	if res.Latencies.Len() == 0 {
+		return res, fmt.Errorf("core: all %d requests failed", len(measured))
+	}
+	return res, nil
+}
+
+// Timeline buckets the run's successful samples into fixed windows of the
+// schedule, summarizing each — useful to watch warm-up transients and
+// scale-out convergence across a long run or burst train.
+func (r *RunResult) Timeline(width time.Duration) []stats.WindowSummary {
+	timed := make([]stats.TimedSample, 0, len(r.Samples))
+	for _, s := range r.Samples {
+		if s.Err != nil {
+			continue
+		}
+		timed = append(timed, stats.TimedSample{At: s.At, Latency: s.Latency})
+	}
+	return stats.Windows(timed, width)
+}

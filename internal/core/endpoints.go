@@ -1,0 +1,54 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Endpoint is one invokable function URL as produced by the deployer (§IV:
+// "a file that contains a set of endpoint URLs, each of which corresponds
+// to a single function").
+type Endpoint struct {
+	// URL is the invocation address ("sim://aws/fn-r00" for the simulated
+	// clouds, "http://..." for live endpoints).
+	URL string `json:"url"`
+	// Provider names the plugin that deployed the function.
+	Provider string `json:"provider"`
+	// Function is the entry function's deployed name.
+	Function string `json:"function"`
+	// Chain lists the function names along the deployed chain (entry
+	// first); used by the client to compute instrumented transfer times.
+	Chain []string `json:"chain,omitempty"`
+}
+
+// Endpoints is the deployer's output file.
+type Endpoints struct {
+	Provider  string     `json:"provider"`
+	Endpoints []Endpoint `json:"endpoints"`
+}
+
+// Save writes the endpoints file as indented JSON.
+func (e *Endpoints) Save(path string) error {
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: marshal endpoints: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("core: write endpoints: %w", err)
+	}
+	return nil
+}
+
+// LoadEndpoints reads an endpoints file.
+func LoadEndpoints(path string) (*Endpoints, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: read endpoints: %w", err)
+	}
+	var e Endpoints
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("core: parse endpoints: %w", err)
+	}
+	return &e, nil
+}

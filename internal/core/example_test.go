@@ -1,0 +1,46 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/core"
+	"github.com/stellar-repro/stellar/internal/experiments"
+)
+
+// Example_endToEnd shows the complete STeLLAR flow against a simulated
+// provider: deploy from a static configuration, drive load from a runtime
+// configuration, and read the aggregated results.
+func Example_endToEnd() {
+	env, err := experiments.NewEnv("aws", 1)
+	if err != nil {
+		panic(err)
+	}
+	defer env.Close()
+
+	eps, err := env.Deployer().Deploy(&core.StaticConfig{
+		Provider: "aws",
+		Functions: []core.FunctionConfig{
+			{Name: "hello", Runtime: "python3", Method: "zip"},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	res, err := env.Client().Run(eps.Endpoints, core.RuntimeConfig{
+		Samples:       100,
+		IAT:           core.Duration(3 * time.Second),
+		WarmupDiscard: 1, // drop the first (cold) invocation
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("measured %d warm invocations, %d cold, %d errors\n",
+		res.Latencies.Len(), res.Colds, res.Errors)
+	fmt.Printf("breakdown components sum to the latency: %v\n",
+		res.Samples[0].Breakdown.Total() == res.Samples[0].Latency)
+	// Output:
+	// measured 100 warm invocations, 0 cold, 0 errors
+	// breakdown components sum to the latency: true
+}

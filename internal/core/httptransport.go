@@ -1,0 +1,128 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// HTTPTransport executes load plans against live HTTP endpoints (a real
+// serverless provider or the httpfaas-served simulation). It mirrors
+// STeLLAR's client (§IV): one goroutine per request, each measuring the
+// time from issue to response arrival on the wall clock.
+type HTTPTransport struct {
+	// Client is the HTTP client; defaults to a dedicated client with
+	// generous connection reuse.
+	Client *http.Client
+	// TimeScale divides planned offsets, matching a time-compressed
+	// httpfaas server (scale 10 sends the 3s-IAT plan every 300ms), and
+	// multiplies measured wall latencies back into provider time so
+	// results are comparable across scales. Zero or one means real time.
+	// Note that at high scales real network/socket overheads are
+	// amplified by the same factor; keep the scale moderate (<=50) when
+	// absolute numbers matter.
+	TimeScale float64
+}
+
+// httpReply mirrors httpfaas.InvokeReply; the transport only needs the
+// instrumentation fields, so it tolerates unknown providers' responses.
+type httpReply struct {
+	Cold        bool             `json:"cold"`
+	InstanceID  int              `json:"instance_id"`
+	QueueWaitNS int64            `json:"queue_wait_ns"`
+	Timestamps  map[string]int64 `json:"timestamps"`
+}
+
+// Execute implements Transport.
+func (ht *HTTPTransport) Execute(plan []PlannedRequest) ([]Sample, error) {
+	client := ht.Client
+	if client == nil {
+		client = &http.Client{
+			Timeout: 5 * time.Minute,
+			Transport: &http.Transport{
+				MaxIdleConns:        1024,
+				MaxIdleConnsPerHost: 1024,
+			},
+		}
+	}
+	scale := ht.TimeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	samples := make([]Sample, len(plan))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range plan {
+		pr := plan[i]
+		due := start.Add(time.Duration(float64(pr.At) / scale))
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(slot *Sample) {
+			defer wg.Done()
+			slot.At = pr.At
+			issueURL, err := requestURL(pr)
+			if err != nil {
+				slot.Err = err
+				return
+			}
+			t0 := time.Now()
+			resp, err := client.Get(issueURL)
+			if err != nil {
+				slot.Err = err
+				return
+			}
+			body, readErr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			slot.Latency = time.Duration(float64(time.Since(t0)) * scale)
+			if readErr != nil {
+				slot.Err = readErr
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				slot.Err = fmt.Errorf("core: endpoint returned %s: %s", resp.Status, body)
+				return
+			}
+			var reply httpReply
+			if err := json.Unmarshal(body, &reply); err != nil {
+				// Non-JSON endpoints still yield a latency sample.
+				return
+			}
+			slot.Cold = reply.Cold
+			slot.InstanceID = reply.InstanceID
+			slot.QueueWait = time.Duration(reply.QueueWaitNS)
+			if len(pr.Endpoint.Chain) >= 2 {
+				send, okS := reply.Timestamps[pr.Endpoint.Chain[0]+".send"]
+				recv, okR := reply.Timestamps[pr.Endpoint.Chain[1]+".recv"]
+				if okS && okR && recv >= send {
+					slot.TransferTime = time.Duration(recv - send)
+				}
+			}
+		}(&samples[i])
+	}
+	wg.Wait()
+	return samples, nil
+}
+
+// requestURL builds the invocation URL with exec/payload overrides.
+func requestURL(pr PlannedRequest) (string, error) {
+	u, err := url.Parse(pr.Endpoint.URL)
+	if err != nil {
+		return "", fmt.Errorf("core: bad endpoint URL %q: %w", pr.Endpoint.URL, err)
+	}
+	q := u.Query()
+	if pr.ExecTime > 0 {
+		q.Set("exec_ms", strconv.FormatInt(pr.ExecTime.Milliseconds(), 10))
+	}
+	if pr.PayloadBytes > 0 {
+		q.Set("payload", strconv.FormatInt(pr.PayloadBytes, 10))
+	}
+	u.RawQuery = q.Encode()
+	return u.String(), nil
+}

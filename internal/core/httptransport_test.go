@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHTTPTransportAgainstPlainEndpoint(t *testing.T) {
+	// A non-JSON endpoint (e.g., a real provider's minimal function) still
+	// yields latency samples; instrumentation fields stay zero.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "hello")
+	}))
+	defer srv.Close()
+	ht := &HTTPTransport{}
+	samples, err := ht.Execute([]PlannedRequest{
+		{Endpoint: Endpoint{URL: srv.URL}},
+		{Endpoint: Endpoint{URL: srv.URL}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range samples {
+		if s.Err != nil {
+			t.Fatalf("sample %d: %v", i, s.Err)
+		}
+		if s.Latency <= 0 {
+			t.Fatalf("sample %d: no latency", i)
+		}
+		if s.Cold || s.TransferTime != 0 {
+			t.Fatalf("sample %d: phantom instrumentation %+v", i, s)
+		}
+	}
+}
+
+func TestHTTPTransportServerError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	ht := &HTTPTransport{}
+	samples, err := ht.Execute([]PlannedRequest{{Endpoint: Endpoint{URL: srv.URL}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples[0].Err == nil || !strings.Contains(samples[0].Err.Error(), "500") {
+		t.Fatalf("err = %v, want 500", samples[0].Err)
+	}
+}
+
+func TestHTTPTransportConnectionRefused(t *testing.T) {
+	ht := &HTTPTransport{}
+	samples, err := ht.Execute([]PlannedRequest{
+		{Endpoint: Endpoint{URL: "http://127.0.0.1:1/refused"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples[0].Err == nil {
+		t.Fatal("expected connection error in sample")
+	}
+}
+
+func TestHTTPTransportBadURL(t *testing.T) {
+	ht := &HTTPTransport{}
+	samples, err := ht.Execute([]PlannedRequest{{Endpoint: Endpoint{URL: "://nope"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples[0].Err == nil {
+		t.Fatal("expected URL error in sample")
+	}
+}
+
+func TestHTTPTransportSchedulesOffsets(t *testing.T) {
+	var mu sync.Mutex
+	var arrivals []time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		arrivals = append(arrivals, time.Now())
+		mu.Unlock()
+	}))
+	defer srv.Close()
+	ht := &HTTPTransport{TimeScale: 10} // 200ms virtual -> 20ms wall
+	start := time.Now()
+	_, err := ht.Execute([]PlannedRequest{
+		{At: 0, Endpoint: Endpoint{URL: srv.URL}},
+		{At: 200 * time.Millisecond, Endpoint: Endpoint{URL: srv.URL}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 2 {
+		t.Fatalf("%d arrivals", len(arrivals))
+	}
+	if gap := arrivals[1].Sub(start); gap < 15*time.Millisecond {
+		t.Fatalf("second request fired after %v, want >= ~20ms wall", gap)
+	}
+}

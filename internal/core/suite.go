@@ -1,0 +1,63 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SuiteExperiment is one named (static, runtime) configuration pair — one
+// measurement campaign within a suite.
+type SuiteExperiment struct {
+	// Name labels the experiment in reports and output files.
+	Name string `json:"name"`
+	// Static describes what to deploy.
+	Static StaticConfig `json:"static"`
+	// Runtime describes the load to drive.
+	Runtime RuntimeConfig `json:"runtime"`
+}
+
+// SuiteConfig is a whole measurement campaign: STeLLAR's experiment
+// configuration files describe several sub-experiments that run
+// back-to-back against freshly deployed functions.
+type SuiteConfig struct {
+	Experiments []SuiteExperiment `json:"experiments"`
+}
+
+// LoadSuiteConfig reads a suite file.
+func LoadSuiteConfig(path string) (*SuiteConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: read suite config: %w", err)
+	}
+	var sc SuiteConfig
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return nil, fmt.Errorf("core: parse suite config: %w", err)
+	}
+	return &sc, nil
+}
+
+// Validate checks every experiment and applies runtime defaults in place.
+func (sc *SuiteConfig) Validate() error {
+	if len(sc.Experiments) == 0 {
+		return fmt.Errorf("core: suite has no experiments")
+	}
+	seen := make(map[string]bool, len(sc.Experiments))
+	for i := range sc.Experiments {
+		e := &sc.Experiments[i]
+		if e.Name == "" {
+			return fmt.Errorf("core: suite experiment %d has no name", i)
+		}
+		if seen[e.Name] {
+			return fmt.Errorf("core: duplicate suite experiment %q", e.Name)
+		}
+		seen[e.Name] = true
+		if err := e.Static.Validate(); err != nil {
+			return fmt.Errorf("core: suite experiment %q: %w", e.Name, err)
+		}
+		if err := e.Runtime.Validate(); err != nil {
+			return fmt.Errorf("core: suite experiment %q: %w", e.Name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoadSuiteConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "suite.json")
+	data := `{"experiments": [
+		{"name": "a",
+		 "static": {"provider": "sim", "functions": [{"name": "f", "runtime": "python3"}]},
+		 "runtime": {"samples": 10, "iat": "3s"}}
+	]}`
+	if err := writeFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := LoadSuiteConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Experiments) != 1 || sc.Experiments[0].Runtime.IAT.Std() != 3*time.Second {
+		t.Fatalf("suite = %+v", sc)
+	}
+	// Validate applies runtime defaults in place.
+	if sc.Experiments[0].Runtime.BurstSize != 1 {
+		t.Fatal("runtime defaults not applied")
+	}
+	if _, err := LoadSuiteConfig(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(bad, "{nope"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSuiteConfig(bad); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestSuiteValidateErrors(t *testing.T) {
+	mk := func(name string) SuiteExperiment {
+		return SuiteExperiment{
+			Name:    name,
+			Static:  StaticConfig{Provider: "sim", Functions: []FunctionConfig{{Name: "f"}}},
+			Runtime: RuntimeConfig{Samples: 5, IAT: Duration(time.Second)},
+		}
+	}
+	cases := []struct {
+		name string
+		sc   SuiteConfig
+		want string
+	}{
+		{"empty", SuiteConfig{}, "no experiments"},
+		{"unnamed", SuiteConfig{Experiments: []SuiteExperiment{mk("")}}, "no name"},
+		{"dup", SuiteConfig{Experiments: []SuiteExperiment{mk("x"), mk("x")}}, "duplicate"},
+		{"bad static", SuiteConfig{Experiments: []SuiteExperiment{{
+			Name:    "x",
+			Runtime: RuntimeConfig{Samples: 5, IAT: Duration(time.Second)},
+		}}}, "provider"},
+		{"bad runtime", SuiteConfig{Experiments: []SuiteExperiment{{
+			Name:   "x",
+			Static: StaticConfig{Provider: "sim", Functions: []FunctionConfig{{Name: "f"}}},
+		}}}, "samples"},
+	}
+	for _, tc := range cases {
+		err := tc.sc.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want contains %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestRequestURL(t *testing.T) {
+	pr := PlannedRequest{
+		Endpoint:     Endpoint{URL: "http://127.0.0.1:9/fn/f"},
+		ExecTime:     250 * time.Millisecond,
+		PayloadBytes: 1024,
+	}
+	u, err := requestURL(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"exec_ms=250", "payload=1024"} {
+		if !strings.Contains(u, want) {
+			t.Errorf("url %q missing %q", u, want)
+		}
+	}
+	// No overrides -> clean URL.
+	plain, err := requestURL(PlannedRequest{Endpoint: Endpoint{URL: "http://h/fn/f"}})
+	if err != nil || plain != "http://h/fn/f" {
+		t.Fatalf("plain url = %q, %v", plain, err)
+	}
+	if _, err := requestURL(PlannedRequest{Endpoint: Endpoint{URL: "://bad"}}); err == nil {
+		t.Fatal("expected error for malformed URL")
+	}
+}
+
+func TestRunPlanValidation(t *testing.T) {
+	h := newHarness(t)
+	if _, err := h.client.RunPlan(nil, 0); err == nil {
+		t.Fatal("expected error for empty plan")
+	}
+	plan := []PlannedRequest{{Endpoint: Endpoint{Function: "f", Provider: "sim"}}}
+	if _, err := h.client.RunPlan(plan, 5); err == nil {
+		t.Fatal("expected error for out-of-range warmup")
+	}
+}

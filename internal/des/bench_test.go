@@ -1,0 +1,61 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventThroughput measures raw event dispatch rate (callbacks, no
+// process switches) — the floor cost of a simulation step.
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEngine()
+	defer e.Close()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			e.After(time.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	e.After(time.Microsecond, tick)
+	e.Run(0)
+	if count != b.N {
+		b.Fatalf("fired %d of %d", count, b.N)
+	}
+}
+
+// BenchmarkProcessSwitch measures a process sleep/resume round trip — the
+// unit cost of every delay in the cloud model.
+func BenchmarkProcessSwitch(b *testing.B) {
+	e := NewEngine()
+	defer e.Close()
+	e.Spawn("switcher", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	e.Run(0)
+}
+
+// BenchmarkResourceContention measures acquire/release under a contended
+// FIFO resource with 64 concurrent processes.
+func BenchmarkResourceContention(b *testing.B) {
+	e := NewEngine()
+	defer e.Close()
+	r := NewResource(e, 4)
+	per := b.N/64 + 1
+	for i := 0; i < 64; i++ {
+		e.Spawn("worker", func(p *Proc) {
+			for j := 0; j < per; j++ {
+				p.Acquire(r)
+				p.Sleep(time.Microsecond)
+				r.Release()
+			}
+		})
+	}
+	b.ResetTimer()
+	e.Run(0)
+}

@@ -1,0 +1,320 @@
+// Package des implements a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock over a heap of scheduled events.
+// Concurrent activities are modeled as cooperative processes: each process
+// is a goroutine, but the engine guarantees that at most one process runs at
+// any instant, so state shared between processes needs no locking and every
+// run with the same inputs produces the same event ordering (events at equal
+// times are tie-broken by scheduling sequence number).
+//
+// The engine also supports a real-time mode in which virtual delays are
+// slept on the wall clock (optionally scaled) and external goroutines may
+// inject work with Engine.Inject; this mode backs the live-HTTP serving of
+// the simulated cloud.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Time is a virtual timestamp, measured as a duration since the start of the
+// simulation. Using time.Duration gives nanosecond resolution and convenient
+// formatting.
+type Time = time.Duration
+
+// event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64
+	fire func()
+	// canceled events stay in the heap but do nothing when popped.
+	canceled bool
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled callback that can be canceled.
+type Timer struct{ ev *event }
+
+// Cancel prevents the timer's callback from firing. Canceling an already
+// fired or canceled timer is a no-op. Cancel reports whether the callback
+// was prevented.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.fire == nil {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not usable;
+// call NewEngine.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+
+	// Process coordination: the engine resumes one process and then waits on
+	// parked until that process blocks again or exits.
+	parked chan struct{}
+
+	procs   map[*Proc]struct{}
+	stopped bool
+
+	// Real-time mode.
+	realTime  bool
+	timeScale float64 // virtual seconds per wall second multiplier (1 = real time)
+	injectMu  sync.Mutex
+	injected  []func()
+	injectCh  chan struct{} // signaled when something is injected
+	started   time.Time
+}
+
+// NewEngine returns an engine with the virtual clock at zero.
+func NewEngine() *Engine {
+	return &Engine{
+		parked:   make(chan struct{}),
+		procs:    make(map[*Proc]struct{}),
+		injectCh: make(chan struct{}, 1),
+	}
+}
+
+// NewRealTimeEngine returns an engine that, when run, paces event delivery on
+// the wall clock. timeScale compresses virtual time: with timeScale 10, ten
+// virtual seconds elapse per wall-clock second. timeScale <= 0 panics.
+func NewRealTimeEngine(timeScale float64) *Engine {
+	if timeScale <= 0 {
+		panic(fmt.Sprintf("des: invalid time scale %v", timeScale))
+	}
+	e := NewEngine()
+	e.realTime = true
+	e.timeScale = timeScale
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// schedule registers fn to run at time at (>= now) and returns its event.
+func (e *Engine) schedule(at Time, fn func()) *event {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, fire: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// At schedules fn to run at the given virtual time and returns a cancelable
+// Timer. Must be called from simulation context (a process or event callback).
+func (e *Engine) At(at Time, fn func()) *Timer {
+	return &Timer{ev: e.schedule(at, fn)}
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	return e.At(e.now+d, fn)
+}
+
+// errKilled is the sentinel used to unwind killed processes.
+var errKilled = errors.New("des: process killed")
+
+// Run drains events until the heap is empty or the virtual clock would pass
+// until. A zero until means run until no events remain. Processes blocked on
+// resources or signals when Run returns remain parked; use Close to release
+// them.
+func (e *Engine) Run(until Time) {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if until != 0 && next.at > until {
+			e.now = until
+			return
+		}
+		heap.Pop(&e.events)
+		if next.canceled {
+			continue
+		}
+		if e.realTime {
+			e.waitWall(next.at)
+			e.drainInjected()
+		}
+		e.now = next.at
+		fn := next.fire
+		next.fire = nil
+		fn()
+	}
+	if until != 0 && until > e.now {
+		e.now = until
+	}
+}
+
+// RunRealTime services events forever in real-time mode, blocking the calling
+// goroutine. It returns when stop is closed. Injected work (via Inject) wakes
+// the loop immediately.
+func (e *Engine) RunRealTime(stop <-chan struct{}) {
+	if !e.realTime {
+		panic("des: RunRealTime on a virtual-time engine")
+	}
+	e.started = time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		e.syncVirtualClock()
+		e.drainInjected()
+		if len(e.events) == 0 {
+			// Idle: wait for injection or stop.
+			select {
+			case <-stop:
+				return
+			case <-e.injectCh:
+				continue
+			}
+		}
+		next := e.events[0]
+		if !e.sleepUntil(next.at, stop) {
+			return
+		}
+		e.syncVirtualClock()
+		e.drainInjected()
+		if len(e.events) == 0 || e.events[0] != next {
+			continue // an injection scheduled something earlier
+		}
+		heap.Pop(&e.events)
+		if next.canceled {
+			continue
+		}
+		if next.at > e.now {
+			e.now = next.at
+		}
+		fn := next.fire
+		next.fire = nil
+		fn()
+	}
+}
+
+// syncVirtualClock advances the virtual clock to the wall-clock-equivalent
+// instant in real-time mode, so work injected after an idle period is
+// scheduled relative to "now" rather than to the last fired event. The
+// clock never moves backwards.
+func (e *Engine) syncVirtualClock() {
+	if !e.realTime || e.started.IsZero() {
+		return
+	}
+	v := Time(float64(time.Since(e.started)) * e.timeScale)
+	if v > e.now {
+		e.now = v
+	}
+}
+
+// sleepUntil waits on the wall clock until virtual time at is due. It returns
+// false if stop fired, true otherwise (including when an injection arrived,
+// in which case the caller re-evaluates the heap). To keep pacing error from
+// being amplified by the time scale, the final stretch before the deadline
+// is spin-waited: OS timers overshoot by around a millisecond, which a 10x
+// time scale would turn into 10ms of virtual error per event.
+func (e *Engine) sleepUntil(at Time, stop <-chan struct{}) bool {
+	const spinWindow = 2 * time.Millisecond
+	wall := e.wallDeadline(at)
+	if d := time.Until(wall) - spinWindow; d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-stop:
+			return false
+		case <-e.injectCh:
+			return true
+		case <-t.C:
+		}
+	}
+	for time.Now().Before(wall) {
+		select {
+		case <-stop:
+			return false
+		case <-e.injectCh:
+			return true
+		default:
+			runtime.Gosched()
+		}
+	}
+	return true
+}
+
+func (e *Engine) wallDeadline(at Time) time.Time {
+	return e.started.Add(time.Duration(float64(at) / e.timeScale))
+}
+
+// waitWall is used by Run in real-time mode (tests); it busy-sleeps to the
+// wall deadline without injection wake-ups.
+func (e *Engine) waitWall(at Time) {
+	if e.started.IsZero() {
+		e.started = time.Now()
+	}
+	if d := time.Until(e.wallDeadline(at)); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Inject schedules fn to run inside the simulation as soon as possible. It is
+// the only Engine method safe to call from outside simulation context and is
+// intended for real-time mode (e.g., an HTTP handler submitting a request).
+func (e *Engine) Inject(fn func()) {
+	e.injectMu.Lock()
+	e.injected = append(e.injected, fn)
+	e.injectMu.Unlock()
+	select {
+	case e.injectCh <- struct{}{}:
+	default:
+	}
+}
+
+func (e *Engine) drainInjected() {
+	e.injectMu.Lock()
+	pending := e.injected
+	e.injected = nil
+	e.injectMu.Unlock()
+	for _, fn := range pending {
+		// Schedule at the current instant; runs in heap order.
+		e.schedule(e.now, fn)
+	}
+}
+
+// Close kills all live processes so their goroutines exit. The engine must
+// not be used afterwards.
+func (e *Engine) Close() {
+	e.stopped = true
+	for p := range e.procs {
+		p.kill()
+	}
+	e.events = nil
+}
+
+// PendingEvents reports the number of scheduled (possibly canceled) events.
+func (e *Engine) PendingEvents() int { return len(e.events) }

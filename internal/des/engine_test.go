@@ -1,0 +1,516 @@
+package des
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30*time.Millisecond, func() { order = append(order, 3) })
+	e.At(10*time.Millisecond, func() { order = append(order, 1) })
+	e.At(20*time.Millisecond, func() { order = append(order, 2) })
+	e.Run(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", e.Now())
+	}
+}
+
+func TestSameTimeTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Millisecond, func() { order = append(order, i) })
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not in scheduling order: %v", order)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(time.Second, func() { fired++ })
+	e.At(3*time.Second, func() { fired++ })
+	e.Run(2 * time.Second)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("clock = %v, want 2s", e.Now())
+	}
+	e.Run(0)
+	if fired != 2 {
+		t.Fatalf("fired = %d after drain, want 2", fired)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	timer := e.At(time.Second, func() { fired = true })
+	if !timer.Cancel() {
+		t.Fatal("first cancel should succeed")
+	}
+	if timer.Cancel() {
+		t.Fatal("second cancel should report false")
+	}
+	e.Run(0)
+	if fired {
+		t.Fatal("canceled timer fired")
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine()
+	var wake Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(42 * time.Millisecond)
+		wake = p.Now()
+	})
+	e.Run(0)
+	if wake != 42*time.Millisecond {
+		t.Fatalf("woke at %v, want 42ms", wake)
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	e.Spawn("a", func(p *Proc) {
+		trace = append(trace, "a0")
+		p.Sleep(10 * time.Millisecond)
+		trace = append(trace, "a10")
+		p.Sleep(20 * time.Millisecond)
+		trace = append(trace, "a30")
+	})
+	e.Spawn("b", func(p *Proc) {
+		trace = append(trace, "b0")
+		p.Sleep(15 * time.Millisecond)
+		trace = append(trace, "b15")
+	})
+	e.Run(0)
+	want := []string{"a0", "b0", "a10", "b15", "a30"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	e := NewEngine()
+	sig := NewSignal(e)
+	var woke []string
+	for _, name := range []string{"w1", "w2", "w3"} {
+		name := name
+		e.Spawn(name, func(p *Proc) {
+			p.Wait(sig)
+			woke = append(woke, name)
+		})
+	}
+	e.Spawn("firer", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		sig.Fire()
+	})
+	e.Run(0)
+	if len(woke) != 3 {
+		t.Fatalf("woke = %v, want all three waiters", woke)
+	}
+	// Waiting on an already-fired signal returns immediately.
+	late := false
+	e.Spawn("late", func(p *Proc) {
+		p.Wait(sig)
+		late = true
+	})
+	e.Run(0)
+	if !late {
+		t.Fatal("late waiter on fired signal blocked")
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Spawn("p", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Millisecond) // stagger arrival
+			p.Acquire(r)
+			order = append(order, i)
+			p.Sleep(10 * time.Millisecond)
+			r.Release()
+		})
+	}
+	e.Run(0)
+	if len(order) != 5 {
+		t.Fatalf("only %d acquisitions", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("non-FIFO grant order: %v", order)
+		}
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("resource leaked: inUse=%d", r.InUse())
+	}
+	if r.MaxQueueLen() == 0 {
+		t.Fatal("expected queue growth under contention")
+	}
+}
+
+func TestResourceCapacity(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 3)
+	var concurrent, peak int
+	for i := 0; i < 10; i++ {
+		e.Spawn("p", func(p *Proc) {
+			p.Acquire(r)
+			concurrent++
+			if concurrent > peak {
+				peak = concurrent
+			}
+			p.Sleep(time.Millisecond)
+			concurrent--
+			r.Release()
+		})
+	}
+	e.Run(0)
+	if peak != 3 {
+		t.Fatalf("peak concurrency = %d, want 3", peak)
+	}
+}
+
+func TestQueueBlockingGet(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e)
+	var got []int
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Get(p))
+		}
+	})
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(time.Millisecond)
+			q.Put(i)
+		}
+	})
+	e.Run(0)
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("got = %v", got)
+	}
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestCloseKillsParkedProcs(t *testing.T) {
+	e := NewEngine()
+	reached := false
+	e.Spawn("stuck", func(p *Proc) {
+		sig := NewSignal(e) // never fired
+		p.Wait(sig)
+		reached = true
+	})
+	e.Run(0)
+	if reached {
+		t.Fatal("process should still be parked")
+	}
+	e.Close()
+	if len(e.procs) != 0 {
+		t.Fatalf("%d processes leaked after Close", len(e.procs))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int {
+		e := NewEngine()
+		defer e.Close()
+		rng := rand.New(rand.NewSource(seed))
+		r := NewResource(e, 2)
+		var order []int
+		for i := 0; i < 50; i++ {
+			i := i
+			delay := time.Duration(rng.Intn(100)) * time.Millisecond
+			e.Spawn("p", func(p *Proc) {
+				p.Sleep(delay)
+				p.Acquire(r)
+				order = append(order, i)
+				p.Sleep(time.Duration(rng.Intn(5)) * time.Millisecond)
+				r.Release()
+			})
+		}
+		e.Run(0)
+		return order
+	}
+	a, b := run(7), run(7)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("incomplete runs: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic ordering at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestInjectRealTime(t *testing.T) {
+	e := NewRealTimeEngine(1000) // 1000x compressed
+	stop := make(chan struct{})
+	done := make(chan Time, 1)
+	go e.RunRealTime(stop)
+	e.Inject(func() {
+		e.Spawn("worker", func(p *Proc) {
+			p.Sleep(500 * time.Millisecond) // 0.5ms wall
+			done <- p.Now()
+		})
+	})
+	select {
+	case at := <-done:
+		if at < 500*time.Millisecond {
+			t.Fatalf("woke at virtual %v, want >= 500ms", at)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("real-time engine did not service injected work")
+	}
+	close(stop)
+}
+
+// Property: for any set of event times, the engine fires them in sorted order.
+func TestQuickEventOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		var fired []time.Duration
+		for _, r := range raw {
+			at := time.Duration(r) * time.Microsecond
+			e.At(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run(0)
+		if len(fired) != len(raw) {
+			return false
+		}
+		sorted := make([]time.Duration, len(raw))
+		for i, r := range raw {
+			sorted[i] = time.Duration(r) * time.Microsecond
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := range fired {
+			if fired[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a resource never exceeds its capacity and always drains.
+func TestQuickResourceInvariant(t *testing.T) {
+	f := func(capRaw uint8, delays []uint8) bool {
+		capacity := int(capRaw%8) + 1
+		e := NewEngine()
+		defer e.Close()
+		r := NewResource(e, capacity)
+		ok := true
+		for _, d := range delays {
+			d := time.Duration(d) * time.Millisecond
+			e.Spawn("p", func(p *Proc) {
+				p.Sleep(d)
+				p.Acquire(r)
+				if r.InUse() > capacity {
+					ok = false
+				}
+				p.Sleep(time.Millisecond)
+				r.Release()
+			})
+		}
+		e.Run(0)
+		return ok && r.InUse() == 0 && r.QueueLen() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitTimeoutExpires(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	sig := NewSignal(e)
+	var fired bool
+	var at Time
+	e.Spawn("waiter", func(p *Proc) {
+		fired = p.WaitTimeout(sig, 100*time.Millisecond)
+		at = p.Now()
+	})
+	e.Run(0)
+	if fired {
+		t.Fatal("unfired signal reported as fired")
+	}
+	if at != 100*time.Millisecond {
+		t.Fatalf("woke at %v, want 100ms", at)
+	}
+}
+
+func TestWaitTimeoutSignalWins(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	sig := NewSignal(e)
+	var fired bool
+	e.Spawn("waiter", func(p *Proc) {
+		fired = p.WaitTimeout(sig, time.Second)
+		if p.Now() != 50*time.Millisecond {
+			t.Errorf("woke at %v", p.Now())
+		}
+		// The canceled timer must not wake us again: sleep past it.
+		p.Sleep(5 * time.Second)
+	})
+	e.At(50*time.Millisecond, func() { sig.Fire() })
+	e.Run(0)
+	if !fired {
+		t.Fatal("fired signal reported as timeout")
+	}
+}
+
+func TestWaitTimeoutAlreadyFired(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	sig := NewSignal(e)
+	sig.Fire()
+	ok := false
+	e.Spawn("waiter", func(p *Proc) {
+		ok = p.WaitTimeout(sig, time.Second)
+	})
+	e.Run(0)
+	if !ok {
+		t.Fatal("pre-fired signal should return immediately")
+	}
+}
+
+func TestWaitTimeoutSimultaneous(t *testing.T) {
+	// Signal fire and timeout land on the same instant: the process must
+	// resume exactly once regardless of which event pops first.
+	for _, fireFirst := range []bool{true, false} {
+		e := NewEngine()
+		sig := NewSignal(e)
+		wakes := 0
+		if fireFirst {
+			e.At(100*time.Millisecond, func() { sig.Fire() })
+		}
+		e.Spawn("waiter", func(p *Proc) {
+			p.WaitTimeout(sig, 100*time.Millisecond)
+			wakes++
+			p.Sleep(10 * time.Second) // catch any stray double-resume
+			wakes++
+		})
+		if !fireFirst {
+			e.At(100*time.Millisecond, func() { sig.Fire() })
+		}
+		e.Run(0)
+		if wakes != 2 {
+			t.Fatalf("fireFirst=%v: wakes=%d, want 2 (exactly one resume + sleep)", fireFirst, wakes)
+		}
+		e.Close()
+	}
+}
+
+func TestWaitTimeoutMixedWaiters(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	sig := NewSignal(e)
+	results := map[string]bool{}
+	e.Spawn("fast-timeout", func(p *Proc) {
+		results["fast"] = p.WaitTimeout(sig, 10*time.Millisecond)
+	})
+	e.Spawn("slow-timeout", func(p *Proc) {
+		results["slow"] = p.WaitTimeout(sig, time.Minute)
+	})
+	e.Spawn("plain", func(p *Proc) {
+		p.Wait(sig)
+		results["plain"] = true
+	})
+	e.At(time.Second, func() { sig.Fire() })
+	e.Run(0)
+	if results["fast"] {
+		t.Error("fast waiter should have timed out")
+	}
+	if !results["slow"] || !results["plain"] {
+		t.Errorf("late waiters should see the fire: %+v", results)
+	}
+}
+
+func TestCloseReleasesGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 5; round++ {
+		e := NewEngine()
+		sig := NewSignal(e) // never fired: procs park forever
+		for i := 0; i < 100; i++ {
+			e.Spawn("parked", func(p *Proc) {
+				p.Wait(sig)
+			})
+		}
+		e.Run(0)
+		e.Close()
+	}
+	// Give exiting goroutines a moment to unwind.
+	for i := 0; i < 100 && runtime.NumGoroutine() > before+10; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	after := runtime.NumGoroutine()
+	if after > before+10 {
+		t.Fatalf("goroutines leaked: %d -> %d", before, after)
+	}
+}
+
+func TestAfterNegativeClampsToNow(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	var at Time
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		e.After(-5*time.Millisecond, func() { at = e.Now() })
+	})
+	e.Run(0)
+	if at != 10*time.Millisecond {
+		t.Fatalf("negative After fired at %v, want clamped to now", at)
+	}
+}
+
+func TestPendingEventsAndAccessors(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	e.At(time.Second, func() {})
+	e.At(2*time.Second, func() {})
+	if e.PendingEvents() != 2 {
+		t.Fatalf("pending = %d", e.PendingEvents())
+	}
+	p := e.Spawn("named", func(p *Proc) {
+		if p.Name() != "named" || p.Engine() != e {
+			t.Error("accessors wrong")
+		}
+		p.Yield()
+	})
+	_ = p
+	e.Run(0)
+	if e.PendingEvents() != 0 {
+		t.Fatalf("pending after run = %d", e.PendingEvents())
+	}
+}

@@ -1,0 +1,99 @@
+package des
+
+import "fmt"
+
+// Proc is the handle a simulated process uses to interact with virtual time.
+// A process is a goroutine scheduled cooperatively by the engine: exactly one
+// process (or event callback) executes at a time, so processes may freely
+// mutate shared simulation state between blocking calls.
+type Proc struct {
+	eng    *Engine
+	name   string
+	wake   chan struct{}
+	killed bool
+	done   bool
+}
+
+// Spawn starts fn as a new process at the current virtual time. It must be
+// called from simulation context (another process, an event callback, or
+// before Run). The process begins executing when the engine reaches the
+// spawning instant.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, wake: make(chan struct{})}
+	e.procs[p] = struct{}{}
+	go p.top(fn)
+	e.schedule(e.now, p.resume)
+	return p
+}
+
+// top is the root of a process goroutine: it waits for the first resume,
+// runs fn, and signals the engine on exit (normal or killed).
+func (p *Proc) top(fn func(p *Proc)) {
+	<-p.wake
+	defer func() {
+		p.done = true
+		delete(p.eng.procs, p)
+		r := recover()
+		if r != nil && r != errKilled {
+			// Re-panic real bugs with process context attached.
+			panic(fmt.Sprintf("des: process %q panicked: %v", p.name, r))
+		}
+		// Hand control back to whoever resumed us (engine loop or Close).
+		p.eng.parked <- struct{}{}
+	}()
+	if p.killed {
+		panic(errKilled)
+	}
+	fn(p)
+}
+
+// resume transfers control to the process and blocks until it parks again or
+// exits. It runs as an event callback inside the engine loop.
+func (p *Proc) resume() {
+	p.wake <- struct{}{}
+	<-p.eng.parked
+}
+
+// park blocks the process until another resume is delivered. The caller must
+// have arranged for a future resume (a scheduled event, a resource grant, or
+// a signal registration) before calling park.
+func (p *Proc) park() {
+	p.eng.parked <- struct{}{}
+	<-p.wake
+	if p.killed {
+		panic(errKilled)
+	}
+}
+
+// kill unwinds a parked process. Called only from Engine.Close.
+func (p *Proc) kill() {
+	if p.done {
+		return
+	}
+	p.killed = true
+	p.wake <- struct{}{}
+	<-p.eng.parked
+}
+
+// Engine returns the engine that owns this process.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Sleep suspends the process for d of virtual time. Negative durations are
+// treated as zero (the process still yields to the scheduler).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.schedule(p.eng.now+d, p.resume)
+	p.park()
+}
+
+// Yield reschedules the process at the current instant, letting other work
+// scheduled for this time run first.
+func (p *Proc) Yield() { p.Sleep(0) }

@@ -1,0 +1,199 @@
+package des
+
+// Signal is a one-shot broadcast event in virtual time. Processes that Wait
+// before Fire are resumed at the instant Fire is called; waits after Fire
+// return immediately. The zero value is NOT usable; create with NewSignal.
+type Signal struct {
+	eng     *Engine
+	fired   bool
+	waiters []*Proc
+}
+
+// NewSignal returns an unfired signal bound to the engine.
+func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Fire wakes all current waiters at the present virtual instant. Firing an
+// already fired signal is a no-op.
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	for _, p := range s.waiters {
+		s.eng.schedule(s.eng.now, p.resume)
+	}
+	s.waiters = nil
+}
+
+// Wait blocks the process until the signal fires.
+func (p *Proc) Wait(s *Signal) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.park()
+}
+
+// remove drops a waiter, reporting whether it was registered. Fire clears
+// the waiter list, so a timed-out waiter and a fired signal can never both
+// resume the same process.
+func (s *Signal) remove(p *Proc) bool {
+	for i, cand := range s.waiters {
+		if cand == p {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// WaitTimeout blocks until the signal fires or d elapses, reporting true
+// when the signal fired. A signal that fires at exactly the deadline wins
+// or loses by event order; either way the process resumes exactly once.
+func (p *Proc) WaitTimeout(s *Signal, d Time) bool {
+	if s.fired {
+		return true
+	}
+	timedOut := false
+	timer := p.eng.After(d, func() {
+		if !s.remove(p) {
+			return // the signal fired first at this same instant
+		}
+		timedOut = true
+		p.eng.schedule(p.eng.now, p.resume)
+	})
+	s.waiters = append(s.waiters, p)
+	p.park()
+	if timedOut {
+		return false
+	}
+	timer.Cancel()
+	return true
+}
+
+// Resource is a counted resource (semaphore) with a FIFO wait queue, used to
+// model contended servers such as a front-end fleet or a cluster scheduler.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	inUse    int
+	queue    []*Proc
+
+	// Metrics.
+	totalAcquires uint64
+	maxQueue      int
+}
+
+// NewResource returns a resource with the given capacity (>= 1).
+func NewResource(e *Engine, capacity int) *Resource {
+	if capacity < 1 {
+		panic("des: resource capacity must be >= 1")
+	}
+	return &Resource{eng: e, capacity: capacity}
+}
+
+// Acquire obtains one unit of the resource, blocking in FIFO order while the
+// resource is exhausted.
+func (p *Proc) Acquire(r *Resource) {
+	r.totalAcquires++
+	if r.inUse < r.capacity {
+		r.inUse++
+		return
+	}
+	r.queue = append(r.queue, p)
+	if len(r.queue) > r.maxQueue {
+		r.maxQueue = len(r.queue)
+	}
+	p.park()
+	// Ownership was transferred by Release; inUse already accounts for us.
+}
+
+// Release returns one unit. If processes are queued, ownership passes
+// directly to the oldest waiter, which is resumed at the current instant.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("des: release of idle resource")
+	}
+	if len(r.queue) > 0 {
+		next := r.queue[0]
+		copy(r.queue, r.queue[1:])
+		r.queue = r.queue[:len(r.queue)-1]
+		r.eng.schedule(r.eng.now, next.resume)
+		return // inUse unchanged: unit transferred
+	}
+	r.inUse--
+}
+
+// InUse reports the units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports the number of processes waiting.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// MaxQueueLen reports the high-water mark of the wait queue.
+func (r *Resource) MaxQueueLen() int { return r.maxQueue }
+
+// TotalAcquires reports the number of Acquire calls so far.
+func (r *Resource) TotalAcquires() uint64 { return r.totalAcquires }
+
+// Queue is an unbounded FIFO queue of items with blocking receive, used to
+// model request buffers in virtual time.
+type Queue[T any] struct {
+	eng     *Engine
+	items   []T
+	waiters []*Proc
+	maxLen  int
+}
+
+// NewQueue returns an empty queue bound to the engine.
+func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{eng: e} }
+
+// Put appends an item and wakes the oldest waiting receiver, if any.
+func (q *Queue[T]) Put(item T) {
+	q.items = append(q.items, item)
+	if len(q.items) > q.maxLen {
+		q.maxLen = len(q.items)
+	}
+	if len(q.waiters) > 0 {
+		next := q.waiters[0]
+		copy(q.waiters, q.waiters[1:])
+		q.waiters = q.waiters[:len(q.waiters)-1]
+		q.eng.schedule(q.eng.now, next.resume)
+	}
+}
+
+// Get removes and returns the oldest item, blocking while the queue is empty.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		q.waiters = append(q.waiters, p)
+		p.park()
+	}
+	item := q.items[0]
+	copy(q.items, q.items[1:])
+	var zero T
+	q.items[len(q.items)-1] = zero
+	q.items = q.items[:len(q.items)-1]
+	return item
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	item := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = zero
+	q.items = q.items[:len(q.items)-1]
+	return item, true
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// MaxLen reports the queue's high-water mark.
+func (q *Queue[T]) MaxLen() int { return q.maxLen }

@@ -1,0 +1,258 @@
+// Package dist provides random latency/size distributions used by the
+// serverless cloud simulator. All distributions draw from an explicit
+// *rand.Rand so every simulation component owns a deterministic stream.
+//
+// Durations are modeled in nanoseconds (time.Duration); helper constructors
+// accept time.Duration for readability at call sites.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Dist is a distribution over durations.
+type Dist interface {
+	// Sample draws one value using rng.
+	Sample(rng *rand.Rand) time.Duration
+	// String describes the distribution for logs and reports.
+	String() string
+}
+
+// Constant always returns the same value.
+type Constant time.Duration
+
+// Sample implements Dist.
+func (c Constant) Sample(*rand.Rand) time.Duration { return time.Duration(c) }
+
+func (c Constant) String() string { return fmt.Sprintf("const(%v)", time.Duration(c)) }
+
+// Uniform is uniform on [Min, Max].
+type Uniform struct {
+	Min, Max time.Duration
+}
+
+// Sample implements Dist.
+func (u Uniform) Sample(rng *rand.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)+1))
+}
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform(%v,%v)", u.Min, u.Max) }
+
+// Exponential has the given mean.
+type Exponential struct {
+	Mean time.Duration
+}
+
+// Sample implements Dist.
+func (e Exponential) Sample(rng *rand.Rand) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(e.Mean))
+}
+
+func (e Exponential) String() string { return fmt.Sprintf("exp(mean=%v)", e.Mean) }
+
+// LogNormal is parameterized by the underlying normal's mu and sigma
+// (of log nanoseconds). Prefer LogNormalMedTail for readable construction.
+type LogNormal struct {
+	Mu, Sigma float64
+}
+
+// Sample implements Dist.
+func (l LogNormal) Sample(rng *rand.Rand) time.Duration {
+	x := math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+	if x > math.MaxInt64 {
+		x = math.MaxInt64
+	}
+	return time.Duration(x)
+}
+
+func (l LogNormal) String() string {
+	return fmt.Sprintf("lognormal(med=%v,p99=%v)", l.Median(), l.P99())
+}
+
+// z99 is the standard normal 99th-percentile quantile.
+const z99 = 2.3263478740408408
+
+// Median returns the distribution's median.
+func (l LogNormal) Median() time.Duration { return time.Duration(math.Exp(l.Mu)) }
+
+// P99 returns the distribution's 99th percentile.
+func (l LogNormal) P99() time.Duration { return time.Duration(math.Exp(l.Mu + z99*l.Sigma)) }
+
+// LogNormalMedTail builds a log-normal with the given median and 99th
+// percentile. It panics if p99 < median or median <= 0.
+func LogNormalMedTail(median, p99 time.Duration) LogNormal {
+	if median <= 0 || p99 < median {
+		panic(fmt.Sprintf("dist: invalid lognormal median=%v p99=%v", median, p99))
+	}
+	mu := math.Log(float64(median))
+	sigma := 0.0
+	if p99 > median {
+		sigma = (math.Log(float64(p99)) - mu) / z99
+	}
+	return LogNormal{Mu: mu, Sigma: sigma}
+}
+
+// Weibull with shape k and scale lambda (in nanoseconds). Shape < 1 yields a
+// heavy tail; shape > 1 concentrates around the scale.
+type Weibull struct {
+	Shape float64
+	Scale time.Duration
+}
+
+// Sample implements Dist.
+func (w Weibull) Sample(rng *rand.Rand) time.Duration {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return time.Duration(float64(w.Scale) * math.Pow(-math.Log(u), 1/w.Shape))
+}
+
+func (w Weibull) String() string { return fmt.Sprintf("weibull(k=%.2f,scale=%v)", w.Shape, w.Scale) }
+
+// Pareto is a (Type I) Pareto distribution with minimum Xm and tail index
+// Alpha. Smaller Alpha means heavier tail; Alpha <= 1 has infinite mean.
+type Pareto struct {
+	Xm    time.Duration
+	Alpha float64
+}
+
+// Sample implements Dist.
+func (p Pareto) Sample(rng *rand.Rand) time.Duration {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	x := float64(p.Xm) / math.Pow(u, 1/p.Alpha)
+	if x > math.MaxInt64 {
+		x = math.MaxInt64
+	}
+	return time.Duration(x)
+}
+
+func (p Pareto) String() string { return fmt.Sprintf("pareto(xm=%v,alpha=%.2f)", p.Xm, p.Alpha) }
+
+// Shifted adds a constant offset to another distribution.
+type Shifted struct {
+	Offset time.Duration
+	D      Dist
+}
+
+// Sample implements Dist.
+func (s Shifted) Sample(rng *rand.Rand) time.Duration { return s.Offset + s.D.Sample(rng) }
+
+func (s Shifted) String() string { return fmt.Sprintf("%v+%v", s.Offset, s.D) }
+
+// Scaled multiplies another distribution by a factor.
+type Scaled struct {
+	Factor float64
+	D      Dist
+}
+
+// Sample implements Dist.
+func (s Scaled) Sample(rng *rand.Rand) time.Duration {
+	return time.Duration(s.Factor * float64(s.D.Sample(rng)))
+}
+
+func (s Scaled) String() string { return fmt.Sprintf("%.2fx(%v)", s.Factor, s.D) }
+
+// Clamped restricts another distribution to [Min, Max] (Max 0 = unbounded).
+type Clamped struct {
+	Min, Max time.Duration
+	D        Dist
+}
+
+// Sample implements Dist.
+func (c Clamped) Sample(rng *rand.Rand) time.Duration {
+	v := c.D.Sample(rng)
+	if v < c.Min {
+		v = c.Min
+	}
+	if c.Max > 0 && v > c.Max {
+		v = c.Max
+	}
+	return v
+}
+
+func (c Clamped) String() string { return fmt.Sprintf("clamp[%v,%v](%v)", c.Min, c.Max, c.D) }
+
+// Component is one branch of a Mixture.
+type Component struct {
+	Weight float64
+	D      Dist
+}
+
+// Mixture samples one of its components with probability proportional to its
+// weight. Useful for modeling rare stragglers (e.g., a storage service that
+// is fast most of the time with occasional multi-second outliers).
+type Mixture struct {
+	Components []Component
+	total      float64
+}
+
+// NewMixture validates and returns a mixture.
+func NewMixture(components ...Component) *Mixture {
+	if len(components) == 0 {
+		panic("dist: empty mixture")
+	}
+	total := 0.0
+	for _, c := range components {
+		if c.Weight <= 0 {
+			panic("dist: non-positive mixture weight")
+		}
+		total += c.Weight
+	}
+	return &Mixture{Components: components, total: total}
+}
+
+// Sample implements Dist.
+func (m *Mixture) Sample(rng *rand.Rand) time.Duration {
+	x := rng.Float64() * m.total
+	for _, c := range m.Components {
+		if x < c.Weight {
+			return c.D.Sample(rng)
+		}
+		x -= c.Weight
+	}
+	return m.Components[len(m.Components)-1].D.Sample(rng)
+}
+
+func (m *Mixture) String() string {
+	s := "mix("
+	for i, c := range m.Components {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%.3f:%v", c.Weight/m.total, c.D)
+	}
+	return s + ")"
+}
+
+// Sum adds independent samples of several distributions.
+type Sum []Dist
+
+// Sample implements Dist.
+func (s Sum) Sample(rng *rand.Rand) time.Duration {
+	var total time.Duration
+	for _, d := range s {
+		total += d.Sample(rng)
+	}
+	return total
+}
+
+func (s Sum) String() string {
+	out := "sum("
+	for i, d := range s {
+		if i > 0 {
+			out += "+"
+		}
+		out += d.String()
+	}
+	return out + ")"
+}

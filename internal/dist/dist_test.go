@@ -1,0 +1,231 @@
+package dist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleN(d Dist, n int, seed int64) []time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = d.Sample(rng)
+	}
+	return out
+}
+
+func percentile(vs []time.Duration, p float64) time.Duration {
+	sorted := append([]time.Duration(nil), vs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func within(t *testing.T, got, want time.Duration, tol float64, what string) {
+	t.Helper()
+	lo := time.Duration(float64(want) * (1 - tol))
+	hi := time.Duration(float64(want) * (1 + tol))
+	if got < lo || got > hi {
+		t.Fatalf("%s = %v, want %v ± %.0f%%", what, got, want, tol*100)
+	}
+}
+
+func TestConstant(t *testing.T) {
+	d := Constant(5 * time.Millisecond)
+	for _, v := range sampleN(d, 10, 1) {
+		if v != 5*time.Millisecond {
+			t.Fatalf("constant sampled %v", v)
+		}
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	d := Uniform{Min: 10 * time.Millisecond, Max: 20 * time.Millisecond}
+	for _, v := range sampleN(d, 1000, 2) {
+		if v < d.Min || v > d.Max {
+			t.Fatalf("uniform sampled %v outside [%v,%v]", v, d.Min, d.Max)
+		}
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	d := Uniform{Min: 7 * time.Millisecond, Max: 7 * time.Millisecond}
+	if v := d.Sample(rand.New(rand.NewSource(1))); v != 7*time.Millisecond {
+		t.Fatalf("degenerate uniform sampled %v", v)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	d := Exponential{Mean: 100 * time.Millisecond}
+	vs := sampleN(d, 50000, 3)
+	var sum time.Duration
+	for _, v := range vs {
+		sum += v
+	}
+	within(t, sum/time.Duration(len(vs)), 100*time.Millisecond, 0.05, "exp mean")
+}
+
+func TestLogNormalMedTail(t *testing.T) {
+	d := LogNormalMedTail(18*time.Millisecond, 74*time.Millisecond)
+	vs := sampleN(d, 100000, 4)
+	within(t, percentile(vs, 50), 18*time.Millisecond, 0.05, "lognormal median")
+	within(t, percentile(vs, 99), 74*time.Millisecond, 0.10, "lognormal p99")
+	// Analytical quantiles match the constructor arguments exactly.
+	within(t, d.Median(), 18*time.Millisecond, 0.001, "analytic median")
+	within(t, d.P99(), 74*time.Millisecond, 0.001, "analytic p99")
+}
+
+func TestLogNormalDegenerate(t *testing.T) {
+	d := LogNormalMedTail(10*time.Millisecond, 10*time.Millisecond)
+	for _, v := range sampleN(d, 100, 5) {
+		if v != 10*time.Millisecond {
+			t.Fatalf("zero-sigma lognormal sampled %v", v)
+		}
+	}
+}
+
+func TestLogNormalPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p99 < median")
+		}
+	}()
+	LogNormalMedTail(10*time.Millisecond, 5*time.Millisecond)
+}
+
+func TestWeibullHeavyTail(t *testing.T) {
+	heavy := Weibull{Shape: 0.5, Scale: 10 * time.Millisecond}
+	light := Weibull{Shape: 3, Scale: 10 * time.Millisecond}
+	hv := sampleN(heavy, 20000, 6)
+	lv := sampleN(light, 20000, 7)
+	hr := float64(percentile(hv, 99)) / float64(percentile(hv, 50))
+	lr := float64(percentile(lv, 99)) / float64(percentile(lv, 50))
+	if hr <= lr {
+		t.Fatalf("heavy-tail weibull p99/p50 %.2f should exceed light %.2f", hr, lr)
+	}
+}
+
+func TestParetoMinimum(t *testing.T) {
+	d := Pareto{Xm: 5 * time.Millisecond, Alpha: 2}
+	for _, v := range sampleN(d, 5000, 8) {
+		if v < d.Xm {
+			t.Fatalf("pareto sampled %v below xm %v", v, d.Xm)
+		}
+	}
+}
+
+func TestCombinators(t *testing.T) {
+	base := Constant(10 * time.Millisecond)
+	if v := (Shifted{Offset: 5 * time.Millisecond, D: base}).Sample(nil); v != 15*time.Millisecond {
+		t.Fatalf("shifted = %v", v)
+	}
+	if v := (Scaled{Factor: 2, D: base}).Sample(nil); v != 20*time.Millisecond {
+		t.Fatalf("scaled = %v", v)
+	}
+	c := Clamped{Min: 12 * time.Millisecond, Max: 0, D: base}
+	if v := c.Sample(nil); v != 12*time.Millisecond {
+		t.Fatalf("clamp min = %v", v)
+	}
+	c = Clamped{Min: 0, Max: 8 * time.Millisecond, D: base}
+	if v := c.Sample(nil); v != 8*time.Millisecond {
+		t.Fatalf("clamp max = %v", v)
+	}
+	s := Sum{base, base, Constant(time.Millisecond)}
+	if v := s.Sample(nil); v != 21*time.Millisecond {
+		t.Fatalf("sum = %v", v)
+	}
+}
+
+func TestMixtureWeights(t *testing.T) {
+	m := NewMixture(
+		Component{Weight: 0.99, D: Constant(time.Millisecond)},
+		Component{Weight: 0.01, D: Constant(time.Second)},
+	)
+	vs := sampleN(m, 100000, 9)
+	slow := 0
+	for _, v := range vs {
+		if v == time.Second {
+			slow++
+		}
+	}
+	frac := float64(slow) / float64(len(vs))
+	if frac < 0.005 || frac > 0.02 {
+		t.Fatalf("straggler fraction = %.4f, want ~0.01", frac)
+	}
+}
+
+func TestMixturePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty mixture")
+		}
+	}()
+	NewMixture()
+}
+
+func TestStreamsDeterministicAndIndependent(t *testing.T) {
+	s := NewStreams(42)
+	a1 := s.Stream("frontend").Int63()
+	a2 := s.Stream("frontend").Int63()
+	b := s.Stream("storage").Int63()
+	if a1 != a2 {
+		t.Fatal("same-name streams differ")
+	}
+	if a1 == b {
+		t.Fatal("different-name streams collide")
+	}
+	if NewStreams(43).Stream("frontend").Int63() == a1 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// Property: LogNormalMedTail round-trips its parameters analytically.
+func TestQuickLogNormalRoundTrip(t *testing.T) {
+	f := func(medMs, extraMs uint16) bool {
+		med := time.Duration(medMs%5000+1) * time.Millisecond
+		p99 := med + time.Duration(extraMs)*time.Millisecond
+		d := LogNormalMedTail(med, p99)
+		return absDiff(d.Median(), med) <= med/100+time.Microsecond &&
+			absDiff(d.P99(), p99) <= p99/100+time.Microsecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: all distributions sample non-negative values.
+func TestQuickNonNegative(t *testing.T) {
+	f := func(seed int64, medMs, tailMs uint16) bool {
+		med := time.Duration(medMs%1000+1) * time.Millisecond
+		tail := med + time.Duration(tailMs)*time.Millisecond
+		dists := []Dist{
+			LogNormalMedTail(med, tail),
+			Exponential{Mean: med},
+			Weibull{Shape: 0.7, Scale: med},
+			Pareto{Xm: med, Alpha: 1.5},
+			Uniform{Min: 0, Max: med},
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for _, d := range dists {
+			for i := 0; i < 20; i++ {
+				if d.Sample(rng) < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func absDiff(a, b time.Duration) time.Duration {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

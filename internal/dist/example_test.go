@@ -1,0 +1,34 @@
+package dist_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/dist"
+)
+
+func ExampleLogNormalMedTail() {
+	// Parameterize directly by the quantiles a paper reports.
+	d := dist.LogNormalMedTail(18*time.Millisecond, 74*time.Millisecond)
+	fmt.Printf("median=%v p99=%v\n",
+		d.Median().Round(time.Millisecond), d.P99().Round(time.Millisecond))
+	// Output: median=18ms p99=74ms
+}
+
+func ExampleNewMixture() {
+	// A cost-optimized store: fast most of the time, rare multi-second
+	// stragglers — the shape behind the paper's storage-transfer tails.
+	m := dist.NewMixture(
+		dist.Component{Weight: 0.97, D: dist.Constant(35 * time.Millisecond)},
+		dist.Component{Weight: 0.03, D: dist.Constant(2 * time.Second)},
+	)
+	rng := dist.NewStreams(1).Stream("example")
+	slow := 0
+	for i := 0; i < 10000; i++ {
+		if m.Sample(rng) == 2*time.Second {
+			slow++
+		}
+	}
+	fmt.Printf("stragglers: ~%d%%\n", (slow+50)/100)
+	// Output: stragglers: ~3%
+}

@@ -1,0 +1,29 @@
+package dist
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// Streams derives independent deterministic random streams from a root seed.
+// Each named component of the simulation gets its own *rand.Rand so that
+// adding a component (or reordering sampling) does not perturb the draws seen
+// by the others.
+type Streams struct {
+	seed int64
+}
+
+// NewStreams returns a stream factory rooted at seed.
+func NewStreams(seed int64) *Streams { return &Streams{seed: seed} }
+
+// Stream returns a deterministic RNG for the given component name. Calling
+// Stream twice with the same name yields identically seeded, independent
+// generators.
+func (s *Streams) Stream(name string) *rand.Rand {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return rand.New(rand.NewSource(s.seed ^ int64(h.Sum64())))
+}
+
+// Seed returns the root seed.
+func (s *Streams) Seed() int64 { return s.seed }

@@ -1,0 +1,45 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// String methods appear in logs and reports; ensure they render the
+// parameters a reader needs.
+func TestStringDescriptions(t *testing.T) {
+	cases := []struct {
+		d    Dist
+		want []string
+	}{
+		{Constant(5 * time.Millisecond), []string{"const", "5ms"}},
+		{Uniform{Min: time.Millisecond, Max: 2 * time.Millisecond}, []string{"uniform", "1ms", "2ms"}},
+		{Exponential{Mean: 100 * time.Millisecond}, []string{"exp", "100ms"}},
+		{LogNormalMedTail(10*time.Millisecond, 40*time.Millisecond), []string{"lognormal", "med"}},
+		{Weibull{Shape: 0.5, Scale: 10 * time.Millisecond}, []string{"weibull", "0.50"}},
+		{Pareto{Xm: 5 * time.Millisecond, Alpha: 2}, []string{"pareto", "2.00"}},
+		{Shifted{Offset: time.Millisecond, D: Constant(2 * time.Millisecond)}, []string{"1ms", "const"}},
+		{Scaled{Factor: 2, D: Constant(time.Millisecond)}, []string{"2.00x"}},
+		{Clamped{Min: 0, Max: time.Second, D: Constant(time.Millisecond)}, []string{"clamp", "1s"}},
+		{NewMixture(
+			Component{Weight: 0.9, D: Constant(time.Millisecond)},
+			Component{Weight: 0.1, D: Constant(time.Second)},
+		), []string{"mix", "0.900", "0.100"}},
+		{Sum{Constant(time.Millisecond), Constant(2 * time.Millisecond)}, []string{"sum", "+"}},
+	}
+	for _, tc := range cases {
+		got := tc.d.String()
+		for _, want := range tc.want {
+			if !strings.Contains(got, want) {
+				t.Errorf("%T.String() = %q, missing %q", tc.d, got, want)
+			}
+		}
+	}
+}
+
+func TestStreamsSeed(t *testing.T) {
+	if NewStreams(42).Seed() != 42 {
+		t.Fatal("Seed() should echo the root seed")
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/cloud"
+	"github.com/stellar-repro/stellar/internal/core"
+	"github.com/stellar-repro/stellar/internal/dist"
+	"github.com/stellar-repro/stellar/internal/providers"
+)
+
+// Ablations isolate the design choices DESIGN.md calls out: each returns a
+// provider profile with one mechanism removed, so benches and tests can
+// show which observed behavior that mechanism is responsible for.
+
+// AblationNoImageCache disables AWS's image-store cache. Without it, bursty
+// cold starts lose their advantage over individual cold starts (§VI-D2's
+// caching hypothesis).
+func AblationNoImageCache() cloud.Config {
+	cfg := providers.MustGet("aws")
+	cfg.Name = "aws-no-image-cache"
+	cfg.ImageStore.Cache.Enabled = false
+	return cfg
+}
+
+// AblationAzureNoQueue gives Azure the no-queue policy. The Fig. 9
+// two-orders-of-magnitude blow-up collapses to ordinary cold starts.
+func AblationAzureNoQueue() cloud.Config {
+	cfg := providers.MustGet("azure")
+	cfg.Name = "azure-no-queue"
+	cfg.Policy = cloud.PolicyConfig{Kind: cloud.PolicyNoQueue}
+	cfg.QueueHandoffDelay = nil
+	return cfg
+}
+
+// AblationNoSchedulerContention removes Google's image-store miss queueing.
+// Cold-burst latency stops growing with burst size.
+func AblationNoSchedulerContention() cloud.Config {
+	cfg := providers.MustGet("google")
+	cfg.Name = "google-no-contention"
+	cfg.ImageStore.MissCongestionUnit = 0
+	return cfg
+}
+
+// AblationNoWarmPool turns off AWS's warm generic instance pool and gives
+// the runtimes distinct ZIP init costs. The runtime choice starts to matter
+// for cold starts, contradicting Obs. 3 — which is the point: the pool is
+// the paper's hypothesized reason runtimes do not matter on AWS.
+func AblationNoWarmPool() cloud.Config {
+	cfg := providers.MustGet("aws")
+	cfg.Name = "aws-no-warm-pool"
+	cfg.WarmGenericPool = false
+	if cfg.RuntimeInit == nil {
+		cfg.RuntimeInit = map[string]dist.Dist{}
+	}
+	cfg.RuntimeInit[cloud.RuntimeMethodKey(cloud.RuntimePython, cloud.DeployZIP)] =
+		dist.LogNormalMedTail(300*time.Millisecond, 650*time.Millisecond)
+	cfg.RuntimeInit[cloud.RuntimeMethodKey(cloud.RuntimeGo, cloud.DeployZIP)] =
+		dist.LogNormalMedTail(40*time.Millisecond, 90*time.Millisecond)
+	return cfg
+}
+
+// MeasureWithConfig runs one static+runtime configuration on a fresh
+// environment built from an explicit profile (ablated or custom).
+func MeasureWithConfig(cfg cloud.Config, seed int64, sc core.StaticConfig, rc core.RuntimeConfig) (*core.RunResult, error) {
+	e, err := newEnvWithConfig(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	defer e.close()
+	return e.run(sc, rc)
+}
+
+// BurstWithConfig measures bursts on an explicit profile (the ablation
+// counterpart of the Fig. 8/9 runner).
+func BurstWithConfig(cfg cloud.Config, seed int64, kind BurstKind, burst, samples int, execTime time.Duration) (*core.RunResult, error) {
+	rc := core.RuntimeConfig{
+		Samples:   samples,
+		BurstSize: burst,
+		ExecTime:  core.Duration(execTime),
+	}
+	if kind == BurstShortIAT {
+		rc.IAT = core.Duration(shortIAT)
+		rc.WarmupDiscard = burst
+	} else {
+		rc.IAT = core.Duration(longIAT)
+	}
+	return MeasureWithConfig(cfg, seed, pythonFn("burst", 1), rc)
+}
+
+// ColdWithConfig measures individual cold invocations on an explicit
+// profile.
+func ColdWithConfig(cfg cloud.Config, seed int64, opts Options, runtime cloud.Runtime) (*core.RunResult, error) {
+	opts = opts.normalized()
+	sc := pythonFn("cold", opts.Replicas)
+	sc.Functions[0].Runtime = string(runtime)
+	iat := longIAT
+	if cfg.KeepAlive.Fixed > 0 {
+		iat = cfg.KeepAlive.Fixed + 30*time.Second
+	}
+	return MeasureWithConfig(cfg, seed, sc, core.RuntimeConfig{
+		Samples: opts.Samples,
+		IAT:     core.Duration(iat / time.Duration(opts.Replicas)),
+	})
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/cloud"
+	"github.com/stellar-repro/stellar/internal/providers"
+)
+
+func TestAblationNoImageCache(t *testing.T) {
+	// With the cache, AWS cold bursts beat individual cold starts; without
+	// it they must not.
+	base := providers.MustGet("aws")
+	ablated := AblationNoImageCache()
+
+	single, err := ColdWithConfig(base, 3, testOpts, cloud.RuntimePython)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burstCached, err := BurstWithConfig(base, 3, BurstLongIAT, 100, 600, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burstUncached, err := BurstWithConfig(ablated, 3, BurstLongIAT, 100, 600, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if burstCached.Latencies.Median() >= single.Latencies.Median() {
+		t.Errorf("cached burst median %v should beat single cold %v",
+			burstCached.Latencies.Median(), single.Latencies.Median())
+	}
+	if burstUncached.Latencies.Median() <= single.Latencies.Median() {
+		t.Errorf("uncached burst median %v should NOT beat single cold %v",
+			burstUncached.Latencies.Median(), single.Latencies.Median())
+	}
+}
+
+func TestAblationAzureNoQueue(t *testing.T) {
+	base := providers.MustGet("azure")
+	ablated := AblationAzureNoQueue()
+
+	queued, err := BurstWithConfig(base, 3, BurstLongIAT, 100, 400, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedicated, err := BurstWithConfig(ablated, 3, BurstLongIAT, 100, 400, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The queueing policy is what produces the 10+ second completions;
+	// without it Azure drops to cold start + 1s execution.
+	if queued.Latencies.Median() < 3*dedicated.Latencies.Median() {
+		t.Errorf("queued median %v should dwarf dedicated median %v",
+			queued.Latencies.Median(), dedicated.Latencies.Median())
+	}
+	if dedicated.Latencies.Median() > 6*time.Second {
+		t.Errorf("no-queue Azure burst median %v should be near cold+1s", dedicated.Latencies.Median())
+	}
+}
+
+func TestAblationNoSchedulerContention(t *testing.T) {
+	base := providers.MustGet("google")
+	ablated := AblationNoSchedulerContention()
+
+	single, err := ColdWithConfig(base, 3, testOpts, cloud.RuntimePython)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contended, err := BurstWithConfig(base, 3, BurstLongIAT, 200, 600, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := BurstWithConfig(ablated, 3, BurstLongIAT, 200, 600, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contended.Latencies.Median() < 2*single.Latencies.Median() {
+		t.Errorf("contended burst median %v should be well above single %v",
+			contended.Latencies.Median(), single.Latencies.Median())
+	}
+	if flat.Latencies.Median() > time.Duration(1.5*float64(single.Latencies.Median())) {
+		t.Errorf("uncontended burst median %v should be near single %v",
+			flat.Latencies.Median(), single.Latencies.Median())
+	}
+}
+
+func TestAblationNoWarmPool(t *testing.T) {
+	base := providers.MustGet("aws")
+	ablated := AblationNoWarmPool()
+
+	pyPooled, err := ColdWithConfig(base, 3, testOpts, cloud.RuntimePython)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goPooled, err := ColdWithConfig(base, 3, testOpts, cloud.RuntimeGo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pyRaw, err := ColdWithConfig(ablated, 3, testOpts, cloud.RuntimePython)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goRaw, err := ColdWithConfig(ablated, 3, testOpts, cloud.RuntimeGo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooledGap := pyPooled.Latencies.Median() - goPooled.Latencies.Median()
+	rawGap := pyRaw.Latencies.Median() - goRaw.Latencies.Median()
+	if pooledGap > 50*time.Millisecond {
+		t.Errorf("with the warm pool, runtime gap %v should be negligible", pooledGap)
+	}
+	if rawGap < 150*time.Millisecond {
+		t.Errorf("without the warm pool, runtime gap %v should be substantial", rawGap)
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBreakdownStudyShares(t *testing.T) {
+	res, err := BreakdownStudy(Options{Seed: 3, Samples: 400, Replicas: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prov := range AllProviders {
+		warm := res.Stats[prov][ScenarioWarm]
+		cold := res.Stats[prov][ScenarioCold]
+		if warm == nil || cold == nil {
+			t.Fatalf("%s: missing scenarios", prov)
+		}
+		// Warm: no queue-wait; propagation is a visible share.
+		if qw := warm.Components["queue-wait"]; qw.Max() != 0 {
+			t.Errorf("%s warm: unexpected queue wait %v", prov, qw.Max())
+		}
+		if prop := warm.Components["propagation"].Mean(); prop == 0 {
+			t.Errorf("%s warm: propagation missing", prov)
+		}
+		// Cold: queue-wait (the cold start) dominates the mean latency.
+		coldRun := res.Latencies[prov][ScenarioCold]
+		qwMean := cold.Components["queue-wait"].Mean()
+		if float64(qwMean) < 0.5*float64(coldRun.Latencies.Mean()) {
+			t.Errorf("%s cold: queue-wait %v should dominate mean %v",
+				prov, qwMean, coldRun.Latencies.Mean())
+		}
+		// Cold phases recorded for every cold request, image fetch visible.
+		if n := cold.Cold["cold/image-fetch"].Len(); n != coldRun.Colds {
+			t.Errorf("%s cold: %d image-fetch phases for %d colds", prov, n, coldRun.Colds)
+		}
+		if cold.Cold["cold/image-fetch"].Mean() == 0 {
+			t.Errorf("%s cold: image fetch phase empty", prov)
+		}
+	}
+	// Azure bursts: queueing dominates far more than on AWS.
+	awsQW := res.Stats["aws"][ScenarioBurstCold].Components["queue-wait"].Mean()
+	azureQW := res.Stats["azure"][ScenarioBurstCold].Components["queue-wait"].Mean()
+	if azureQW < 2*awsQW {
+		t.Errorf("azure burst queue-wait %v should dwarf aws %v", azureQW, awsQW)
+	}
+}
+
+func TestWriteBreakdownReport(t *testing.T) {
+	res, err := BreakdownStudy(Options{Seed: 3, Samples: 200, Replicas: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteBreakdownReport(&sb, res)
+	out := sb.String()
+	for _, want := range []string{
+		"breakdown", "aws / warm", "azure / bursty-cold", "queue-wait",
+		"cold-start phases", "cold/image-fetch", "%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestReportIncludesBreakdownID(t *testing.T) {
+	var sb strings.Builder
+	if err := Report(&sb, "breakdown", Options{Seed: 3, Samples: 150, Replicas: 15}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "per-component latency contributions") {
+		t.Fatal("Report did not dispatch breakdown study")
+	}
+}

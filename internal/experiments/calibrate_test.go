@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCalibrationReport prints measured-vs-paper values for the headline
+// experiments. Run with -v to inspect calibration; assertions live in the
+// figure-specific tests.
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration report skipped in -short")
+	}
+	opts := Options{Seed: 1, Samples: 1500, Replicas: 60}
+	for _, fn := range []func(Options) (*Figure, error){
+		Fig3Warm, Fig3Cold, Fig4ImageSize, Fig5RuntimeDeploy, Fig6Inline, Fig7Storage, Fig8Bursts, Fig9Scheduling,
+	} {
+		fig, err := fn(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("== %s %s", fig.ID, fig.Title)
+		for _, s := range fig.Series {
+			sum := s.Summary()
+			t.Logf("%-28s med=%8v (paper %8v)  p99=%8v (paper %8v)  tmr=%.1f colds=%d errs=%d",
+				s.Label, sum.Median.Round(time.Millisecond), s.Paper.Median,
+				sum.P99.Round(time.Millisecond), s.Paper.P99, sum.TMR, s.Colds, s.Errors)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/stellar-repro/stellar/internal/cloud"
+	"github.com/stellar-repro/stellar/internal/core"
+	"github.com/stellar-repro/stellar/internal/plot"
+)
+
+// Env is an exported measurement environment (one simulated provider cloud
+// with a STeLLAR deployer and client) for CLI tools and examples.
+type Env struct{ inner *env }
+
+// NewEnv builds an environment for a registered provider profile.
+func NewEnv(provider string, seed int64) (*Env, error) {
+	inner, err := newEnv(provider, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{inner: inner}, nil
+}
+
+// NewEnvFromConfig builds an environment from an explicit profile.
+func NewEnvFromConfig(cfg cloud.Config, seed int64) (*Env, error) {
+	inner, err := newEnvWithConfig(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{inner: inner}, nil
+}
+
+// Deployer returns the environment's deployer (with the sim plugin
+// registered).
+func (e *Env) Deployer() *core.Deployer { return e.inner.deployer }
+
+// Client returns the STeLLAR client bound to the simulated transport.
+func (e *Env) Client() *core.Client { return e.inner.client }
+
+// Cloud returns the simulated cloud.
+func (e *Env) Cloud() *cloud.Cloud { return e.inner.cloud }
+
+// Close releases the environment's simulation resources.
+func (e *Env) Close() { e.inner.close() }
+
+// Report runs the identified experiment(s) at the given scale and writes a
+// textual paper-vs-measured report to w. id "all" runs everything.
+func Report(w io.Writer, id string, opts Options) error {
+	type runner struct {
+		id  string
+		run func() error
+	}
+	figure := func(fn func(Options) (*Figure, error)) func() error {
+		return func() error {
+			fig, err := fn(opts)
+			if err != nil {
+				return err
+			}
+			if err := exportFigureCSV(fig, opts.CSVDir); err != nil {
+				return err
+			}
+			return WriteFigureReport(w, fig)
+		}
+	}
+	sweep := func(fn func(Options) (*Figure, error), xName string) func() error {
+		return func() error {
+			fig, err := fn(opts)
+			if err != nil {
+				return err
+			}
+			if err := exportFigureCSV(fig, opts.CSVDir); err != nil {
+				return err
+			}
+			if err := WriteSweepReport(w, fig, xName); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			return WriteFigureReport(w, fig)
+		}
+	}
+	runners := []runner{
+		{"fig3a", figure(Fig3Warm)},
+		{"fig3b", figure(Fig3Cold)},
+		{"fig4", figure(Fig4ImageSize)},
+		{"fig5", figure(Fig5RuntimeDeploy)},
+		{"fig6", sweep(Fig6Inline, "payload")},
+		{"fig7", sweep(Fig7Storage, "payload")},
+		{"fig8", figure(Fig8Bursts)},
+		{"fig9", figure(Fig9Scheduling)},
+		{"fig10", func() error {
+			res, err := Fig10TraceTMR(opts)
+			if err != nil {
+				return err
+			}
+			return WriteFig10Report(w, res)
+		}},
+		{"table1", func() error {
+			res, err := Table1(opts)
+			if err != nil {
+				return err
+			}
+			WriteTable1Report(w, res)
+			return nil
+		}},
+		{"breakdown", func() error {
+			res, err := BreakdownStudy(opts)
+			if err != nil {
+				return err
+			}
+			WriteBreakdownReport(w, res)
+			return nil
+		}},
+		{"policyspace", func() error {
+			res, err := PolicySpace(opts)
+			if err != nil {
+				return err
+			}
+			WritePolicySpaceReport(w, res)
+			return nil
+		}},
+		{"snapshots", func() error {
+			res, err := SnapshotStudy(opts)
+			if err != nil {
+				return err
+			}
+			WriteSnapshotReport(w, res)
+			return nil
+		}},
+		{"observations", func() error {
+			obs, err := Observations(opts)
+			if err != nil {
+				return err
+			}
+			WriteObservationsReport(w, obs)
+			return nil
+		}},
+	}
+	ran := false
+	for _, r := range runners {
+		if id != "all" && id != r.id {
+			continue
+		}
+		ran = true
+		if err := r.run(); err != nil {
+			return fmt.Errorf("experiment %s: %w", r.id, err)
+		}
+		fmt.Fprintln(w)
+	}
+	if !ran {
+		return fmt.Errorf("experiments: unknown id %q", id)
+	}
+	return nil
+}
+
+// exportFigureCSV writes a figure's series as CSV when a directory is set.
+func exportFigureCSV(fig *Figure, dir string) error {
+	if dir == "" {
+		return nil
+	}
+	series := make([]plot.Series, 0, len(fig.Series))
+	for _, s := range fig.Series {
+		series = append(series, plot.Series{Label: s.Label, Sample: s.Latencies})
+	}
+	f, err := os.Create(filepath.Join(dir, fig.ID+".csv"))
+	if err != nil {
+		return fmt.Errorf("experiments: csv export: %w", err)
+	}
+	defer f.Close()
+	return plot.CSV(f, series)
+}

@@ -1,0 +1,454 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/azuretrace"
+)
+
+// testOpts runs experiments at reduced-but-meaningful scale.
+var testOpts = Options{Seed: 3, Samples: 900, Replicas: 50}
+
+// med returns a series' median by label.
+func findSeries(t *testing.T, fig *Figure, label string) Series {
+	t.Helper()
+	for _, s := range fig.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	t.Fatalf("series %q not in %s (have %v)", label, fig.ID, labels(fig))
+	return Series{}
+}
+
+func labels(fig *Figure) []string {
+	out := make([]string, 0, len(fig.Series))
+	for _, s := range fig.Series {
+		out = append(out, s.Label)
+	}
+	return out
+}
+
+// withinFactor asserts got is within [want/f, want*f].
+func withinFactor(t *testing.T, what string, got, want time.Duration, f float64) {
+	t.Helper()
+	lo := time.Duration(float64(want) / f)
+	hi := time.Duration(float64(want) * f)
+	if got < lo || got > hi {
+		t.Errorf("%s = %v, want within %.1fx of %v", what, got, f, want)
+	}
+}
+
+func TestFig3WarmShape(t *testing.T) {
+	fig, err := Fig3Warm(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aws := findSeries(t, fig, "aws").Summary()
+	google := findSeries(t, fig, "google").Summary()
+	azure := findSeries(t, fig, "azure").Summary()
+
+	// Obs 1: warm invocations impose low delays and variability, with the
+	// ordering google < aws < azure on medians.
+	if google.Median >= aws.Median || aws.Median >= azure.Median {
+		t.Errorf("warm median ordering violated: google %v < aws %v < azure %v",
+			google.Median, aws.Median, azure.Median)
+	}
+	for _, s := range fig.Series {
+		sum := s.Summary()
+		if sum.TMR >= 3 {
+			t.Errorf("%s warm TMR %.2f too high (paper <2 after propagation subtraction)", s.Label, sum.TMR)
+		}
+		withinFactor(t, s.Label+" warm median", sum.Median, s.Paper.Median, 1.25)
+		withinFactor(t, s.Label+" warm p99", sum.P99, s.Paper.P99, 1.4)
+	}
+}
+
+func TestFig3ColdShape(t *testing.T) {
+	warm, err := Fig3Warm(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Fig3Cold(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aws := findSeries(t, cold, "aws").Summary()
+	google := findSeries(t, cold, "google").Summary()
+	azure := findSeries(t, cold, "azure").Summary()
+	// §VI-B1 ordering: AWS < Google < Azure for both median and tail.
+	if !(aws.Median < google.Median && google.Median < azure.Median) {
+		t.Errorf("cold median ordering violated: %v %v %v", aws.Median, google.Median, azure.Median)
+	}
+	if !(aws.P99 < google.P99 && google.P99 < azure.P99) {
+		t.Errorf("cold tail ordering violated: %v %v %v", aws.P99, google.P99, azure.P99)
+	}
+	// Cold medians 8-35x the warm medians (paper: 10-28x).
+	for _, prov := range AllProviders {
+		w := findSeries(t, warm, prov).Summary().Median
+		c := findSeries(t, cold, prov).Summary().Median
+		ratio := float64(c) / float64(w)
+		if ratio < 6 || ratio > 40 {
+			t.Errorf("%s cold/warm median ratio %.1f outside 6-40", prov, ratio)
+		}
+	}
+	// Every long-IAT invocation must actually be cold.
+	for _, s := range cold.Series {
+		if s.Colds != s.Latencies.Len() {
+			t.Errorf("%s: %d colds of %d samples under long IAT", s.Label, s.Colds, s.Latencies.Len())
+		}
+		withinFactor(t, s.Label+" cold median", s.Summary().Median, s.Paper.Median, 1.3)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	fig, err := Fig4ImageSize(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aws10 := findSeries(t, fig, "aws +10MB").Summary()
+	aws100 := findSeries(t, fig, "aws +100MB").Summary()
+	g10 := findSeries(t, fig, "google +10MB").Summary()
+	g100 := findSeries(t, fig, "google +100MB").Summary()
+	az10 := findSeries(t, fig, "azure +10MB").Summary()
+	az100 := findSeries(t, fig, "azure +100MB").Summary()
+
+	// AWS: considerable sensitivity (paper: 3.5x median going 10->100MB).
+	if r := float64(aws100.Median) / float64(aws10.Median); r < 2.2 {
+		t.Errorf("aws 100/10MB median ratio %.2f, want >= 2.2", r)
+	}
+	// Google: insensitive to image size (near-identical CDFs).
+	if r := float64(g100.Median) / float64(g10.Median); r > 1.35 {
+		t.Errorf("google 100/10MB median ratio %.2f, want ~1", r)
+	}
+	// Azure: sensitive (paper: 2.4x median) and slowest overall.
+	if r := float64(az100.Median) / float64(az10.Median); r < 1.8 {
+		t.Errorf("azure 100/10MB median ratio %.2f, want >= 1.8", r)
+	}
+	if az100.Median <= aws100.Median {
+		t.Errorf("azure 100MB median %v should exceed aws %v", az100.Median, aws100.Median)
+	}
+	// Obs 2: cold-start variability stays moderate (TMR < ~3.6).
+	for _, s := range fig.Series {
+		if tmr := s.Summary().TMR; tmr > 4.2 {
+			t.Errorf("%s TMR %.1f exceeds the paper's moderate range", s.Label, tmr)
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	fig, err := Fig5RuntimeDeploy(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goZip := findSeries(t, fig, "go1.x zip").Summary()
+	pyZip := findSeries(t, fig, "python3 zip").Summary()
+	goCtr := findSeries(t, fig, "go1.x container").Summary()
+	pyCtr := findSeries(t, fig, "python3 container").Summary()
+
+	// Obs 3: runtime choice barely matters for ZIP cold starts.
+	if diff := math.Abs(float64(pyZip.Median - goZip.Median)); diff > float64(40*time.Millisecond) {
+		t.Errorf("zip runtimes differ by %v, want <40ms", time.Duration(diff))
+	}
+	// Go container stays close to Go ZIP (static binary, same storage).
+	if r := float64(goCtr.Median) / float64(goZip.Median); r > 1.35 {
+		t.Errorf("go container/zip median ratio %.2f, want ~1", r)
+	}
+	// Python container: much slower and far more variable.
+	if r := float64(pyCtr.Median) / float64(pyZip.Median); r < 1.3 {
+		t.Errorf("python container/zip median ratio %.2f, want >= 1.3", r)
+	}
+	if pyCtr.TMR < goCtr.TMR || pyCtr.TMR < 2.2 {
+		t.Errorf("python container TMR %.1f should be the highest (go container %.1f)", pyCtr.TMR, goCtr.TMR)
+	}
+	if pyCtr.P99 < 2*pyZip.P99 {
+		t.Errorf("python container tail %v should be >2x zip tail %v", pyCtr.P99, pyZip.P99)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	fig, err := Fig6Inline(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Medians grow monotonically with payload per provider.
+	for _, prov := range TransferProviders {
+		var prev time.Duration
+		for _, payload := range Fig6Payloads {
+			sum := findSeries(t, fig, prov+" "+sizeLabel(payload)).Summary()
+			if sum.Median < prev {
+				t.Errorf("%s inline median not monotone at %s", prov, sizeLabel(payload))
+			}
+			prev = sum.Median
+		}
+	}
+	aws1k := findSeries(t, fig, "aws 1KB").Summary()
+	g1k := findSeries(t, fig, "google 1KB").Summary()
+	aws4m := findSeries(t, fig, "aws 4MB").Summary()
+	g4m := findSeries(t, fig, "google 4MB").Summary()
+	// Google faster for small payloads, slower for large (crossover from
+	// its lower base latency but lower inline bandwidth).
+	if g1k.Median >= aws1k.Median {
+		t.Errorf("google 1KB %v should beat aws %v", g1k.Median, aws1k.Median)
+	}
+	if g4m.Median <= aws4m.Median {
+		t.Errorf("aws 4MB %v should beat google %v", aws4m.Median, g4m.Median)
+	}
+	// Obs 4: inline transfers are predictable at 1MB (TMR ~1.4-1.7).
+	for _, prov := range TransferProviders {
+		if tmr := findSeries(t, fig, prov+" 1MB").Summary().TMR; tmr > 2.5 {
+			t.Errorf("%s inline 1MB TMR %.1f, want < 2.5", prov, tmr)
+		}
+	}
+	// Effective bandwidths near the paper's 264 / 152 Mb/s.
+	awsBW := EffectiveBandwidthMbps(4<<20, aws4m.Median)
+	gBW := EffectiveBandwidthMbps(4<<20, g4m.Median)
+	if awsBW < 180 || awsBW > 350 {
+		t.Errorf("aws inline effective bandwidth %.0f Mb/s, want ~264", awsBW)
+	}
+	if gBW < 100 || gBW > 210 {
+		t.Errorf("google inline effective bandwidth %.0f Mb/s, want ~152", gBW)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	fig, err := Fig7Storage(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aws1m := findSeries(t, fig, "aws 1MB").Summary()
+	g1m := findSeries(t, fig, "google 1MB").Summary()
+	// AWS delivers the lowest storage-transfer median (1.4x faster at 1MB).
+	if aws1m.Median >= g1m.Median {
+		t.Errorf("aws 1MB storage median %v should beat google %v", aws1m.Median, g1m.Median)
+	}
+	// Obs 4: storage transfers blow up the tail: TMR ~10.6 (AWS) and
+	// ~37.3 (Google) at 1MB.
+	if aws1m.TMR < 4 {
+		t.Errorf("aws storage 1MB TMR %.1f, want >> 1 (paper 10.6)", aws1m.TMR)
+	}
+	if g1m.TMR < 12 {
+		t.Errorf("google storage 1MB TMR %.1f, want >> 10 (paper 37.3)", g1m.TMR)
+	}
+	if g1m.TMR <= aws1m.TMR {
+		t.Errorf("google storage TMR %.1f should exceed aws %.1f", g1m.TMR, aws1m.TMR)
+	}
+	// Effective bandwidth grows with payload size and stays well below a
+	// 10Gb NIC (paper: up to 960 / 408 Mb/s at >=100MB).
+	for _, prov := range TransferProviders {
+		small := findSeries(t, fig, prov+" 1MB").Summary().Median
+		big := findSeries(t, fig, prov+" 100MB").Summary().Median
+		bwSmall := EffectiveBandwidthMbps(1<<20, small)
+		bwBig := EffectiveBandwidthMbps(100<<20, big)
+		if bwBig <= bwSmall*2 {
+			t.Errorf("%s storage bandwidth should grow with size: %.0f -> %.0f Mb/s", prov, bwSmall, bwBig)
+		}
+		if bwBig > 2000 {
+			t.Errorf("%s storage bandwidth %.0f Mb/s implausibly above the paper's <1Gb/s", prov, bwBig)
+		}
+	}
+}
+
+func TestFig8ShortIATShape(t *testing.T) {
+	fig, err := Fig8Bursts(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Short IAT: larger bursts raise medians for every provider.
+	for _, prov := range AllProviders {
+		b1 := findSeries(t, fig, prov+" short-IAT burst=1").Summary()
+		b100 := findSeries(t, fig, prov+" short-IAT burst=100").Summary()
+		b500 := findSeries(t, fig, prov+" short-IAT burst=500").Summary()
+		if !(b1.Median < b100.Median && b100.Median <= b500.Median) {
+			t.Errorf("%s short-IAT medians not increasing: %v %v %v", prov, b1.Median, b100.Median, b500.Median)
+		}
+		// Obs 5 magnitudes: AWS/Google moderate, Azure extreme.
+		ratio := float64(b500.Median) / float64(b1.Median)
+		switch prov {
+		case "azure":
+			if ratio < 10 {
+				t.Errorf("azure short-IAT burst-500 blowup %.1fx, want >= 10x (paper 33x)", ratio)
+			}
+		default:
+			if ratio > 8 {
+				t.Errorf("%s short-IAT burst-500 blowup %.1fx, want moderate (paper ~3x)", prov, ratio)
+			}
+		}
+	}
+	// Google shows the flattest burst response 100 -> 500.
+	g100 := findSeries(t, fig, "google short-IAT burst=100").Summary()
+	g500 := findSeries(t, fig, "google short-IAT burst=500").Summary()
+	if delta := g500.Median - g100.Median; delta > 60*time.Millisecond {
+		t.Errorf("google 100->500 median delta %v, want small (paper ~15ms)", delta)
+	}
+}
+
+func TestFig8LongIATShape(t *testing.T) {
+	fig, err := Fig8Bursts(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AWS: bursts are *cheaper* than individual cold starts (image-store
+	// caching), at every studied burst size.
+	aws1 := findSeries(t, fig, "aws long-IAT burst=1").Summary()
+	for _, burst := range []int{100, 300, 500} {
+		s := findSeries(t, fig, "aws long-IAT burst="+itoa(burst)).Summary()
+		if s.Median >= aws1.Median {
+			t.Errorf("aws long-IAT burst=%d median %v should stay below single %v", burst, s.Median, aws1.Median)
+		}
+	}
+	// Google: bursts are costlier than singles; 300 above 100; 500 drops
+	// back below 300 (load-adaptive caching).
+	g1 := findSeries(t, fig, "google long-IAT burst=1").Summary()
+	g100 := findSeries(t, fig, "google long-IAT burst=100").Summary()
+	g300 := findSeries(t, fig, "google long-IAT burst=300").Summary()
+	g500 := findSeries(t, fig, "google long-IAT burst=500").Summary()
+	if g100.Median <= g1.Median {
+		t.Errorf("google burst-100 median %v should exceed single %v", g100.Median, g1.Median)
+	}
+	if g300.Median <= g100.Median {
+		t.Errorf("google burst-300 median %v should exceed burst-100 %v", g300.Median, g100.Median)
+	}
+	if g500.Median >= g300.Median {
+		t.Errorf("google burst-500 median %v should drop below burst-300 %v", g500.Median, g300.Median)
+	}
+	if g500.Median <= g1.Median {
+		t.Errorf("google burst-500 median %v should stay above single %v", g500.Median, g1.Median)
+	}
+	// Azure: medians grow with burst size.
+	az1 := findSeries(t, fig, "azure long-IAT burst=1").Summary()
+	az100 := findSeries(t, fig, "azure long-IAT burst=100").Summary()
+	az500 := findSeries(t, fig, "azure long-IAT burst=500").Summary()
+	if !(az1.Median < az100.Median && az100.Median < az500.Median) {
+		t.Errorf("azure long-IAT medians not increasing: %v %v %v", az1.Median, az100.Median, az500.Median)
+	}
+	// AWS and Google: no request in a cold burst lands in the warm range
+	// (dedicated instances; §VI-D2). Azure may queue.
+	for _, prov := range []string{"aws", "google"} {
+		s := findSeries(t, fig, prov+" long-IAT burst=100")
+		if s.Latencies.Min() < 110*time.Millisecond {
+			t.Errorf("%s cold burst min %v dips into warm range", prov, s.Latencies.Min())
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	fig, err := Fig9Scheduling(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aws := findSeries(t, fig, "aws burst=100")
+	google := findSeries(t, fig, "google burst=100")
+	azure := findSeries(t, fig, "azure burst=100")
+	awsSum, gSum, azSum := aws.Summary(), google.Summary(), azure.Summary()
+
+	// AWS: all requests on dedicated instances; everything under ~2s.
+	if awsSum.P99 > 2200*time.Millisecond {
+		t.Errorf("aws burst p99 %v, want < ~2s (no queueing)", awsSum.P99)
+	}
+	if aws.Colds != aws.Latencies.Len() {
+		t.Errorf("aws served %d/%d cold; no-queue policy must not share instances",
+			aws.Colds, aws.Latencies.Len())
+	}
+	// Ordering and magnitude: AWS << Google << Azure.
+	if !(awsSum.Median < gSum.Median && gSum.Median < azSum.Median) {
+		t.Errorf("fig9 median ordering violated: %v %v %v", awsSum.Median, gSum.Median, azSum.Median)
+	}
+	if azSum.Median < 8*time.Second {
+		t.Errorf("azure burst median %v, want ~couple of orders above warm (paper 18.6s)", azSum.Median)
+	}
+	if azure.Colds >= azure.Latencies.Len()/3 {
+		t.Errorf("azure spawned %d instances for %d requests; deep queueing expected",
+			azure.Colds, azure.Latencies.Len())
+	}
+	// Obs 7: queueing policies inflate completion up to two orders of
+	// magnitude over the no-queue policy.
+	if r := float64(azSum.Median) / float64(awsSum.Median); r < 5 {
+		t.Errorf("azure/aws burst median ratio %.1f, want >= 5", r)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	res, err := Fig10TraceTMR(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range fig10Classes {
+		got := res.FracBelow10[c.class]
+		if math.Abs(got-c.paperFrac) > 0.07 {
+			t.Errorf("P(TMR<10) for %s = %.2f, paper %.2f", c.class, got, c.paperFrac)
+		}
+	}
+	// Short functions are the most variable; long ones the steadiest.
+	if res.FracBelow10[azuretrace.ClassSubSec] >= res.FracBelow10[azuretrace.ClassLong] {
+		t.Error("sub-second functions should be more variable than long ones")
+	}
+	// >70% of functions run under 10 seconds (§VI-C1).
+	under10 := azuretrace.ClassShare(res.Records, azuretrace.ClassSubSec) +
+		azuretrace.ClassShare(res.Records, azuretrace.ClassMidRange)
+	if under10 < 0.70 {
+		t.Errorf("only %.0f%% of functions run <10s, want >70%%", under10*100)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	res, err := Table1(Options{Seed: 3, Samples: 700, Replicas: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := func(factor, prov string) Table1Cell {
+		for _, row := range res.Rows {
+			if row.Factor == factor {
+				return row.Cells[prov]
+			}
+		}
+		t.Fatalf("factor %q missing", factor)
+		return Table1Cell{}
+	}
+	// Base warm is the normalizer: MR ~= 1 everywhere.
+	for _, prov := range AllProviders {
+		if c := cell("Base warm", prov); math.Abs(c.MR-1) > 0.05 {
+			t.Errorf("%s base warm MR = %.2f", prov, c.MR)
+		}
+	}
+	// Storage is a key tail source: TR >> 10 for both transfer providers.
+	for _, prov := range TransferProviders {
+		if c := cell("Storage transfer", prov); c.TR < 10 {
+			t.Errorf("%s storage TR = %.1f, want > 10", prov, c.TR)
+		}
+		if c := cell("Inline transfer", prov); c.TR > 6 {
+			t.Errorf("%s inline TR = %.1f, want small", prov, c.TR)
+		}
+	}
+	// Azure transfers are n/a, as in the paper.
+	if c := cell("Storage transfer", "azure"); !c.NA {
+		t.Error("azure storage transfer should be n/a")
+	}
+	// Bursty long: Azure blows up by ~two orders of magnitude.
+	if c := cell("Bursty long", "azure"); c.MR < 50 {
+		t.Errorf("azure bursty-long MR = %.1f, want >> 10 (paper 309)", c.MR)
+	}
+	if c := cell("Bursty long", "aws"); c.MR > 30 {
+		t.Errorf("aws bursty-long MR = %.1f, want moderate (paper 12)", c.MR)
+	}
+	// Cold starts: google/azure MR in the tens.
+	for _, prov := range []string{"google", "azure"} {
+		if c := cell("Base cold", prov); c.MR < 12 {
+			t.Errorf("%s base cold MR = %.1f, want > 12", prov, c.MR)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	digits := []byte{}
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}

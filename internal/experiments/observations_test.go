@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestObservationsAllPass(t *testing.T) {
+	obs, err := Observations(Options{Seed: 3, Samples: 900, Replicas: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 7 {
+		t.Fatalf("%d observations, want 7", len(obs))
+	}
+	for _, o := range obs {
+		if !o.Pass {
+			t.Errorf("Observation %d failed: %s (%s)", o.ID, o.Claim, o.Evidence)
+		}
+		if o.Evidence == "" {
+			t.Errorf("Observation %d has no evidence", o.ID)
+		}
+	}
+	var sb strings.Builder
+	WriteObservationsReport(&sb, obs)
+	if !strings.Contains(sb.String(), "7/7 observations reproduced") {
+		t.Fatalf("report:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/cloud"
+	"github.com/stellar-repro/stellar/internal/providers"
+	"github.com/stellar-repro/stellar/internal/stats"
+)
+
+// PolicyPoint is one point of the scheduling-policy design space: a queue
+// depth and its measured latency/resource trade-off.
+type PolicyPoint struct {
+	// QueueDepth is the per-instance queue bound (1 = dedicated instance
+	// per request, i.e., the no-queue policy).
+	QueueDepth int
+	// Latencies are the burst completion times.
+	Latencies *stats.Sample
+	// Instances is the number of distinct instances that served the burst
+	// (the resource-utilization side of Obs. 7's trade-off).
+	Instances int
+	// BilledGBSeconds is the tenant-side bill for the burst.
+	BilledGBSeconds float64
+}
+
+// PolicySpaceResult is the explored design space.
+type PolicySpaceResult struct {
+	// Points are ordered by queue depth.
+	Points []PolicyPoint
+	// BurstSize and ExecTime describe the studied workload.
+	BurstSize int
+	ExecTime  time.Duration
+}
+
+// PolicySpaceDepths is the swept per-instance queue bound.
+var PolicySpaceDepths = []int{1, 2, 4, 8, 16, 32, 100}
+
+// PolicySpace explores the scheduling-policy optimization space the paper
+// flags as future research (Obs. 7): for a cold burst of long-running
+// invocations, sweep how many requests may queue at one instance, from a
+// dedicated instance per request (depth 1, AWS's policy — best latency,
+// most instances) to deep queueing (Azure-like — worst latency, fewest
+// instances). The substrate is the AWS profile with only the policy
+// swapped, so everything else is held constant.
+func PolicySpace(opts Options) (*PolicySpaceResult, error) {
+	opts = opts.normalized()
+	const burst = 100
+	res := &PolicySpaceResult{BurstSize: burst, ExecTime: Fig9ExecTime}
+	samples := burstSamples(opts, burst)
+	for _, depth := range PolicySpaceDepths {
+		cfg := providers.MustGet("aws")
+		cfg.Name = fmt.Sprintf("aws-queue-depth-%d", depth)
+		cfg.Policy = cloud.PolicyConfig{Kind: cloud.PolicyBoundedQueue, MaxQueuePerInstance: depth}
+		run, err := BurstWithConfig(cfg, opts.Seed, BurstLongIAT, burst, samples, Fig9ExecTime)
+		if err != nil {
+			return nil, fmt.Errorf("policyspace depth %d: %w", depth, err)
+		}
+		instances := map[int]bool{}
+		for _, s := range run.Samples {
+			if s.Err == nil {
+				instances[s.InstanceID] = true
+			}
+		}
+		res.Points = append(res.Points, PolicyPoint{
+			QueueDepth:      depth,
+			Latencies:       run.Latencies,
+			Instances:       len(instances),
+			BilledGBSeconds: run.BilledGBSeconds,
+		})
+	}
+	return res, nil
+}
+
+// WritePolicySpaceReport renders the trade-off frontier.
+func WritePolicySpaceReport(w io.Writer, res *PolicySpaceResult) {
+	fmt.Fprintf(w, "## policyspace — queueing-policy design space (Obs. 7's optimization space)\n\n")
+	fmt.Fprintf(w, "cold burst of %d requests, %v execution time, AWS substrate\n\n", res.BurstSize, res.ExecTime)
+	fmt.Fprintf(w, "%-12s %12s %12s %12s %14s %14s\n",
+		"queue-depth", "median", "p99", "max", "instances", "billed GB-s")
+	for _, pt := range res.Points {
+		sum := pt.Latencies.Summarize()
+		fmt.Fprintf(w, "%-12d %12v %12v %12v %14d %14.1f\n",
+			pt.QueueDepth, sum.Median.Round(time.Millisecond), sum.P99.Round(time.Millisecond),
+			sum.Max.Round(time.Millisecond), pt.Instances, pt.BilledGBSeconds)
+	}
+	fmt.Fprintln(w, "\ndepth 1 is the no-queue policy (AWS): every request completes in")
+	fmt.Fprintln(w, "~cold+exec but the provider pays for a full fleet of instances; deep")
+	fmt.Fprintln(w, "queueing amortizes instances at the cost of multiplying completion")
+	fmt.Fprintln(w, "time — the pros and cons the paper leaves as an open design question.")
+}

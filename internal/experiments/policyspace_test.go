@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPolicySpaceTradeoff(t *testing.T) {
+	res, err := PolicySpace(Options{Seed: 3, Samples: 300, Replicas: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(PolicySpaceDepths) {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	first := res.Points[0]
+	last := res.Points[len(res.Points)-1]
+	// Depth 1: a dedicated instance per request.
+	if first.Instances < res.BurstSize {
+		t.Errorf("depth-1 used %d instances for %d requests", first.Instances, res.BurstSize)
+	}
+	// Deep queueing: far fewer instances, far worse completion time.
+	if last.Instances >= first.Instances/4 {
+		t.Errorf("depth-%d used %d instances, want << %d", last.QueueDepth, last.Instances, first.Instances)
+	}
+	if last.Latencies.Median() < 4*first.Latencies.Median() {
+		t.Errorf("deep-queue median %v should dwarf no-queue median %v",
+			last.Latencies.Median(), first.Latencies.Median())
+	}
+	// Monotone trends along the sweep: instances non-increasing, median
+	// non-decreasing (allowing small noise at adjacent depths).
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].Instances > res.Points[i-1].Instances {
+			t.Errorf("instances grew from depth %d to %d (%d -> %d)",
+				res.Points[i-1].QueueDepth, res.Points[i].QueueDepth,
+				res.Points[i-1].Instances, res.Points[i].Instances)
+		}
+	}
+	var sb strings.Builder
+	WritePolicySpaceReport(&sb, res)
+	for _, want := range []string{"policyspace", "queue-depth", "instances", "billed"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

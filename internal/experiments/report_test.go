@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/stats"
+)
+
+func fakeFigure() *Figure {
+	mk := func(vals ...time.Duration) *stats.Sample { return stats.FromDurations(vals) }
+	return &Figure{
+		ID:    "figX",
+		Title: "fake figure",
+		Notes: []string{"a note"},
+		Series: []Series{
+			{Label: "aws 1KB", X: 1 << 10, Latencies: mk(10*time.Millisecond, 12*time.Millisecond, 20*time.Millisecond),
+				Paper: Ref{Median: 11 * time.Millisecond, P99: 19 * time.Millisecond}},
+			{Label: "aws 1MB", X: 1 << 20, Latencies: mk(40*time.Millisecond, 45*time.Millisecond, 70*time.Millisecond)},
+			{Label: "google 1KB", X: 1 << 10, Latencies: mk(7*time.Millisecond, 8*time.Millisecond, 15*time.Millisecond)},
+		},
+	}
+}
+
+func TestWriteFigureReport(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigureReport(&sb, fakeFigure()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"figX", "fake figure", "a note", "aws 1KB", "11ms", "paper-med", "CDF"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure report missing %q", want)
+		}
+	}
+	// Unreported paper refs render as "-".
+	if !strings.Contains(out, "-") {
+		t.Error("missing placeholder for absent paper values")
+	}
+}
+
+func TestWriteFigureReportSkipsHugeCharts(t *testing.T) {
+	fig := fakeFigure()
+	for i := 0; i < 10; i++ {
+		fig.Series = append(fig.Series, fig.Series[0])
+	}
+	var sb strings.Builder
+	if err := WriteFigureReport(&sb, fig); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "CDF\n") {
+		t.Error("charts should be skipped beyond eight series")
+	}
+}
+
+func TestWriteSweepReport(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSweepReport(&sb, fakeFigure(), "payload"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"payload", "1KB", "1MB", "aws", "google"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTable1Report(t *testing.T) {
+	res := &Table1Result{
+		BaseMedians: map[string]time.Duration{
+			"aws": 44 * time.Millisecond, "google": 31 * time.Millisecond, "azure": 57 * time.Millisecond,
+		},
+		Rows: []Table1Row{
+			{Factor: "Base warm", Cells: map[string]Table1Cell{
+				"aws":    {MR: 1, TR: 2, PaperMR: 1, PaperTR: 2},
+				"google": {MR: 1, TR: 2, PaperMR: 1, PaperTR: 2},
+				"azure":  {MR: 1, TR: 1.6, PaperMR: 1, PaperTR: 1},
+			}},
+			{Factor: "Storage transfer", Cells: map[string]Table1Cell{
+				"aws":    {MR: 3, TR: 27, PaperMR: 3, PaperTR: 27},
+				"google": {MR: 5, TR: 122, PaperMR: 5, PaperTR: 187},
+				"azure":  {NA: true},
+			}},
+		},
+	}
+	var sb strings.Builder
+	WriteTable1Report(&sb, res)
+	out := sb.String()
+	for _, want := range []string{"table1", "Base warm", "Storage transfer", "n/a", "!", "base warm medians"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteFig10Report(t *testing.T) {
+	res, err := Fig10TraceTMR(Options{Seed: 3, Samples: 200, Replicas: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteFig10Report(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"fig10", "P(TMR<10)", "<1s", "function-duration mix"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig10 report missing %q", want)
+		}
+	}
+}
+
+func TestReportUnknownAndSingle(t *testing.T) {
+	var sb strings.Builder
+	if err := Report(&sb, "fig99", Quick()); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+	sb.Reset()
+	if err := Report(&sb, "fig10", Options{Seed: 1, Samples: 200, Replicas: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fig10") {
+		t.Fatal("single-id report missing content")
+	}
+}
+
+func TestEnvAccessors(t *testing.T) {
+	env, err := NewEnv("aws", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	if env.Deployer() == nil || env.Client() == nil || env.Cloud() == nil {
+		t.Fatal("env accessors returned nil")
+	}
+	if env.Cloud().Config().Name != "aws" {
+		t.Fatal("wrong provider")
+	}
+	if _, err := NewEnv("oracle", 1); err == nil {
+		t.Fatal("expected error for unknown provider")
+	}
+}
+
+func TestQuickOptions(t *testing.T) {
+	q := Quick()
+	d := Defaults()
+	if q.Samples >= d.Samples || q.Replicas >= d.Replicas {
+		t.Fatal("Quick() should be smaller than Defaults()")
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/cloud"
+	"github.com/stellar-repro/stellar/internal/core"
+	"github.com/stellar-repro/stellar/internal/providers"
+	"github.com/stellar-repro/stellar/internal/stats"
+)
+
+// SnapshotStudyResult compares cold starts on the research stack with and
+// without MicroVM snapshot/restore.
+type SnapshotStudyResult struct {
+	// Boot and Restore are the cold-start latency samples without and
+	// with snapshots.
+	Boot, Restore *stats.Sample
+	// BootBreakdown and RestoreBreakdown hold the cold-phase splits.
+	BootBreakdown, RestoreBreakdown *core.BreakdownStats
+}
+
+// SnapshotStudy quantifies the optimization the paper's §VIII points at
+// through vHive [8]: how much of the cold-start cost this paper measures
+// (Fig. 3b) does snapshot/restore eliminate? Both runs are identical except
+// for snapshotting; each replica's first boot captures its snapshot during
+// an unmeasured warm-up round.
+func SnapshotStudy(opts Options) (*SnapshotStudyResult, error) {
+	opts = opts.normalized()
+	run := func(provider string) (*core.RunResult, error) {
+		cfg := providers.MustGet(provider)
+		sc := core.StaticConfig{Functions: []core.FunctionConfig{{
+			Name:     "snap",
+			Runtime:  string(cloud.RuntimePython),
+			Method:   string(cloud.DeployZIP),
+			Replicas: opts.Replicas,
+		}}}
+		// Warm-up round: one cold start per replica captures snapshots;
+		// discarded from the measurement.
+		iat := 5 * time.Minute / time.Duration(opts.Replicas)
+		return MeasureWithConfig(cfg, opts.Seed, sc, core.RuntimeConfig{
+			Samples:       opts.Samples,
+			IAT:           core.Duration(iat),
+			WarmupDiscard: opts.Replicas,
+		})
+	}
+	boot, err := run("vhive")
+	if err != nil {
+		return nil, fmt.Errorf("snapshots (boot): %w", err)
+	}
+	restore, err := run("vhive-snapshots")
+	if err != nil {
+		return nil, fmt.Errorf("snapshots (restore): %w", err)
+	}
+	return &SnapshotStudyResult{
+		Boot:             boot.Latencies,
+		Restore:          restore.Latencies,
+		BootBreakdown:    boot.Breakdowns(),
+		RestoreBreakdown: restore.Breakdowns(),
+	}, nil
+}
+
+// WriteSnapshotReport renders the comparison.
+func WriteSnapshotReport(w io.Writer, res *SnapshotStudyResult) {
+	fmt.Fprintf(w, "## snapshots — MicroVM snapshot/restore vs full cold boots (vHive extension)\n\n")
+	b, r := res.Boot.Summarize(), res.Restore.Summarize()
+	fmt.Fprintf(w, "%-18s %12s %12s %8s\n", "variant", "median", "p99", "tmr")
+	fmt.Fprintf(w, "%-18s %12v %12v %8.1f\n", "full boot",
+		b.Median.Round(time.Millisecond), b.P99.Round(time.Millisecond), b.TMR)
+	fmt.Fprintf(w, "%-18s %12v %12v %8.1f\n", "snapshot restore",
+		r.Median.Round(time.Millisecond), r.P99.Round(time.Millisecond), r.TMR)
+	fmt.Fprintf(w, "\nspeedup: %.1fx median, %.1fx p99\n",
+		float64(b.Median)/float64(r.Median), float64(b.P99)/float64(r.P99))
+	fmt.Fprintln(w, "\ncold-phase split, full boot:")
+	res.BootBreakdown.Write(w)
+	fmt.Fprintln(w, "\ncold-phase split, snapshot restore:")
+	res.RestoreBreakdown.Write(w)
+}

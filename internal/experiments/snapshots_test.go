@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotStudySpeedup(t *testing.T) {
+	res, err := SnapshotStudy(Options{Seed: 3, Samples: 300, Replicas: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot := res.Boot.Summarize()
+	restore := res.Restore.Summarize()
+	// Full vhive cold starts run in the high hundreds of ms; restores cut
+	// the median by several times.
+	if boot.Median < 400*time.Millisecond {
+		t.Errorf("full-boot median %v suspiciously fast", boot.Median)
+	}
+	if speedup := float64(boot.Median) / float64(restore.Median); speedup < 3 {
+		t.Errorf("snapshot speedup %.1fx, want >= 3x", speedup)
+	}
+	// Restored cold starts skip boot/fetch/init entirely.
+	if res.RestoreBreakdown.Cold["cold/sandbox-boot"].Max() != 0 {
+		t.Error("restored cold starts should not boot")
+	}
+	if res.RestoreBreakdown.Cold["cold/snapshot-restore"].Median() == 0 {
+		t.Error("restore phase missing")
+	}
+	if res.BootBreakdown.Cold["cold/sandbox-boot"].Median() == 0 {
+		t.Error("boot phase missing from full boots")
+	}
+	var sb strings.Builder
+	WriteSnapshotReport(&sb, res)
+	for _, want := range []string{"snapshots", "speedup", "snapshot restore", "cold/snapshot-restore"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestSnapshotCaptureOnlyOnce(t *testing.T) {
+	res, err := SnapshotStudy(Options{Seed: 4, Samples: 100, Replicas: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measured (post-warm-up) restores never pay the capture overhead.
+	if res.RestoreBreakdown.Cold["cold/snapshot-capture"].Max() != 0 {
+		t.Error("capture overhead leaked into measured restores")
+	}
+	_ = res
+}

@@ -1,0 +1,233 @@
+// Package httpfaas serves a simulated serverless cloud as live HTTP
+// endpoints. The simulation runs on a real-time DES engine (optionally with
+// compressed time), so STeLLAR's HTTP client path — goroutine per request,
+// real sockets, wall-clock latency measurement — can be exercised
+// end-to-end against the modeled providers without any cloud account.
+package httpfaas
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/cloud"
+	"github.com/stellar-repro/stellar/internal/core"
+	"github.com/stellar-repro/stellar/internal/des"
+	"github.com/stellar-repro/stellar/internal/dist"
+)
+
+// InvokeReply is the JSON body returned for each invocation; it carries the
+// same instrumentation a STeLLAR function returns (timestamps concatenated
+// into the response, §IV).
+type InvokeReply struct {
+	Function     string           `json:"function"`
+	Cold         bool             `json:"cold"`
+	InstanceID   int              `json:"instance_id"`
+	QueueWaitNS  int64            `json:"queue_wait_ns"`
+	SimLatencyNS int64            `json:"sim_latency_ns"`
+	Timestamps   map[string]int64 `json:"timestamps,omitempty"`
+}
+
+// Server hosts one simulated cloud behind an HTTP listener.
+type Server struct {
+	eng       *des.Engine
+	cloud     *cloud.Cloud
+	sim       *core.SimProvider
+	timeScale float64
+
+	mu       sync.Mutex
+	listener net.Listener
+	httpSrv  *http.Server
+	stop     chan struct{}
+	running  bool
+	baseURL  string
+}
+
+// NewServer builds a server for the given provider profile. timeScale
+// compresses virtual time (10 = ten virtual seconds per wall second);
+// 1 serves in real time.
+func NewServer(cfg cloud.Config, seed int64, timeScale float64) (*Server, error) {
+	eng := des.NewRealTimeEngine(timeScale)
+	cl, err := cloud.New(eng, cfg, dist.NewStreams(seed))
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		eng:       eng,
+		cloud:     cl,
+		sim:       &core.SimProvider{Cloud: cl},
+		timeScale: timeScale,
+		stop:      make(chan struct{}),
+	}, nil
+}
+
+// Cloud exposes the underlying simulated cloud.
+func (s *Server) Cloud() *cloud.Cloud { return s.cloud }
+
+// BaseURL returns the listener address ("http://127.0.0.1:PORT") once
+// started.
+func (s *Server) BaseURL() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.baseURL
+}
+
+// Start listens on addr (":0" for an ephemeral port) and begins servicing
+// the simulation and HTTP requests.
+func (s *Server) Start(addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running {
+		return fmt.Errorf("httpfaas: server already running")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("httpfaas: listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fn/", s.handleInvoke)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.listener = ln
+	s.httpSrv = &http.Server{Handler: mux}
+	s.baseURL = "http://" + ln.Addr().String()
+	s.running = true
+	go s.eng.RunRealTime(s.stop)
+	go func() { _ = s.httpSrv.Serve(ln) }()
+	return nil
+}
+
+// Stop shuts the server down. Safe to call once.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.running {
+		return
+	}
+	close(s.stop)
+	_ = s.httpSrv.Close()
+	s.running = false
+}
+
+// Deploy registers functions while the server is running; the deployment
+// executes inside the simulation loop. It returns HTTP endpoints.
+func (s *Server) Deploy(fc core.FunctionConfig) ([]core.Endpoint, error) {
+	type depResult struct {
+		eps []core.Endpoint
+		err error
+	}
+	done := make(chan depResult, 1)
+	s.eng.Inject(func() {
+		eps, err := s.sim.Deploy(fc)
+		done <- depResult{eps, err}
+	})
+	select {
+	case res := <-done:
+		if res.err != nil {
+			return nil, res.err
+		}
+		base := s.BaseURL()
+		for i := range res.eps {
+			res.eps[i].URL = base + "/fn/" + res.eps[i].Function
+		}
+		return res.eps, nil
+	case <-time.After(10 * time.Second):
+		return nil, fmt.Errorf("httpfaas: deploy timed out (server not started?)")
+	}
+}
+
+// Provider adapts the server as a core.Provider plugin so STeLLAR's
+// deployer drives live-HTTP deployments exactly like simulated ones.
+func (s *Server) Provider() core.Provider { return httpProvider{s} }
+
+type httpProvider struct{ s *Server }
+
+func (p httpProvider) Name() string { return p.s.cloud.Config().Name }
+func (p httpProvider) Deploy(fc core.FunctionConfig) ([]core.Endpoint, error) {
+	return p.s.Deploy(fc)
+}
+func (p httpProvider) Teardown(base string) error {
+	done := make(chan error, 1)
+	p.s.eng.Inject(func() { done <- p.s.sim.Teardown(base) })
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("httpfaas: teardown timed out")
+	}
+}
+
+// handleInvoke services one function invocation over HTTP. Query
+// parameters: exec_ms overrides the busy-spin time, payload overrides the
+// chain payload bytes.
+func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/fn/")
+	if name == "" {
+		http.Error(w, "missing function name", http.StatusBadRequest)
+		return
+	}
+	req := &cloud.Request{Fn: name}
+	if v := r.URL.Query().Get("exec_ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms < 0 {
+			http.Error(w, "bad exec_ms", http.StatusBadRequest)
+			return
+		}
+		req.ExecTime = time.Duration(ms) * time.Millisecond
+	}
+	if v := r.URL.Query().Get("payload"); v != "" {
+		b, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || b < 0 {
+			http.Error(w, "bad payload", http.StatusBadRequest)
+			return
+		}
+		req.ChainPayloadBytes = b
+	}
+
+	type invResult struct {
+		resp *cloud.Response
+		lat  time.Duration
+		err  error
+	}
+	done := make(chan invResult, 1)
+	s.eng.Inject(func() {
+		s.eng.Spawn("http/"+name, func(p *des.Proc) {
+			start := p.Now()
+			resp, err := s.cloud.Invoke(p, req)
+			done <- invResult{resp, p.Now() - start, err}
+		})
+	})
+
+	select {
+	case res := <-done:
+		if res.err != nil {
+			http.Error(w, res.err.Error(), http.StatusInternalServerError)
+			return
+		}
+		reply := InvokeReply{
+			Function:     name,
+			Cold:         res.resp.Cold,
+			InstanceID:   res.resp.InstanceID,
+			QueueWaitNS:  int64(res.resp.QueueWait),
+			SimLatencyNS: int64(res.lat),
+		}
+		if len(res.resp.Timestamps) > 0 {
+			reply.Timestamps = make(map[string]int64, len(res.resp.Timestamps))
+			for k, v := range res.resp.Timestamps {
+				reply.Timestamps[k] = int64(v)
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(reply)
+	case <-r.Context().Done():
+		http.Error(w, "client gone", http.StatusRequestTimeout)
+	case <-time.After(5 * time.Minute):
+		http.Error(w, "invocation timed out", http.StatusGatewayTimeout)
+	}
+}

@@ -1,0 +1,254 @@
+package httpfaas
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/blobstore"
+	"github.com/stellar-repro/stellar/internal/cloud"
+	"github.com/stellar-repro/stellar/internal/core"
+	"github.com/stellar-repro/stellar/internal/dist"
+)
+
+// fastConfig is a provider profile with small latencies so wall-clock tests
+// stay fast even at time scale 1000.
+func fastConfig() cloud.Config {
+	return cloud.Config{
+		Name:              "httpsim",
+		PropagationRTT:    10 * time.Millisecond,
+		FrontendDelay:     dist.Constant(time.Millisecond),
+		WarmOverhead:      dist.Constant(2 * time.Millisecond),
+		SchedulerCapacity: 8,
+		Policy:            cloud.PolicyConfig{Kind: cloud.PolicyNoQueue},
+		SandboxBoot:       dist.Constant(20 * time.Millisecond),
+		WarmGenericPool:   true,
+		PooledInit:        dist.Constant(20 * time.Millisecond),
+		ImageStore:        blobstore.Config{Name: "img", GetLatency: dist.Constant(10 * time.Millisecond)},
+		PayloadStore: blobstore.Config{
+			Name:       "blob",
+			GetLatency: dist.Constant(5 * time.Millisecond),
+			PutLatency: dist.Constant(5 * time.Millisecond),
+		},
+		InlineLimitBytes:   6 << 20,
+		InlineBandwidthBps: 1e9,
+		KeepAlive:          cloud.KeepAlivePolicy{Fixed: 10 * time.Minute},
+		Workers:            4,
+	}
+}
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	srv, err := NewServer(fastConfig(), 1, 1000) // 1000x compressed time
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Stop)
+	return srv
+}
+
+func TestDeployAndInvokeOverHTTP(t *testing.T) {
+	srv := startServer(t)
+	eps, err := srv.Deploy(core.FunctionConfig{Name: "hello", Runtime: "go1.x", Method: "zip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 1 {
+		t.Fatalf("%d endpoints", len(eps))
+	}
+	resp, err := http.Get(eps[0].URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %s: %s", resp.Status, body)
+	}
+	var reply InvokeReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if !reply.Cold {
+		t.Error("first invocation should be cold")
+	}
+	if reply.SimLatencyNS <= 0 {
+		t.Error("missing simulated latency")
+	}
+
+	// Second call is warm and reuses the instance.
+	resp2, err := http.Get(eps[0].URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var reply2 InvokeReply
+	if err := json.NewDecoder(resp2.Body).Decode(&reply2); err != nil {
+		t.Fatal(err)
+	}
+	if reply2.Cold || reply2.InstanceID != reply.InstanceID {
+		t.Errorf("expected warm reuse: %+v then %+v", reply, reply2)
+	}
+}
+
+func TestInvokeUnknownFunction(t *testing.T) {
+	srv := startServer(t)
+	resp, err := http.Get(srv.BaseURL() + "/fn/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %s, want 500", resp.Status)
+	}
+}
+
+func TestBadQueryParams(t *testing.T) {
+	srv := startServer(t)
+	for _, q := range []string{"?exec_ms=-1", "?exec_ms=soon", "?payload=-5", "?payload=much"} {
+		resp, err := http.Get(srv.BaseURL() + "/fn/f" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %s, want 400", q, resp.Status)
+		}
+	}
+}
+
+func TestHTTPTransportEndToEnd(t *testing.T) {
+	srv := startServer(t)
+	deployer := core.NewDeployer(srv.Provider())
+	eps, err := deployer.Deploy(&core.StaticConfig{
+		Provider: "httpsim",
+		Functions: []core.FunctionConfig{{
+			Name: "chain", Runtime: "go1.x", Method: "zip",
+			Chain: &core.ChainConfig{Length: 2, Transfer: "inline", PayloadBytes: 64 << 10},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &core.Client{Transport: &core.HTTPTransport{TimeScale: 1000}}
+	res, err := client.Run(eps.Endpoints, core.RuntimeConfig{
+		Samples:       8,
+		IAT:           core.Duration(3 * time.Second), // 3ms wall at scale 1000
+		WarmupDiscard: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors: %+v", res.Errors, res.Samples)
+	}
+	if res.Latencies.Len() != 8 {
+		t.Fatalf("%d samples", res.Latencies.Len())
+	}
+	if res.Transfers.Len() == 0 {
+		t.Fatal("no instrumented transfers over HTTP")
+	}
+}
+
+func TestTeardownOverHTTP(t *testing.T) {
+	srv := startServer(t)
+	deployer := core.NewDeployer(srv.Provider())
+	_, err := deployer.Deploy(&core.StaticConfig{
+		Provider:  "httpsim",
+		Functions: []core.FunctionConfig{{Name: "f", Runtime: "go1.x", Method: "zip"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Provider().Teardown("f"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.BaseURL() + "/fn/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status after teardown = %s", resp.Status)
+	}
+}
+
+func TestDoubleStartAndStop(t *testing.T) {
+	srv, err := NewServer(fastConfig(), 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err == nil {
+		t.Error("second Start should fail")
+	}
+	srv.Stop()
+	srv.Stop() // idempotent
+}
+
+func TestConcurrentHTTPBurst(t *testing.T) {
+	srv := startServer(t)
+	eps, err := srv.Deploy(core.FunctionConfig{Name: "burst", Runtime: "go1.x", Method: "zip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	type outcome struct {
+		status int
+		reply  InvokeReply
+		err    error
+	}
+	results := make(chan outcome, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			resp, err := http.Get(eps[0].URL)
+			if err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			var reply InvokeReply
+			if decodeErr := json.NewDecoder(resp.Body).Decode(&reply); decodeErr != nil {
+				results <- outcome{status: resp.StatusCode, err: decodeErr}
+				return
+			}
+			results <- outcome{status: resp.StatusCode, reply: reply}
+		}()
+	}
+	instances := map[int]bool{}
+	colds := 0
+	for i := 0; i < n; i++ {
+		out := <-results
+		if out.err != nil {
+			t.Fatal(out.err)
+		}
+		if out.status != http.StatusOK {
+			t.Fatalf("status %d", out.status)
+		}
+		instances[out.reply.InstanceID] = true
+		if out.reply.Cold {
+			colds++
+		}
+	}
+	if colds == 0 {
+		t.Error("a cold burst should report cold serves")
+	}
+	if len(instances) == 0 {
+		t.Error("no instance ids reported")
+	}
+	// The simulated cloud's accounting must be consistent after the burst.
+	m := srv.Cloud().Metrics()
+	if m.Invocations != n {
+		t.Fatalf("cloud served %d of %d", m.Invocations, n)
+	}
+	if m.ColdServed+m.WarmServed != n {
+		t.Fatalf("cold %d + warm %d != %d", m.ColdServed, m.WarmServed, n)
+	}
+}

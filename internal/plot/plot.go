@@ -1,0 +1,198 @@
+// Package plot renders latency measurements as terminal (ASCII) charts and
+// CSV files — the reproduction's equivalent of STeLLAR's plotting
+// utilities (§IV): CDFs and latency-versus-parameter curves.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/stats"
+)
+
+// Series is one named sample for plotting.
+type Series struct {
+	Label  string
+	Sample *stats.Sample
+}
+
+// markers distinguish series in ASCII charts.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// CDF renders cumulative distribution functions of the series onto w as an
+// ASCII chart of the given dimensions. The x axis is logarithmic when the
+// samples span more than two decades.
+func CDF(w io.Writer, title string, series []Series, width, height int) error {
+	if width < 20 {
+		width = 64
+	}
+	if height < 5 {
+		height = 16
+	}
+	var lo, hi time.Duration = math.MaxInt64, 0
+	for _, s := range series {
+		if s.Sample.Len() == 0 {
+			return fmt.Errorf("plot: series %q is empty", s.Label)
+		}
+		if v := s.Sample.Min(); v < lo {
+			lo = v
+		}
+		if v := s.Sample.Max(); v > hi {
+			hi = v
+		}
+	}
+	if lo <= 0 {
+		lo = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	logScale := float64(hi)/float64(lo) > 100
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	xOf := func(v time.Duration) int {
+		var frac float64
+		if logScale {
+			frac = (math.Log(float64(v)) - math.Log(float64(lo))) /
+				(math.Log(float64(hi)) - math.Log(float64(lo)))
+		} else {
+			frac = float64(v-lo) / float64(hi-lo)
+		}
+		x := int(frac * float64(width-1))
+		if x < 0 {
+			x = 0
+		}
+		if x >= width {
+			x = width - 1
+		}
+		return x
+	}
+	for si, s := range series {
+		marker := markers[si%len(markers)]
+		for _, pt := range s.Sample.CDF() {
+			y := height - 1 - int(pt.Frac*float64(height-1))
+			grid[y][xOf(pt.Value)] = marker
+		}
+	}
+
+	fmt.Fprintf(w, "%s\n", title)
+	for i, row := range grid {
+		frac := 1 - float64(i)/float64(height-1)
+		fmt.Fprintf(w, "%5.2f |%s|\n", frac, string(row))
+	}
+	scale := "linear"
+	if logScale {
+		scale = "log"
+	}
+	fmt.Fprintf(w, "      %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(w, "      %-*s%*s  (%s x-axis)\n", width/2, lo.Round(time.Millisecond),
+		width/2, hi.Round(time.Millisecond), scale)
+	for si, s := range series {
+		sum := s.Sample.Summarize()
+		fmt.Fprintf(w, "      %c %s  (median %v, p99 %v, tmr %.1f)\n",
+			markers[si%len(markers)], s.Label,
+			sum.Median.Round(time.Millisecond), sum.P99.Round(time.Millisecond), sum.TMR)
+	}
+	return nil
+}
+
+// XYPoint is one point of a parameter sweep.
+type XYPoint struct {
+	X      float64
+	Median time.Duration
+	P99    time.Duration
+}
+
+// XYSeries is a named sweep curve.
+type XYSeries struct {
+	Label  string
+	Points []XYPoint
+}
+
+// Sweep renders median (solid rows) and p99 (annotated) latencies against a
+// swept parameter as an aligned text table, one row per X value — the
+// textual equivalent of the paper's Fig. 6a/7a log-log plots.
+func Sweep(w io.Writer, title, xName string, series []XYSeries) error {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-14s", xName)
+	for _, s := range series {
+		fmt.Fprintf(w, " | %-26s", s.Label+" med / p99")
+	}
+	fmt.Fprintln(w)
+	// Collect the union of X values in order.
+	xs := map[float64]bool{}
+	for _, s := range series {
+		for _, pt := range s.Points {
+			xs[pt.X] = true
+		}
+	}
+	ordered := make([]float64, 0, len(xs))
+	for x := range xs {
+		ordered = append(ordered, x)
+	}
+	sort.Float64s(ordered)
+	for _, x := range ordered {
+		fmt.Fprintf(w, "%-14s", formatX(x))
+		for _, s := range series {
+			var cell string
+			for _, pt := range s.Points {
+				if pt.X == x {
+					cell = fmt.Sprintf("%v / %v",
+						pt.Median.Round(time.Millisecond), pt.P99.Round(time.Millisecond))
+					break
+				}
+			}
+			fmt.Fprintf(w, " | %-26s", cell)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// formatX renders a parameter value compactly (byte sizes get units).
+func formatX(x float64) string {
+	switch {
+	case x >= 1<<30:
+		return fmt.Sprintf("%.0fGB", x/(1<<30))
+	case x >= 1<<20:
+		return fmt.Sprintf("%.0fMB", x/(1<<20))
+	case x >= 1<<10:
+		return fmt.Sprintf("%.0fKB", x/(1<<10))
+	default:
+		return fmt.Sprintf("%.0f", x)
+	}
+}
+
+// CSV writes one row per (series, CDF point): label,value_ns,frac. The
+// output loads directly into external plotting tools.
+func CSV(w io.Writer, series []Series) error {
+	if _, err := fmt.Fprintln(w, "label,value_ns,frac"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, pt := range s.Sample.CDF() {
+			if _, err := fmt.Fprintf(w, "%s,%d,%.6f\n", s.Label, pt.Value.Nanoseconds(), pt.Frac); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SummaryTable renders per-series summaries as an aligned text table.
+func SummaryTable(w io.Writer, series []Series) {
+	fmt.Fprintf(w, "%-32s %10s %10s %10s %8s %8s\n", "series", "median", "p95", "p99", "max", "tmr")
+	for _, s := range series {
+		sum := s.Sample.Summarize()
+		fmt.Fprintf(w, "%-32s %10v %10v %10v %8v %8.1f\n", s.Label,
+			sum.Median.Round(time.Millisecond), sum.P95.Round(time.Millisecond),
+			sum.P99.Round(time.Millisecond), sum.Max.Round(100*time.Millisecond), sum.TMR)
+	}
+}

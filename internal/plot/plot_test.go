@@ -1,0 +1,183 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/stats"
+)
+
+func sampleOf(vals ...time.Duration) *stats.Sample {
+	return stats.FromDurations(vals)
+}
+
+func ms(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+
+func TestCDFRendersAllSeries(t *testing.T) {
+	var sb strings.Builder
+	err := CDF(&sb, "test chart", []Series{
+		{Label: "fast", Sample: sampleOf(ms(1), ms(2), ms(3), ms(4))},
+		{Label: "slow", Sample: sampleOf(ms(10), ms(20), ms(30), ms(40))},
+	}, 60, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"test chart", "fast", "slow", "median", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "linear x-axis") {
+		t.Errorf("small-range chart should be linear:\n%s", out)
+	}
+}
+
+func TestCDFLogScaleForWideRange(t *testing.T) {
+	var sb strings.Builder
+	err := CDF(&sb, "wide", []Series{
+		{Label: "wide", Sample: sampleOf(ms(1), ms(10), ms(100), ms(1000), ms(10000))},
+	}, 60, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "log x-axis") {
+		t.Error("wide-range chart should switch to log scale")
+	}
+}
+
+func TestCDFEmptySeriesErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := CDF(&sb, "empty", []Series{{Label: "none", Sample: stats.NewSample(0)}}, 40, 8); err == nil {
+		t.Fatal("expected error for empty series")
+	}
+}
+
+func TestCDFDefaultsDimensions(t *testing.T) {
+	var sb strings.Builder
+	err := CDF(&sb, "d", []Series{{Label: "s", Sample: sampleOf(ms(5), ms(6))}}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(sb.String(), "\n")) < 10 {
+		t.Error("default dimensions not applied")
+	}
+}
+
+func TestSweepTable(t *testing.T) {
+	var sb strings.Builder
+	err := Sweep(&sb, "sweep", "payload", []XYSeries{
+		{Label: "aws", Points: []XYPoint{
+			{X: 1 << 10, Median: ms(11), P99: ms(20)},
+			{X: 1 << 20, Median: ms(41), P99: ms(70)},
+		}},
+		{Label: "google", Points: []XYPoint{
+			{X: 1 << 10, Median: ms(7), P99: ms(15)},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"payload", "1KB", "1MB", "aws", "google", "11ms / 20ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatX(t *testing.T) {
+	cases := map[float64]string{
+		512:     "512",
+		1 << 10: "1KB",
+		1 << 20: "1MB",
+		1 << 30: "1GB",
+	}
+	for x, want := range cases {
+		if got := formatX(x); got != want {
+			t.Errorf("formatX(%v) = %q, want %q", x, got, want)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var sb strings.Builder
+	err := CSV(&sb, []Series{{Label: "s", Sample: sampleOf(ms(1), ms(2), ms(2))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "label,value_ns,frac" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// Duplicate 2ms collapses to one CDF point: 2 data rows.
+	if len(lines) != 3 {
+		t.Fatalf("rows = %d, want 3:\n%s", len(lines), sb.String())
+	}
+	if !strings.HasPrefix(lines[1], "s,1000000,") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	var sb strings.Builder
+	SummaryTable(&sb, []Series{{Label: "warm", Sample: sampleOf(ms(10), ms(20), ms(90))}})
+	out := sb.String()
+	if !strings.Contains(out, "warm") || !strings.Contains(out, "median") {
+		t.Fatalf("summary table malformed:\n%s", out)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	windows := []stats.WindowSummary{
+		{Start: 0, Stats: sampleOf(ms(500), ms(600)).Summarize()},
+		{Start: 10 * time.Second, Stats: sampleOf(ms(50), ms(60)).Summarize()},
+	}
+	var sb strings.Builder
+	if err := Timeline(&sb, "convergence", windows); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"convergence", "window", "median bar", "550ms", "####"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// The first window's bar must be visibly longer than the second's.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	first := strings.Count(lines[2], "#")
+	second := strings.Count(lines[3], "#")
+	if first <= second {
+		t.Errorf("bar lengths %d vs %d should reflect medians", first, second)
+	}
+	if err := Timeline(&sb, "empty", nil); err == nil {
+		t.Error("expected error for empty timeline")
+	}
+}
+
+func TestCDFSinglePointAndIdentical(t *testing.T) {
+	var sb strings.Builder
+	// A single observation and an all-identical series must not divide by
+	// zero or collapse the axis.
+	err := CDF(&sb, "degenerate", []Series{
+		{Label: "one", Sample: sampleOf(ms(5))},
+		{Label: "same", Sample: sampleOf(ms(5), ms(5), ms(5))},
+	}, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "one") || !strings.Contains(sb.String(), "same") {
+		t.Fatalf("degenerate chart malformed:\n%s", sb.String())
+	}
+}
+
+func TestSweepEmptySeries(t *testing.T) {
+	var sb strings.Builder
+	if err := Sweep(&sb, "empty", "x", nil); err != nil {
+		t.Fatal(err) // an empty sweep renders just the header
+	}
+	if !strings.Contains(sb.String(), "x") {
+		t.Fatal("missing header")
+	}
+}

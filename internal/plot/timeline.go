@@ -1,0 +1,45 @@
+package plot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/stats"
+)
+
+// Timeline renders windowed run statistics as a table with a median bar per
+// window — the quickest way to see warm-up transients and scale-out
+// convergence (e.g., Azure's per-burst medians shrinking as its scale
+// controller adds instances).
+func Timeline(w io.Writer, title string, windows []stats.WindowSummary) error {
+	if len(windows) == 0 {
+		return fmt.Errorf("plot: timeline has no windows")
+	}
+	var maxMedian time.Duration
+	for _, win := range windows {
+		if win.Stats.Median > maxMedian {
+			maxMedian = win.Stats.Median
+		}
+	}
+	if maxMedian <= 0 {
+		maxMedian = 1
+	}
+	const barWidth = 40
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-12s %6s %10s %10s  %s\n", "window", "n", "median", "p99", "median bar")
+	for _, win := range windows {
+		bar := int(float64(win.Stats.Median) / float64(maxMedian) * barWidth)
+		if bar < 1 {
+			bar = 1
+		}
+		fmt.Fprintf(w, "%-12s %6d %10v %10v  %s\n",
+			win.Start.Round(time.Millisecond),
+			win.Stats.Count,
+			win.Stats.Median.Round(time.Millisecond),
+			win.Stats.P99.Round(time.Millisecond),
+			strings.Repeat("#", bar))
+	}
+	return nil
+}

@@ -1,0 +1,346 @@
+package providers
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/blobstore"
+	"github.com/stellar-repro/stellar/internal/cloud"
+	"github.com/stellar-repro/stellar/internal/dist"
+)
+
+// This file lets users define provider profiles in JSON, so new clouds (or
+// what-if variants of the built-ins) can be modeled without recompiling:
+//
+//	stellar bench -provider-file myCloud.json ...
+//
+// Distributions use a small tagged schema:
+//
+//	{"type": "constant", "value": "5ms"}
+//	{"type": "uniform", "min": "1m", "max": "10m"}
+//	{"type": "exponential", "mean": "100ms"}
+//	{"type": "lognormal", "median": "18ms", "p99": "74ms"}
+//	{"type": "mixture", "components": [
+//	    {"weight": 0.97, "dist": {...}}, {"weight": 0.03, "dist": {...}}]}
+
+// JSONDuration parses "3s"-style strings (or integer nanoseconds).
+type JSONDuration time.Duration
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *JSONDuration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		parsed, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("providers: bad duration %q: %w", s, err)
+		}
+		*d = JSONDuration(parsed)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("providers: duration must be a string or integer: %s", data)
+	}
+	*d = JSONDuration(n)
+	return nil
+}
+
+// Std converts to time.Duration.
+func (d JSONDuration) Std() time.Duration { return time.Duration(d) }
+
+// DistSpec is the JSON form of a latency distribution.
+type DistSpec struct {
+	Type   string       `json:"type"`
+	Value  JSONDuration `json:"value,omitempty"`  // constant
+	Min    JSONDuration `json:"min,omitempty"`    // uniform
+	Max    JSONDuration `json:"max,omitempty"`    // uniform
+	Mean   JSONDuration `json:"mean,omitempty"`   // exponential
+	Median JSONDuration `json:"median,omitempty"` // lognormal
+	P99    JSONDuration `json:"p99,omitempty"`    // lognormal
+	// Mixture components.
+	Components []MixtureComponentSpec `json:"components,omitempty"`
+}
+
+// MixtureComponentSpec is one weighted branch of a mixture.
+type MixtureComponentSpec struct {
+	Weight float64  `json:"weight"`
+	Dist   DistSpec `json:"dist"`
+}
+
+// ToDist builds the distribution.
+func (s *DistSpec) ToDist() (dist.Dist, error) {
+	if s == nil {
+		return nil, nil
+	}
+	switch s.Type {
+	case "":
+		return nil, nil
+	case "constant":
+		return dist.Constant(s.Value.Std()), nil
+	case "uniform":
+		if s.Max < s.Min {
+			return nil, fmt.Errorf("providers: uniform max %v < min %v", s.Max.Std(), s.Min.Std())
+		}
+		return dist.Uniform{Min: s.Min.Std(), Max: s.Max.Std()}, nil
+	case "exponential":
+		if s.Mean <= 0 {
+			return nil, fmt.Errorf("providers: exponential needs a positive mean")
+		}
+		return dist.Exponential{Mean: s.Mean.Std()}, nil
+	case "lognormal":
+		if s.Median <= 0 || s.P99 < s.Median {
+			return nil, fmt.Errorf("providers: lognormal needs 0 < median <= p99 (got %v, %v)",
+				s.Median.Std(), s.P99.Std())
+		}
+		return dist.LogNormalMedTail(s.Median.Std(), s.P99.Std()), nil
+	case "mixture":
+		if len(s.Components) == 0 {
+			return nil, fmt.Errorf("providers: mixture needs components")
+		}
+		comps := make([]dist.Component, 0, len(s.Components))
+		for i, c := range s.Components {
+			if c.Weight <= 0 {
+				return nil, fmt.Errorf("providers: mixture component %d needs a positive weight", i)
+			}
+			d, err := c.Dist.ToDist()
+			if err != nil {
+				return nil, err
+			}
+			if d == nil {
+				return nil, fmt.Errorf("providers: mixture component %d has no distribution", i)
+			}
+			comps = append(comps, dist.Component{Weight: c.Weight, D: d})
+		}
+		return dist.NewMixture(comps...), nil
+	default:
+		return nil, fmt.Errorf("providers: unknown distribution type %q", s.Type)
+	}
+}
+
+// StoreSpec is the JSON form of a blob store.
+type StoreSpec struct {
+	Name                 string       `json:"name"`
+	GetLatency           *DistSpec    `json:"get_latency,omitempty"`
+	PutLatency           *DistSpec    `json:"put_latency,omitempty"`
+	GetBandwidthBps      float64      `json:"get_bandwidth_bps,omitempty"`
+	PutBandwidthBps      float64      `json:"put_bandwidth_bps,omitempty"`
+	SmallObjectBytes     int64        `json:"small_object_bytes,omitempty"`
+	SmallGetBandwidthBps float64      `json:"small_get_bandwidth_bps,omitempty"`
+	BandwidthJitterPct   float64      `json:"bandwidth_jitter_pct,omitempty"`
+	MissCongestionUnit   JSONDuration `json:"miss_congestion_unit,omitempty"`
+	Cache                *CacheSpec   `json:"cache,omitempty"`
+}
+
+// CacheSpec is the JSON form of a store cache policy.
+type CacheSpec struct {
+	ActivationCount  int          `json:"activation_count"`
+	ActivationWindow JSONDuration `json:"activation_window"`
+	TTL              JSONDuration `json:"ttl"`
+	HitLatency       *DistSpec    `json:"hit_latency,omitempty"`
+	HitBandwidthBps  float64      `json:"hit_bandwidth_bps,omitempty"`
+}
+
+func (s *StoreSpec) toConfig() (blobstore.Config, error) {
+	if s == nil {
+		return blobstore.Config{}, nil
+	}
+	cfg := blobstore.Config{
+		Name:                 s.Name,
+		GetBandwidthBps:      s.GetBandwidthBps,
+		PutBandwidthBps:      s.PutBandwidthBps,
+		SmallObjectBytes:     s.SmallObjectBytes,
+		SmallGetBandwidthBps: s.SmallGetBandwidthBps,
+		BandwidthJitterPct:   s.BandwidthJitterPct,
+		MissCongestionUnit:   s.MissCongestionUnit.Std(),
+	}
+	var err error
+	if cfg.GetLatency, err = s.GetLatency.ToDist(); err != nil {
+		return cfg, err
+	}
+	if cfg.PutLatency, err = s.PutLatency.ToDist(); err != nil {
+		return cfg, err
+	}
+	if s.Cache != nil {
+		cfg.Cache = blobstore.CacheConfig{
+			Enabled:          true,
+			ActivationCount:  s.Cache.ActivationCount,
+			ActivationWindow: s.Cache.ActivationWindow.Std(),
+			TTL:              s.Cache.TTL.Std(),
+			HitBandwidthBps:  s.Cache.HitBandwidthBps,
+		}
+		if cfg.Cache.HitLatency, err = s.Cache.HitLatency.ToDist(); err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}
+
+// PolicySpec is the JSON form of the scheduling policy.
+type PolicySpec struct {
+	Kind                string       `json:"kind"`
+	MaxQueuePerInstance int          `json:"max_queue_per_instance,omitempty"`
+	InitialTokens       float64      `json:"initial_tokens,omitempty"`
+	MaxTokens           float64      `json:"max_tokens,omitempty"`
+	TokensPerSec        float64      `json:"tokens_per_sec,omitempty"`
+	EvalInterval        JSONDuration `json:"eval_interval,omitempty"`
+}
+
+// ConfigSpec is the JSON form of a full provider profile. Unset
+// distributions default to zero delay, matching cloud.Config semantics.
+type ConfigSpec struct {
+	Name           string       `json:"name"`
+	PropagationRTT JSONDuration `json:"propagation_rtt,omitempty"`
+
+	FrontendDelay *DistSpec `json:"frontend_delay,omitempty"`
+	ResponseDelay *DistSpec `json:"response_delay,omitempty"`
+	InternalDelay *DistSpec `json:"internal_delay,omitempty"`
+	RoutingDelay  *DistSpec `json:"routing_delay,omitempty"`
+	WarmOverhead  *DistSpec `json:"warm_overhead,omitempty"`
+
+	CongestionThreshold     int          `json:"congestion_threshold,omitempty"`
+	CongestionUnit          JSONDuration `json:"congestion_unit,omitempty"`
+	CongestionExponent      float64      `json:"congestion_exponent,omitempty"`
+	CongestionCap           JSONDuration `json:"congestion_cap,omitempty"`
+	SlowPathProbPerInflight float64      `json:"slow_path_prob_per_inflight,omitempty"`
+	SlowPathMaxProb         float64      `json:"slow_path_max_prob,omitempty"`
+	SlowPathDelay           *DistSpec    `json:"slow_path_delay,omitempty"`
+
+	SchedulerCapacity int          `json:"scheduler_capacity"`
+	PlacementDelay    *DistSpec    `json:"placement_delay,omitempty"`
+	Policy            PolicySpec   `json:"policy"`
+	QueueHandoffDelay *DistSpec    `json:"queue_handoff_delay,omitempty"`
+	QueueTimeout      JSONDuration `json:"queue_timeout,omitempty"`
+
+	SandboxBoot     *DistSpec            `json:"sandbox_boot,omitempty"`
+	WarmGenericPool bool                 `json:"warm_generic_pool,omitempty"`
+	PooledInit      *DistSpec            `json:"pooled_init,omitempty"`
+	RuntimeInit     map[string]*DistSpec `json:"runtime_init,omitempty"`
+
+	ImageStore   *StoreSpec `json:"image_store,omitempty"`
+	PayloadStore *StoreSpec `json:"payload_store,omitempty"`
+
+	InlineLimitBytes   int64   `json:"inline_limit_bytes,omitempty"`
+	InlineBandwidthBps float64 `json:"inline_bandwidth_bps,omitempty"`
+	InlineJitterPct    float64 `json:"inline_jitter_pct,omitempty"`
+
+	KeepAliveFixed JSONDuration `json:"keep_alive_fixed,omitempty"`
+	KeepAliveDist  *DistSpec    `json:"keep_alive_dist,omitempty"`
+
+	Workers        int    `json:"workers"`
+	WorkerCapacity int    `json:"worker_capacity,omitempty"`
+	Placement      string `json:"placement,omitempty"`
+
+	DefaultMemoryMB   int `json:"default_memory_mb,omitempty"`
+	FullSpeedMemoryMB int `json:"full_speed_memory_mb,omitempty"`
+}
+
+// ToConfig builds and validates the provider profile.
+func (s *ConfigSpec) ToConfig() (cloud.Config, error) {
+	cfg := cloud.Config{
+		Name:                    s.Name,
+		PropagationRTT:          s.PropagationRTT.Std(),
+		CongestionThreshold:     s.CongestionThreshold,
+		CongestionUnit:          s.CongestionUnit.Std(),
+		CongestionExponent:      s.CongestionExponent,
+		CongestionCap:           s.CongestionCap.Std(),
+		SlowPathProbPerInflight: s.SlowPathProbPerInflight,
+		SlowPathMaxProb:         s.SlowPathMaxProb,
+		SchedulerCapacity:       s.SchedulerCapacity,
+		QueueTimeout:            s.QueueTimeout.Std(),
+		WarmGenericPool:         s.WarmGenericPool,
+		InlineLimitBytes:        s.InlineLimitBytes,
+		InlineBandwidthBps:      s.InlineBandwidthBps,
+		InlineJitterPct:         s.InlineJitterPct,
+		Workers:                 s.Workers,
+		WorkerCapacity:          s.WorkerCapacity,
+		Placement:               cloud.PlacementStrategy(s.Placement),
+		DefaultMemoryMB:         s.DefaultMemoryMB,
+		FullSpeedMemoryMB:       s.FullSpeedMemoryMB,
+		Policy: cloud.PolicyConfig{
+			Kind:                cloud.PolicyKind(s.Policy.Kind),
+			MaxQueuePerInstance: s.Policy.MaxQueuePerInstance,
+			InitialTokens:       s.Policy.InitialTokens,
+			MaxTokens:           s.Policy.MaxTokens,
+			TokensPerSec:        s.Policy.TokensPerSec,
+			EvalInterval:        s.Policy.EvalInterval.Std(),
+		},
+		KeepAlive: cloud.KeepAlivePolicy{Fixed: s.KeepAliveFixed.Std()},
+	}
+	var err error
+	assign := func(dst *dist.Dist, spec *DistSpec) {
+		if err != nil {
+			return
+		}
+		var d dist.Dist
+		if d, err = spec.ToDist(); err == nil && d != nil {
+			*dst = d
+		}
+	}
+	assign(&cfg.FrontendDelay, s.FrontendDelay)
+	assign(&cfg.ResponseDelay, s.ResponseDelay)
+	assign(&cfg.InternalDelay, s.InternalDelay)
+	assign(&cfg.RoutingDelay, s.RoutingDelay)
+	assign(&cfg.WarmOverhead, s.WarmOverhead)
+	assign(&cfg.SlowPathDelay, s.SlowPathDelay)
+	assign(&cfg.PlacementDelay, s.PlacementDelay)
+	assign(&cfg.QueueHandoffDelay, s.QueueHandoffDelay)
+	assign(&cfg.SandboxBoot, s.SandboxBoot)
+	assign(&cfg.PooledInit, s.PooledInit)
+	assign(&cfg.KeepAlive.Dist, s.KeepAliveDist)
+	if err != nil {
+		return cfg, err
+	}
+	if len(s.RuntimeInit) > 0 {
+		cfg.RuntimeInit = make(map[string]dist.Dist, len(s.RuntimeInit))
+		for key, spec := range s.RuntimeInit {
+			d, derr := spec.ToDist()
+			if derr != nil {
+				return cfg, fmt.Errorf("providers: runtime_init[%s]: %w", key, derr)
+			}
+			cfg.RuntimeInit[key] = d
+		}
+	}
+	if s.ImageStore != nil {
+		if cfg.ImageStore, err = s.ImageStore.toConfig(); err != nil {
+			return cfg, err
+		}
+	}
+	if s.PayloadStore != nil {
+		if cfg.PayloadStore, err = s.PayloadStore.toConfig(); err != nil {
+			return cfg, err
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// LoadConfigFile parses a JSON provider profile.
+func LoadConfigFile(path string) (cloud.Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return cloud.Config{}, fmt.Errorf("providers: read profile: %w", err)
+	}
+	var spec ConfigSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return cloud.Config{}, fmt.Errorf("providers: parse profile: %w", err)
+	}
+	return spec.ToConfig()
+}
+
+// RegisterFile loads a JSON profile and registers it under its name,
+// returning the name.
+func RegisterFile(path string) (string, error) {
+	cfg, err := LoadConfigFile(path)
+	if err != nil {
+		return "", err
+	}
+	Register(cfg.Name, func() cloud.Config {
+		loaded, _ := LoadConfigFile(path)
+		return loaded
+	})
+	return cfg.Name, nil
+}

@@ -1,0 +1,172 @@
+package providers
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/cloud"
+	"github.com/stellar-repro/stellar/internal/des"
+	"github.com/stellar-repro/stellar/internal/dist"
+)
+
+const sampleProfile = `{
+  "name": "edge-cloud",
+  "propagation_rtt": "8ms",
+  "frontend_delay": {"type": "lognormal", "median": "3ms", "p99": "12ms"},
+  "warm_overhead": {"type": "constant", "value": "2ms"},
+  "scheduler_capacity": 8,
+  "placement_delay": {"type": "uniform", "min": "5ms", "max": "15ms"},
+  "policy": {"kind": "bounded-queue", "max_queue_per_instance": 4},
+  "sandbox_boot": {"type": "exponential", "mean": "80ms"},
+  "pooled_init": {"type": "constant", "value": "30ms"},
+  "image_store": {
+    "name": "edge-registry",
+    "get_latency": {"type": "mixture", "components": [
+      {"weight": 0.95, "dist": {"type": "constant", "value": "10ms"}},
+      {"weight": 0.05, "dist": {"type": "lognormal", "median": "200ms", "p99": "800ms"}}
+    ]},
+    "get_bandwidth_bps": 4e9,
+    "cache": {"activation_count": 1, "activation_window": "1m", "ttl": "5m",
+              "hit_latency": {"type": "constant", "value": "1ms"}}
+  },
+  "payload_store": {"name": "edge-blob",
+    "get_latency": {"type": "constant", "value": "5ms"},
+    "put_latency": {"type": "constant", "value": "5ms"}},
+  "inline_limit_bytes": 1048576,
+  "inline_bandwidth_bps": 1e9,
+  "keep_alive_fixed": "5m",
+  "workers": 4,
+  "worker_capacity": 8,
+  "placement": "least-loaded",
+  "default_memory_mb": 1024,
+  "full_speed_memory_mb": 1024
+}`
+
+func writeProfile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadConfigFile(t *testing.T) {
+	cfg, err := LoadConfigFile(writeProfile(t, sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "edge-cloud" || cfg.PropagationRTT != 8*time.Millisecond {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.Policy.Kind != cloud.PolicyBoundedQueue || cfg.Policy.MaxQueuePerInstance != 4 {
+		t.Fatalf("policy = %+v", cfg.Policy)
+	}
+	if !cfg.ImageStore.Cache.Enabled || cfg.ImageStore.Cache.TTL != 5*time.Minute {
+		t.Fatalf("cache = %+v", cfg.ImageStore.Cache)
+	}
+	if cfg.Placement != cloud.PlacementLeastLoaded || cfg.WorkerCapacity != 8 {
+		t.Fatalf("placement = %v cap = %d", cfg.Placement, cfg.WorkerCapacity)
+	}
+	// The loaded profile must actually run.
+	eng := des.NewEngine()
+	defer eng.Close()
+	c, err := cloud.New(eng, cfg, dist.NewStreams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Deploy(cloud.FunctionSpec{Name: "f", Runtime: cloud.RuntimeGo, Method: cloud.DeployZIP}); err != nil {
+		t.Fatal(err)
+	}
+	var lat time.Duration
+	eng.Spawn("probe", func(p *des.Proc) {
+		t0 := p.Now()
+		if _, err := c.Invoke(p, &cloud.Request{Fn: "f"}); err != nil {
+			t.Error(err)
+		}
+		lat = p.Now() - t0
+	})
+	eng.Run(time.Minute)
+	if lat <= 8*time.Millisecond {
+		t.Fatalf("probe latency %v implausibly small", lat)
+	}
+}
+
+func TestRegisterFile(t *testing.T) {
+	name, err := RegisterFile(writeProfile(t, sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer delete(registry, name)
+	if name != "edge-cloud" {
+		t.Fatalf("name = %q", name)
+	}
+	cfg := MustGet("edge-cloud")
+	if cfg.Workers != 4 {
+		t.Fatalf("registered profile mangled: %+v", cfg)
+	}
+}
+
+func TestLoadConfigFileErrors(t *testing.T) {
+	if _, err := LoadConfigFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("expected error for missing file")
+	}
+	if _, err := LoadConfigFile(writeProfile(t, "{nope")); err == nil {
+		t.Error("expected parse error")
+	}
+	// Validation failures surface (no workers).
+	if _, err := LoadConfigFile(writeProfile(t, `{"name":"x","scheduler_capacity":1,
+		"policy":{"kind":"no-queue"},"keep_alive_fixed":"1m","workers":0}`)); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestDistSpecErrors(t *testing.T) {
+	cases := []DistSpec{
+		{Type: "warp-drive"},
+		{Type: "lognormal", Median: JSONDuration(10 * time.Millisecond), P99: JSONDuration(time.Millisecond)},
+		{Type: "exponential"},
+		{Type: "uniform", Min: JSONDuration(time.Second), Max: JSONDuration(time.Millisecond)},
+		{Type: "mixture"},
+		{Type: "mixture", Components: []MixtureComponentSpec{{Weight: 0}}},
+		{Type: "mixture", Components: []MixtureComponentSpec{{Weight: 1}}},
+	}
+	for i, spec := range cases {
+		if _, err := spec.ToDist(); err == nil {
+			t.Errorf("spec %d should fail", i)
+		}
+	}
+	// Empty type means "unset".
+	if d, err := (&DistSpec{}).ToDist(); err != nil || d != nil {
+		t.Errorf("empty spec = %v, %v", d, err)
+	}
+	var nilSpec *DistSpec
+	if d, err := nilSpec.ToDist(); err != nil || d != nil {
+		t.Errorf("nil spec = %v, %v", d, err)
+	}
+}
+
+func TestDistSpecKinds(t *testing.T) {
+	rng := dist.NewStreams(3).Stream("t")
+	specs := map[string]DistSpec{
+		"constant":    {Type: "constant", Value: JSONDuration(5 * time.Millisecond)},
+		"uniform":     {Type: "uniform", Min: JSONDuration(time.Millisecond), Max: JSONDuration(2 * time.Millisecond)},
+		"exponential": {Type: "exponential", Mean: JSONDuration(time.Millisecond)},
+		"lognormal":   {Type: "lognormal", Median: JSONDuration(time.Millisecond), P99: JSONDuration(4 * time.Millisecond)},
+	}
+	for name, spec := range specs {
+		d, err := spec.ToDist()
+		if err != nil || d == nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if v := d.Sample(rng); v < 0 {
+			t.Errorf("%s sampled %v", name, v)
+		}
+		if !strings.Contains(d.String(), "") {
+			t.Errorf("%s has no description", name)
+		}
+	}
+}

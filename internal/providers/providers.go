@@ -1,0 +1,60 @@
+// Package providers defines the three calibrated provider profiles studied
+// in the paper — AWS Lambda, Google Cloud Functions, and Azure Functions —
+// as cloud.Config instances for the simulator.
+//
+// Numbers are calibrated so that the experiments in internal/experiments
+// land near the values the paper reports (§VI, Table I); the *mechanisms*
+// (queueing policies, caches, scale-out limits) come from the paper's
+// analysis and from public provider documentation the paper cites.
+// EXPERIMENTS.md records paper-vs-measured for every figure and table.
+package providers
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/stellar-repro/stellar/internal/cloud"
+)
+
+// Builder constructs a fresh provider profile.
+type Builder func() cloud.Config
+
+var registry = map[string]Builder{
+	"aws":    AWS,
+	"google": Google,
+	"azure":  Azure,
+}
+
+// Names lists registered providers in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Get returns a fresh config for the named provider.
+func Get(name string) (cloud.Config, error) {
+	b, ok := registry[name]
+	if !ok {
+		return cloud.Config{}, fmt.Errorf("providers: unknown provider %q (have %v)", name, Names())
+	}
+	return b(), nil
+}
+
+// MustGet is Get for static names.
+func MustGet(name string) cloud.Config {
+	cfg, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+// Register adds a custom provider profile (e.g., ablated variants).
+// Registering an existing name replaces it.
+func Register(name string, b Builder) {
+	registry[name] = b
+}

@@ -1,0 +1,157 @@
+// Package results persists measurement runs and compares them: the
+// regression-detection layer a benchmarking framework needs once numbers
+// are collected. Comparisons combine bootstrap confidence intervals with a
+// Mann-Whitney U test, so "the p99 moved" claims come with statistical
+// backing rather than single-number eyeballing.
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/core"
+	"github.com/stellar-repro/stellar/internal/stats"
+)
+
+// RunRecord is a serialized measurement run.
+type RunRecord struct {
+	// Name labels the run ("aws-warm-baseline").
+	Name string `json:"name"`
+	// LatenciesNS are the measured response times in nanoseconds.
+	LatenciesNS []int64 `json:"latencies_ns"`
+	// TransfersNS are instrumented transfer times, if any.
+	TransfersNS []int64 `json:"transfers_ns,omitempty"`
+	// Colds and Errors echo the run's outcome counts.
+	Colds  int `json:"colds"`
+	Errors int `json:"errors"`
+	// BilledGBSeconds is the run's total bill.
+	BilledGBSeconds float64 `json:"billed_gb_seconds,omitempty"`
+}
+
+// FromRunResult converts a client run into a persistable record.
+func FromRunResult(name string, res *core.RunResult) *RunRecord {
+	rec := &RunRecord{
+		Name:            name,
+		Colds:           res.Colds,
+		Errors:          res.Errors,
+		BilledGBSeconds: res.BilledGBSeconds,
+	}
+	for _, v := range res.Latencies.Values() {
+		rec.LatenciesNS = append(rec.LatenciesNS, int64(v))
+	}
+	for _, v := range res.Transfers.Values() {
+		rec.TransfersNS = append(rec.TransfersNS, int64(v))
+	}
+	return rec
+}
+
+// Latencies rebuilds the latency sample.
+func (r *RunRecord) Latencies() *stats.Sample {
+	s := stats.NewSample(len(r.LatenciesNS))
+	for _, v := range r.LatenciesNS {
+		s.Add(time.Duration(v))
+	}
+	return s
+}
+
+// Save writes the record as JSON.
+func (r *RunRecord) Save(path string) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("results: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("results: write: %w", err)
+	}
+	return nil
+}
+
+// Load reads a record.
+func Load(path string) (*RunRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("results: read: %w", err)
+	}
+	var rec RunRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("results: parse: %w", err)
+	}
+	if len(rec.LatenciesNS) == 0 {
+		return nil, fmt.Errorf("results: %s has no latency samples", path)
+	}
+	return &rec, nil
+}
+
+// MetricComparison compares one percentile across two runs.
+type MetricComparison struct {
+	// Metric names the compared statistic ("median", "p99").
+	Metric string
+	// A and B are the two runs' confidence intervals.
+	A, B stats.CI
+	// DeltaPct is (B-A)/A of the point estimates, in percent.
+	DeltaPct float64
+	// Distinguishable reports whether the intervals do NOT overlap —
+	// i.e., the difference exceeds resampling noise.
+	Distinguishable bool
+}
+
+// Comparison is a full A/B comparison of two runs.
+type Comparison struct {
+	NameA, NameB string
+	Metrics      []MetricComparison
+	// MW is the distribution-level Mann-Whitney test.
+	MW stats.MannWhitney
+	// SameDistribution is true when the test cannot reject H0 at 5%.
+	SameDistribution bool
+}
+
+// Compare builds the A/B analysis. rng drives the bootstrap; confidence is
+// the CI coverage (e.g., 0.95).
+func Compare(a, b *RunRecord, confidence float64, resamples int, rng *rand.Rand) *Comparison {
+	sa, sb := a.Latencies(), b.Latencies()
+	cmp := &Comparison{NameA: a.Name, NameB: b.Name}
+	for _, m := range []struct {
+		name string
+		p    float64
+	}{{"median", 50}, {"p95", 95}, {"p99", 99}} {
+		ciA := sa.PercentileCI(m.p, confidence, resamples, rng)
+		ciB := sb.PercentileCI(m.p, confidence, resamples, rng)
+		delta := 0.0
+		if ciA.Point > 0 {
+			delta = (float64(ciB.Point) - float64(ciA.Point)) / float64(ciA.Point) * 100
+		}
+		cmp.Metrics = append(cmp.Metrics, MetricComparison{
+			Metric:          m.name,
+			A:               ciA,
+			B:               ciB,
+			DeltaPct:        delta,
+			Distinguishable: !ciA.Overlaps(ciB),
+		})
+	}
+	cmp.MW = stats.MannWhitneyU(sa, sb)
+	cmp.SameDistribution = cmp.MW.P >= 0.05
+	return cmp
+}
+
+// Write renders the comparison as text.
+func (c *Comparison) Write(w io.Writer) {
+	fmt.Fprintf(w, "comparing %s (A) vs %s (B)\n\n", c.NameA, c.NameB)
+	fmt.Fprintf(w, "%-8s %-28s %-28s %9s %s\n", "metric", "A", "B", "delta", "verdict")
+	for _, m := range c.Metrics {
+		verdict := "indistinguishable (CIs overlap)"
+		if m.Distinguishable {
+			verdict = "distinguishable"
+		}
+		fmt.Fprintf(w, "%-8s %-28s %-28s %8.1f%% %s\n", m.Metric, m.A, m.B, m.DeltaPct, verdict)
+	}
+	fmt.Fprintf(w, "\nMann-Whitney U: z=%.2f p=%.4f — ", c.MW.Z, c.MW.P)
+	if c.SameDistribution {
+		fmt.Fprintln(w, "no evidence the distributions differ (p >= 0.05)")
+	} else {
+		fmt.Fprintln(w, "the distributions differ (p < 0.05)")
+	}
+}

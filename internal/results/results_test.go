@@ -1,0 +1,96 @@
+package results
+
+import (
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/core"
+	"github.com/stellar-repro/stellar/internal/stats"
+)
+
+func fakeRun(base time.Duration, n int, seed int64) *core.RunResult {
+	rng := rand.New(rand.NewSource(seed))
+	lat := stats.NewSample(n)
+	for i := 0; i < n; i++ {
+		lat.Add(base + time.Duration(rng.ExpFloat64()*float64(10*time.Millisecond)))
+	}
+	return &core.RunResult{
+		Latencies:       lat,
+		Transfers:       stats.NewSample(0),
+		Colds:           3,
+		BilledGBSeconds: 1.5,
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	res := fakeRun(40*time.Millisecond, 200, 1)
+	rec := FromRunResult("baseline", res)
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := rec.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != "baseline" || loaded.Colds != 3 || loaded.BilledGBSeconds != 1.5 {
+		t.Fatalf("loaded = %+v", loaded)
+	}
+	if loaded.Latencies().Median() != res.Latencies.Median() {
+		t.Fatal("latency sample mangled")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := (&RunRecord{Name: "x"}).Save(empty); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(empty); err == nil || !strings.Contains(err.Error(), "no latency samples") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompareIdenticalRuns(t *testing.T) {
+	a := FromRunResult("a", fakeRun(40*time.Millisecond, 400, 7))
+	b := FromRunResult("b", fakeRun(40*time.Millisecond, 400, 8))
+	cmp := Compare(a, b, 0.95, 200, rand.New(rand.NewSource(9)))
+	if !cmp.SameDistribution {
+		t.Errorf("identical-distribution runs flagged as different (p=%v)", cmp.MW.P)
+	}
+	for _, m := range cmp.Metrics {
+		if m.Metric == "median" && m.Distinguishable {
+			t.Errorf("medians of same-distribution runs distinguishable: %+v", m)
+		}
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	a := FromRunResult("before", fakeRun(40*time.Millisecond, 400, 10))
+	b := FromRunResult("after", fakeRun(80*time.Millisecond, 400, 11)) // 2x regression
+	cmp := Compare(a, b, 0.95, 200, rand.New(rand.NewSource(12)))
+	if cmp.SameDistribution {
+		t.Error("2x regression not detected by Mann-Whitney")
+	}
+	med := cmp.Metrics[0]
+	if !med.Distinguishable {
+		t.Error("2x median regression within CI overlap")
+	}
+	if med.DeltaPct < 50 {
+		t.Errorf("median delta %.1f%%, want ~100%%", med.DeltaPct)
+	}
+	var sb strings.Builder
+	cmp.Write(&sb)
+	out := sb.String()
+	for _, want := range []string{"before", "after", "median", "p99", "distinguishable", "Mann-Whitney", "differ"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package stats_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/stats"
+)
+
+func ExampleSample_TMR() {
+	s := stats.NewSample(100)
+	for i := 1; i <= 97; i++ {
+		s.Add(20 * time.Millisecond) // steady service...
+	}
+	for i := 0; i < 3; i++ {
+		s.Add(400 * time.Millisecond) // ...with a few stragglers
+	}
+	fmt.Printf("median=%v p99=%v TMR=%.1f\n", s.Median(), s.P99(), s.TMR())
+	// Output: median=20ms p99=400ms TMR=20.0
+}
+
+func ExampleSample_MR() {
+	warmMedian := 44 * time.Millisecond
+	cold := stats.FromDurations([]time.Duration{
+		440 * time.Millisecond, 448 * time.Millisecond, 460 * time.Millisecond,
+	})
+	// Table I's metrics: median and tail normalized to the warm median.
+	fmt.Printf("MR=%.0f TR=%.0f\n", cold.MR(warmMedian), cold.TR(warmMedian))
+	// Output: MR=10 TR=10
+}
+
+func ExampleSample_CDF() {
+	s := stats.FromDurations([]time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+	})
+	for _, pt := range s.CDF() {
+		fmt.Printf("%v -> %.2f\n", pt.Value, pt.Frac)
+	}
+	// Output:
+	// 10ms -> 0.25
+	// 20ms -> 0.75
+	// 40ms -> 1.00
+}
+
+func ExampleWindows() {
+	samples := []stats.TimedSample{
+		{At: 0, Latency: 500 * time.Millisecond}, // cold start
+		{At: 3 * time.Second, Latency: 40 * time.Millisecond},
+		{At: 6 * time.Second, Latency: 44 * time.Millisecond},
+	}
+	for _, w := range stats.Windows(samples, 5*time.Second) {
+		fmt.Printf("t=%v median=%v\n", w.Start, w.Stats.Median)
+	}
+	// Output:
+	// t=0s median=270ms
+	// t=5s median=44ms
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// MannWhitney holds the result of a two-sided Mann-Whitney U test.
+type MannWhitney struct {
+	// U is the test statistic for the first sample.
+	U float64
+	// Z is the normal-approximation score.
+	Z float64
+	// P is the two-sided p-value (normal approximation with tie
+	// correction; adequate for the sample sizes benchmarking produces).
+	P float64
+}
+
+// MannWhitneyU tests H0 "a and b are drawn from the same distribution"
+// without distributional assumptions — the right tool for comparing two
+// latency runs, whose distributions are skewed and heavy-tailed. It panics
+// on empty samples.
+func MannWhitneyU(a, b *Sample) MannWhitney {
+	if a.Len() == 0 || b.Len() == 0 {
+		panic("stats: Mann-Whitney on empty sample")
+	}
+	type obs struct {
+		value float64
+		group int
+	}
+	n1, n2 := a.Len(), b.Len()
+	all := make([]obs, 0, n1+n2)
+	for _, v := range a.Values() {
+		all = append(all, obs{float64(v), 0})
+	}
+	for _, v := range b.Values() {
+		all = append(all, obs{float64(v), 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].value < all[j].value })
+
+	// Assign average ranks to ties; accumulate the tie correction term.
+	ranks := make([]float64, len(all))
+	tieCorrection := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].value == all[i].value {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // ranks are 1-based: positions i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		t := float64(j - i)
+		tieCorrection += t*t*t - t
+		i = j
+	}
+
+	r1 := 0.0
+	for i, o := range all {
+		if o.group == 0 {
+			r1 += ranks[i]
+		}
+	}
+	fn1, fn2 := float64(n1), float64(n2)
+	u1 := r1 - fn1*(fn1+1)/2
+	mean := fn1 * fn2 / 2
+	n := fn1 + fn2
+	variance := fn1 * fn2 / 12 * ((n + 1) - tieCorrection/(n*(n-1)))
+	if variance <= 0 {
+		// All observations tied: no evidence of difference.
+		return MannWhitney{U: u1, Z: 0, P: 1}
+	}
+	z := (u1 - mean) / math.Sqrt(variance)
+	p := 2 * (1 - normalCDF(math.Abs(z)))
+	if p > 1 {
+		p = 1
+	}
+	return MannWhitney{U: u1, Z: z, P: p}
+}
+
+// normalCDF is the standard normal cumulative distribution function.
+func normalCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func shiftedSample(n int, base time.Duration, seed int64) *Sample {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewSample(n)
+	for i := 0; i < n; i++ {
+		s.Add(base + time.Duration(rng.ExpFloat64()*float64(20*time.Millisecond)))
+	}
+	return s
+}
+
+func TestMannWhitneySameDistribution(t *testing.T) {
+	// Two samples from the same distribution: usually p >= 0.05.
+	rejections := 0
+	for i := 0; i < 40; i++ {
+		a := shiftedSample(200, 10*time.Millisecond, int64(100+i))
+		b := shiftedSample(200, 10*time.Millisecond, int64(900+i))
+		if MannWhitneyU(a, b).P < 0.05 {
+			rejections++
+		}
+	}
+	// Expected false-positive rate ~5%; allow generous slack.
+	if rejections > 8 {
+		t.Fatalf("%d/40 false rejections at alpha=0.05", rejections)
+	}
+}
+
+func TestMannWhitneyDetectsShift(t *testing.T) {
+	a := shiftedSample(300, 10*time.Millisecond, 1)
+	b := shiftedSample(300, 25*time.Millisecond, 2) // clearly shifted
+	mw := MannWhitneyU(a, b)
+	if mw.P >= 0.001 {
+		t.Fatalf("p = %v, want tiny for a 15ms shift", mw.P)
+	}
+	if mw.Z >= 0 {
+		t.Fatalf("z = %v, want negative (A stochastically smaller)", mw.Z)
+	}
+}
+
+func TestMannWhitneySymmetry(t *testing.T) {
+	a := shiftedSample(150, 10*time.Millisecond, 3)
+	b := shiftedSample(150, 14*time.Millisecond, 4)
+	ab := MannWhitneyU(a, b)
+	ba := MannWhitneyU(b, a)
+	if diff := ab.P - ba.P; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("p not symmetric: %v vs %v", ab.P, ba.P)
+	}
+	if ab.Z+ba.Z > 1e-9 || ab.Z+ba.Z < -1e-9 {
+		t.Fatalf("z not antisymmetric: %v vs %v", ab.Z, ba.Z)
+	}
+}
+
+func TestMannWhitneyAllTied(t *testing.T) {
+	a := FromDurations([]time.Duration{ms(5), ms(5), ms(5)})
+	b := FromDurations([]time.Duration{ms(5), ms(5)})
+	mw := MannWhitneyU(a, b)
+	if mw.P != 1 {
+		t.Fatalf("all-tied p = %v, want 1", mw.P)
+	}
+}
+
+func TestMannWhitneyTiesHandled(t *testing.T) {
+	// Heavy ties but a real shift must still be detected.
+	a := NewSample(100)
+	b := NewSample(100)
+	for i := 0; i < 100; i++ {
+		a.Add(ms(10 + i%3))
+		b.Add(ms(20 + i%3))
+	}
+	if p := MannWhitneyU(a, b).P; p >= 0.001 {
+		t.Fatalf("tied-shift p = %v", p)
+	}
+}
+
+func TestMannWhitneyPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MannWhitneyU(&Sample{}, FromDurations([]time.Duration{ms(1)}))
+}

@@ -1,0 +1,236 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+
+func TestPercentileExact(t *testing.T) {
+	s := FromDurations([]time.Duration{ms(1), ms(2), ms(3), ms(4), ms(5)})
+	if got := s.Percentile(0); got != ms(1) {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := s.Percentile(50); got != ms(3) {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := s.Percentile(100); got != ms(5) {
+		t.Fatalf("p100 = %v", got)
+	}
+	// Linear interpolation between ranks: p25 of 1..5 = 2ms.
+	if got := s.Percentile(25); got != ms(2) {
+		t.Fatalf("p25 = %v", got)
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	s := FromDurations([]time.Duration{ms(0), ms(10)})
+	if got := s.Percentile(50); got != ms(5) {
+		t.Fatalf("p50 = %v, want 5ms", got)
+	}
+	if got := s.Percentile(99); got != 9900*time.Microsecond {
+		t.Fatalf("p99 = %v, want 9.9ms", got)
+	}
+}
+
+func TestPercentileSingleAndEmpty(t *testing.T) {
+	s := FromDurations([]time.Duration{ms(7)})
+	if got := s.P99(); got != ms(7) {
+		t.Fatalf("p99 of singleton = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty sample")
+		}
+	}()
+	(&Sample{}).Percentile(50)
+}
+
+func TestTMR(t *testing.T) {
+	s := NewSample(100)
+	for i := 1; i <= 100; i++ {
+		s.Add(ms(i))
+	}
+	tmr := s.TMR()
+	// median 50.5ms, p99 ~99ms -> TMR ~1.96
+	if tmr < 1.9 || tmr > 2.0 {
+		t.Fatalf("TMR = %.3f, want ~1.96", tmr)
+	}
+}
+
+func TestMRTR(t *testing.T) {
+	s := FromDurations([]time.Duration{ms(440), ms(448), ms(450), ms(660)})
+	base := ms(44)
+	if mr := s.MR(base); math.Abs(mr-10.2) > 0.1 {
+		t.Fatalf("MR = %.2f", mr)
+	}
+	if tr := s.TR(base); tr < 14 || tr > 15.2 {
+		t.Fatalf("TR = %.2f", tr)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	s := FromDurations([]time.Duration{ms(3), ms(1), ms(2), ms(2), ms(5)})
+	cdf := s.CDF()
+	if len(cdf) != 4 { // duplicate 2ms collapsed
+		t.Fatalf("CDF has %d points, want 4", len(cdf))
+	}
+	prevV, prevF := time.Duration(-1), 0.0
+	for _, pt := range cdf {
+		if pt.Value <= prevV {
+			t.Fatalf("CDF values not increasing: %v", cdf)
+		}
+		if pt.Frac < prevF {
+			t.Fatalf("CDF fractions decreasing: %v", cdf)
+		}
+		prevV, prevF = pt.Value, pt.Frac
+	}
+	if last := cdf[len(cdf)-1]; last.Frac != 1.0 {
+		t.Fatalf("CDF does not end at 1.0: %v", last.Frac)
+	}
+}
+
+func TestFracBelow(t *testing.T) {
+	s := FromDurations([]time.Duration{ms(1), ms(2), ms(3), ms(4)})
+	if f := s.FracBelow(ms(2)); f != 0.5 {
+		t.Fatalf("FracBelow(2ms) = %v", f)
+	}
+	if f := s.FracBelow(ms(0)); f != 0 {
+		t.Fatalf("FracBelow(0) = %v", f)
+	}
+	if f := s.FracBelow(ms(10)); f != 1 {
+		t.Fatalf("FracBelow(10ms) = %v", f)
+	}
+}
+
+func TestSub(t *testing.T) {
+	s := FromDurations([]time.Duration{ms(30), ms(50), ms(10)})
+	out := s.Sub(ms(20))
+	vals := out.Values()
+	if vals[0] != 0 || vals[1] != ms(10) || vals[2] != ms(30) {
+		t.Fatalf("Sub = %v", vals)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 1000; i++ {
+		s.Add(ms(i))
+	}
+	sum := s.Summarize()
+	if sum.Count != 1000 || sum.Min != ms(1) || sum.Max != ms(1000) {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.Median < ms(499) || sum.Median > ms(502) {
+		t.Fatalf("median = %v", sum.Median)
+	}
+	if sum.String() == "" {
+		t.Fatal("summary string empty")
+	}
+}
+
+func TestAddAllAndValuesSorted(t *testing.T) {
+	s := NewSample(0)
+	s.AddAll([]time.Duration{ms(5), ms(1), ms(3)})
+	v := s.Values()
+	if v[0] != ms(1) || v[1] != ms(3) || v[2] != ms(5) {
+		t.Fatalf("values = %v", v)
+	}
+	// Adding after sorting must re-sort lazily.
+	s.Add(ms(2))
+	v = s.Values()
+	if v[1] != ms(2) {
+		t.Fatalf("values after add = %v", v)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSample(len(raw))
+		for _, r := range raw {
+			s.Add(time.Duration(r))
+		}
+		prev := time.Duration(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := s.Percentile(p)
+			if v < prev || v < s.Min() || v > s.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the CDF is a valid distribution function of the sample.
+func TestQuickCDFValid(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSample(len(raw))
+		for _, r := range raw {
+			s.Add(time.Duration(r) * time.Microsecond)
+		}
+		cdf := s.CDF()
+		if len(cdf) == 0 || cdf[len(cdf)-1].Frac != 1 {
+			return false
+		}
+		prevF := 0.0
+		for _, pt := range cdf {
+			if pt.Frac <= prevF {
+				return false
+			}
+			// Frac must equal the fraction of samples <= Value.
+			if math.Abs(pt.Frac-s.FracBelow(pt.Value)) > 1e-12 {
+				return false
+			}
+			prevF = pt.Frac
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindows(t *testing.T) {
+	samples := []TimedSample{
+		{At: 0, Latency: ms(10)},
+		{At: 500 * time.Millisecond, Latency: ms(20)},
+		{At: time.Second, Latency: ms(30)},
+		{At: 3 * time.Second, Latency: ms(40)},
+	}
+	wins := Windows(samples, time.Second)
+	if len(wins) != 3 {
+		t.Fatalf("windows = %d, want 3 (empty window skipped)", len(wins))
+	}
+	if wins[0].Start != 0 || wins[0].Stats.Count != 2 || wins[0].Stats.Median != ms(15) {
+		t.Fatalf("window 0 = %+v", wins[0])
+	}
+	if wins[1].Start != time.Second || wins[1].Stats.Count != 1 {
+		t.Fatalf("window 1 = %+v", wins[1])
+	}
+	if wins[2].Start != 3*time.Second || wins[2].Stats.Median != ms(40) {
+		t.Fatalf("window 2 = %+v", wins[2])
+	}
+}
+
+func TestWindowsPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Windows(nil, 0)
+}

@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"sort"
+	"time"
+)
+
+// TimedSample pairs an observation with its schedule offset, enabling
+// latency-over-time analysis (warm-up transients, scale-out convergence).
+type TimedSample struct {
+	At      time.Duration
+	Latency time.Duration
+}
+
+// WindowSummary summarizes one time window of a run.
+type WindowSummary struct {
+	// Start is the window's offset from run start.
+	Start time.Duration
+	// Stats summarizes the window's observations.
+	Stats Summary
+}
+
+// Windows buckets timed samples into fixed-width windows and summarizes
+// each non-empty window, in time order. It panics on a non-positive width.
+func Windows(samples []TimedSample, width time.Duration) []WindowSummary {
+	if width <= 0 {
+		panic("stats: window width must be positive")
+	}
+	buckets := make(map[int64]*Sample)
+	for _, ts := range samples {
+		idx := int64(ts.At / width)
+		b, ok := buckets[idx]
+		if !ok {
+			b = NewSample(0)
+			buckets[idx] = b
+		}
+		b.Add(ts.Latency)
+	}
+	idxs := make([]int64, 0, len(buckets))
+	for idx := range buckets {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	out := make([]WindowSummary, 0, len(idxs))
+	for _, idx := range idxs {
+		out = append(out, WindowSummary{
+			Start: time.Duration(idx) * width,
+			Stats: buckets[idx].Summarize(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+// Package workload generates realistic serverless invocation traffic for
+// the simulator, modeled on the Azure Functions production trace (Shahrad
+// et al., ATC'20) that the paper leans on throughout: most functions are
+// invoked rarely ("once per hour or less", §III), executions are short
+// (§VI-C1), and arrivals are bursty (§III cites FaaSNet). The package turns
+// a population spec into an invocation trace and the trace into a STeLLAR
+// load plan, enabling studies beyond fixed-IAT microbenchmarks — e.g., the
+// keep-alive policy exploration in examples/keepalive.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/core"
+)
+
+// RateClass is one invocation-frequency class of the function population.
+type RateClass struct {
+	// Name labels the class ("rare", "hot").
+	Name string
+	// Share is the fraction of functions in this class.
+	Share float64
+	// MeanIAT is the class's mean invocation inter-arrival time; arrivals
+	// are Poisson (exponential IATs).
+	MeanIAT time.Duration
+	// ExecTime is the class's busy-spin duration per invocation.
+	ExecTime time.Duration
+}
+
+// Diurnal modulates invocation rates over time, approximating the
+// day/night pattern visible in the production trace: the arrival rate
+// swings sinusoidally between MinFactor and 1 over each Period.
+type Diurnal struct {
+	// Period is one full day/night cycle.
+	Period time.Duration
+	// MinFactor is the trough rate relative to the peak (0 < f <= 1).
+	MinFactor float64
+}
+
+// Spec describes a function population and observation horizon.
+type Spec struct {
+	// Functions is the population size.
+	Functions int
+	// Horizon is the trace duration.
+	Horizon time.Duration
+	// Classes partitions the population; shares should sum to ~1.
+	Classes []RateClass
+	// Diurnal optionally modulates all rates over time (nil = constant).
+	Diurnal *Diurnal
+}
+
+// DefaultSpec approximates the Azure trace's shape: nearly half the
+// functions see at most an invocation per hour, a long tail is hot.
+func DefaultSpec() Spec {
+	return Spec{
+		Functions: 60,
+		Horizon:   2 * time.Hour,
+		Classes: []RateClass{
+			{Name: "rare", Share: 0.45, MeanIAT: 90 * time.Minute, ExecTime: 200 * time.Millisecond},
+			{Name: "periodic", Share: 0.30, MeanIAT: 10 * time.Minute, ExecTime: 500 * time.Millisecond},
+			{Name: "frequent", Share: 0.20, MeanIAT: 30 * time.Second, ExecTime: 300 * time.Millisecond},
+			{Name: "hot", Share: 0.05, MeanIAT: 2 * time.Second, ExecTime: 100 * time.Millisecond},
+		},
+	}
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if s.Functions < 1 {
+		return fmt.Errorf("workload: need at least one function")
+	}
+	if s.Horizon <= 0 {
+		return fmt.Errorf("workload: need a positive horizon")
+	}
+	if len(s.Classes) == 0 {
+		return fmt.Errorf("workload: need at least one rate class")
+	}
+	total := 0.0
+	for _, c := range s.Classes {
+		if c.Share <= 0 || c.MeanIAT <= 0 {
+			return fmt.Errorf("workload: class %q needs positive share and IAT", c.Name)
+		}
+		total += c.Share
+	}
+	if s.Diurnal != nil {
+		if s.Diurnal.Period <= 0 || s.Diurnal.MinFactor <= 0 || s.Diurnal.MinFactor > 1 {
+			return fmt.Errorf("workload: diurnal needs a positive period and 0 < min factor <= 1")
+		}
+	}
+	if total < 0.99 || total > 1.01 {
+		return fmt.Errorf("workload: class shares sum to %.2f, want 1", total)
+	}
+	return nil
+}
+
+// Invocation is one trace event.
+type Invocation struct {
+	// At is the arrival offset from trace start.
+	At time.Duration
+	// Function is the population index of the invoked function.
+	Function int
+	// Class is the function's rate class name.
+	Class string
+	// ExecTime is the invocation's busy-spin duration.
+	ExecTime time.Duration
+}
+
+// Trace is a generated invocation trace.
+type Trace struct {
+	Spec        Spec
+	Invocations []Invocation
+	// ClassOf maps function index to class name.
+	ClassOf []string
+}
+
+// Generate synthesizes a trace: functions are assigned classes by share,
+// then each function emits Poisson arrivals at its class rate over the
+// horizon. Events are returned in time order.
+func Generate(spec Spec, rng *rand.Rand) (*Trace, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	tr := &Trace{Spec: spec, ClassOf: make([]string, spec.Functions)}
+	for i := 0; i < spec.Functions; i++ {
+		class := pickClass(spec.Classes, rng)
+		tr.ClassOf[i] = class.Name
+		// Poisson process at the peak rate (exponential gaps, random phase
+		// start), thinned by the diurnal factor so the accepted arrivals
+		// form an inhomogeneous Poisson process.
+		at := time.Duration(rng.ExpFloat64() * float64(class.MeanIAT))
+		for at < spec.Horizon {
+			if rng.Float64() < spec.rateFactor(at) {
+				tr.Invocations = append(tr.Invocations, Invocation{
+					At:       at,
+					Function: i,
+					Class:    class.Name,
+					ExecTime: class.ExecTime,
+				})
+			}
+			at += time.Duration(rng.ExpFloat64() * float64(class.MeanIAT))
+		}
+	}
+	sort.Slice(tr.Invocations, func(a, b int) bool {
+		if tr.Invocations[a].At != tr.Invocations[b].At {
+			return tr.Invocations[a].At < tr.Invocations[b].At
+		}
+		return tr.Invocations[a].Function < tr.Invocations[b].Function
+	})
+	if len(tr.Invocations) == 0 {
+		return nil, fmt.Errorf("workload: horizon %v produced no invocations", spec.Horizon)
+	}
+	return tr, nil
+}
+
+func pickClass(classes []RateClass, rng *rand.Rand) RateClass {
+	x := rng.Float64()
+	for _, c := range classes {
+		if x < c.Share {
+			return c
+		}
+		x -= c.Share
+	}
+	return classes[len(classes)-1]
+}
+
+// Plan converts the trace into a STeLLAR load plan over the given
+// endpoints: function i maps to endpoints[i]. The endpoint list must cover
+// the population.
+func (tr *Trace) Plan(eps []core.Endpoint) ([]core.PlannedRequest, error) {
+	if len(eps) < tr.Spec.Functions {
+		return nil, fmt.Errorf("workload: %d endpoints for %d functions", len(eps), tr.Spec.Functions)
+	}
+	plan := make([]core.PlannedRequest, 0, len(tr.Invocations))
+	for _, inv := range tr.Invocations {
+		plan = append(plan, core.PlannedRequest{
+			At:       inv.At,
+			Endpoint: eps[inv.Function],
+			ExecTime: inv.ExecTime,
+		})
+	}
+	return plan, nil
+}
+
+// ClassCount reports how many functions landed in each class.
+func (tr *Trace) ClassCount() map[string]int {
+	out := make(map[string]int)
+	for _, class := range tr.ClassOf {
+		out[class]++
+	}
+	return out
+}
+
+// InvocationsPerClass reports trace events per class.
+func (tr *Trace) InvocationsPerClass() map[string]int {
+	out := make(map[string]int)
+	for _, inv := range tr.Invocations {
+		out[inv.Class]++
+	}
+	return out
+}
+
+// rateFactor returns the instantaneous rate multiplier in (0, 1].
+func (s Spec) rateFactor(at time.Duration) float64 {
+	if s.Diurnal == nil {
+		return 1
+	}
+	phase := 2 * math.Pi * float64(at%s.Diurnal.Period) / float64(s.Diurnal.Period)
+	// Peak at phase pi/2, trough at 3pi/2.
+	level := 0.5 + 0.5*math.Sin(phase)
+	return s.Diurnal.MinFactor + (1-s.Diurnal.MinFactor)*level
+}

@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/core"
+)
+
+func testSpec() Spec {
+	return Spec{
+		Functions: 30,
+		Horizon:   time.Hour,
+		Classes: []RateClass{
+			{Name: "rare", Share: 0.5, MeanIAT: 30 * time.Minute, ExecTime: 100 * time.Millisecond},
+			{Name: "hot", Share: 0.5, MeanIAT: 5 * time.Second, ExecTime: 50 * time.Millisecond},
+		},
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := DefaultSpec().Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+	bad := []Spec{
+		{},
+		{Functions: 1},
+		{Functions: 1, Horizon: time.Hour},
+		{Functions: 1, Horizon: time.Hour, Classes: []RateClass{{Name: "x", Share: 0.2, MeanIAT: time.Second}}},
+		{Functions: 1, Horizon: time.Hour, Classes: []RateClass{{Name: "x", Share: 1, MeanIAT: 0}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d passed", i)
+		}
+	}
+}
+
+func TestGenerateOrderingAndHorizon(t *testing.T) {
+	tr, err := Generate(testSpec(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev time.Duration
+	for _, inv := range tr.Invocations {
+		if inv.At < prev {
+			t.Fatal("trace not time-ordered")
+		}
+		if inv.At >= tr.Spec.Horizon {
+			t.Fatalf("invocation at %v beyond horizon %v", inv.At, tr.Spec.Horizon)
+		}
+		if inv.Function < 0 || inv.Function >= tr.Spec.Functions {
+			t.Fatalf("function index %d out of range", inv.Function)
+		}
+		prev = inv.At
+	}
+}
+
+func TestGenerateRatesRoughlyMatch(t *testing.T) {
+	tr, err := Generate(testSpec(), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perClass := tr.InvocationsPerClass()
+	counts := tr.ClassCount()
+	// Hot functions fire ~720/hour each; rare ~2/hour each.
+	if counts["hot"] > 0 {
+		avg := float64(perClass["hot"]) / float64(counts["hot"])
+		if avg < 400 || avg > 1100 {
+			t.Errorf("hot class fired %.0f times per function per hour, want ~720", avg)
+		}
+	}
+	if counts["rare"] > 0 {
+		avg := float64(perClass["rare"]) / float64(counts["rare"])
+		if avg > 8 {
+			t.Errorf("rare class fired %.1f times per function per hour, want ~2", avg)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(testSpec(), rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testSpec(), rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Invocations) != len(b.Invocations) {
+		t.Fatal("non-deterministic trace size")
+	}
+	for i := range a.Invocations {
+		if a.Invocations[i] != b.Invocations[i] {
+			t.Fatalf("traces diverge at %d", i)
+		}
+	}
+}
+
+func TestPlanMapping(t *testing.T) {
+	tr, err := Generate(testSpec(), rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := make([]core.Endpoint, tr.Spec.Functions)
+	for i := range eps {
+		eps[i] = core.Endpoint{Function: "fn" + string(rune('A'+i%26)), Provider: "sim"}
+	}
+	plan, err := tr.Plan(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != len(tr.Invocations) {
+		t.Fatalf("plan %d != trace %d", len(plan), len(tr.Invocations))
+	}
+	for i, pr := range plan {
+		inv := tr.Invocations[i]
+		if pr.At != inv.At || pr.Endpoint.Function != eps[inv.Function].Function || pr.ExecTime != inv.ExecTime {
+			t.Fatalf("plan entry %d mismatch: %+v vs %+v", i, pr, inv)
+		}
+	}
+	if _, err := tr.Plan(eps[:2]); err == nil {
+		t.Fatal("expected error for too few endpoints")
+	}
+}
+
+func TestGenerateEmptyHorizonFails(t *testing.T) {
+	spec := testSpec()
+	spec.Horizon = time.Nanosecond
+	spec.Classes = []RateClass{{Name: "glacial", Share: 1, MeanIAT: 100 * time.Hour}}
+	if _, err := Generate(spec, rand.New(rand.NewSource(5))); err == nil {
+		t.Fatal("expected error for invocation-free horizon")
+	}
+}
+
+// Property: all generated invocations are valid for any seed and modest
+// population.
+func TestQuickGenerateValid(t *testing.T) {
+	f := func(seed int64, fnRaw uint8) bool {
+		spec := testSpec()
+		spec.Functions = int(fnRaw)%20 + 1
+		tr, err := Generate(spec, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return true // tiny populations may legitimately produce nothing
+		}
+		for _, inv := range tr.Invocations {
+			if inv.At < 0 || inv.At >= spec.Horizon ||
+				inv.Function < 0 || inv.Function >= spec.Functions {
+				return false
+			}
+			if tr.ClassOf[inv.Function] != inv.Class {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiurnalModulation(t *testing.T) {
+	spec := Spec{
+		Functions: 20,
+		Horizon:   24 * time.Hour,
+		Classes: []RateClass{
+			{Name: "hot", Share: 1, MeanIAT: 10 * time.Second, ExecTime: time.Millisecond},
+		},
+		Diurnal: &Diurnal{Period: 24 * time.Hour, MinFactor: 0.1},
+	}
+	tr, err := Generate(spec, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak quarter (phase around pi/2 => hours 3-9) must see far more
+	// traffic than the trough quarter (hours 15-21).
+	peak, trough := 0, 0
+	for _, inv := range tr.Invocations {
+		h := inv.At.Hours()
+		switch {
+		case h >= 3 && h < 9:
+			peak++
+		case h >= 15 && h < 21:
+			trough++
+		}
+	}
+	if trough == 0 || float64(peak)/float64(trough) < 3 {
+		t.Fatalf("peak/trough = %d/%d, want pronounced diurnal swing", peak, trough)
+	}
+}
+
+func TestDiurnalValidation(t *testing.T) {
+	spec := testSpec()
+	spec.Diurnal = &Diurnal{Period: 0, MinFactor: 0.5}
+	if err := spec.Validate(); err == nil {
+		t.Fatal("expected error for zero period")
+	}
+	spec.Diurnal = &Diurnal{Period: time.Hour, MinFactor: 1.5}
+	if err := spec.Validate(); err == nil {
+		t.Fatal("expected error for min factor > 1")
+	}
+}
