@@ -25,11 +25,17 @@ import (
 // paper's full 3000-samples-per-configuration methodology.
 var paperScale = flag.Bool("paperscale", false, "run benches at the paper's full sample counts")
 
+// benchWorkers sets the per-experiment worker pool; results are identical
+// at any setting, only wall-clock time changes.
+var benchWorkers = flag.Int("workers", 0, "concurrent series per experiment (0 = all CPUs, 1 = serial)")
+
 func benchOpts() experiments.Options {
+	opts := experiments.Quick()
 	if *paperScale {
-		return experiments.Defaults()
+		opts = experiments.Defaults()
 	}
-	return experiments.Quick()
+	opts.Workers = *benchWorkers
+	return opts
 }
 
 // reportSeries exposes a series' median/p99/TMR as benchmark metrics.
@@ -45,17 +51,20 @@ func reportFigure(b *testing.B, fig *experiments.Figure) {
 	}
 }
 
-// sanitize converts series labels into metric-name-safe tokens.
+// sanitize converts series labels into metric-name-safe tokens: '/' keeps
+// its meaning as '-', every other non-alphanumeric rune becomes '_' so
+// labels with parentheses, commas, or percent signs (e.g. Table I factors)
+// cannot leak unsafe characters into benchstat metric names.
 func sanitize(label string) string {
 	out := make([]rune, 0, len(label))
 	for _, r := range label {
 		switch {
-		case r == ' ' || r == '=' || r == '+':
-			out = append(out, '_')
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
 		case r == '/':
 			out = append(out, '-')
 		default:
-			out = append(out, r)
+			out = append(out, '_')
 		}
 	}
 	return string(out)

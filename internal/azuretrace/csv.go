@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -61,7 +62,10 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 		prev := time.Duration(-1)
 		for i, p := range csvPercentiles {
 			ms, err := strconv.ParseFloat(parts[i+1], 64)
-			if err != nil || ms < 0 {
+			// ParseFloat accepts "NaN" and "Inf", which pass a plain
+			// negativity check and convert to garbage durations; values
+			// past maxMS overflow time.Duration the same way.
+			if err != nil || ms < 0 || math.IsNaN(ms) || ms > maxMS {
 				return nil, fmt.Errorf("azuretrace: line %d: bad p%d value %q", lineNo, p, parts[i+1])
 			}
 			d := time.Duration(ms * float64(time.Millisecond))
@@ -82,6 +86,12 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 	if len(records) == 0 {
 		return nil, fmt.Errorf("azuretrace: no records")
 	}
-	sort.Slice(records, func(i, j int) bool { return records[i].Function < records[j].Function })
+	// Stable, so rows sharing a function name keep their file order and
+	// a write/read round trip preserves record order exactly.
+	sort.SliceStable(records, func(i, j int) bool { return records[i].Function < records[j].Function })
 	return records, nil
 }
+
+// maxMS bounds a parsed percentile: one year in milliseconds, far beyond
+// any execution time yet orders of magnitude under time.Duration overflow.
+const maxMS = 365 * 24 * 3600 * 1000

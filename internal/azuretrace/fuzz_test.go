@@ -1,0 +1,60 @@
+package azuretrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzParseCSV asserts two properties over arbitrary input: ReadCSV never
+// panics, and any input it accepts survives a Write/Read round trip with
+// every percentile preserved to WriteCSV's quantization (three decimals of
+// a millisecond, i.e. 500ns).
+func FuzzParseCSV(f *testing.F) {
+	f.Add("function,p25_ms,p50_ms,p75_ms,p95_ms,p99_ms\nf1,1.000,2.000,3.000,4.000,5.000\n")
+	f.Add("a,0.100,18.000,30.000,60.000,74.000\nb,5.000,9.000,14.000,20.000,31.000\n")
+	f.Add("")
+	f.Add("f,1,2,3\n")
+	f.Add("f,5.0,4.0,3.0,2.0,1.0\n")
+	f.Add("f,-1,2,3,4,5\n")
+	f.Add("f,NaN,NaN,NaN,NaN,NaN\n")
+	f.Add("f,+Inf,+Inf,+Inf,+Inf,+Inf\n")
+	f.Add("f,1e300,1e301,1e302,1e303,1e304\n")
+	f.Add("f,0.0001,0.0002,0.0003,0.0004,0.0005\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		records, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, records); err != nil {
+			t.Fatalf("WriteCSV on accepted records: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			// The only legitimate reparse failure is quantization driving
+			// a sub-500ns median to "0.000".
+			for _, r := range records {
+				if r.Median() < 500*time.Nanosecond {
+					return
+				}
+			}
+			t.Fatalf("round trip failed to reparse: %v\ninput: %q\nwritten: %q", err, data, buf.String())
+		}
+		if len(again) != len(records) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(records), len(again))
+		}
+		for i := range records {
+			if again[i].Function != records[i].Function {
+				t.Fatalf("record %d: function %q -> %q", i, records[i].Function, again[i].Function)
+			}
+			for _, p := range csvPercentiles {
+				a, b := records[i].Percentiles[p], again[i].Percentiles[p]
+				if diff := a - b; diff < -500*time.Nanosecond || diff > 500*time.Nanosecond {
+					t.Fatalf("record %d p%d: %v -> %v (beyond quantization)", i, p, a, b)
+				}
+			}
+		}
+	})
+}

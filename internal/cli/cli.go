@@ -272,10 +272,11 @@ func cmdExperiment(args []string, stdout io.Writer) error {
 	samples := fs.Int("samples", 3000, "samples per configuration")
 	replicas := fs.Int("replicas", 100, "replicas for cold studies")
 	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "concurrent series per experiment (0 = all CPUs, 1 = serial)")
 	csvDir := fs.String("csv-dir", "", "write each figure's series as CSV into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := experiments.Options{Seed: *seed, Samples: *samples, Replicas: *replicas, CSVDir: *csvDir}
+	opts := experiments.Options{Seed: *seed, Samples: *samples, Replicas: *replicas, Workers: *workers, CSVDir: *csvDir}
 	return experiments.Report(stdout, *id, opts)
 }

@@ -108,6 +108,24 @@ func TestExperimentCommand(t *testing.T) {
 	}
 }
 
+// TestExperimentWorkersDeterminism: a figure report must be byte-identical
+// at any -workers setting.
+func TestExperimentWorkersDeterminism(t *testing.T) {
+	var outs []string
+	for _, workers := range []string{"1", "8"} {
+		code, out, errOut := run(t, "experiment", "-id", "fig3a",
+			"-samples", "120", "-replicas", "10", "-workers", workers)
+		if code != 0 {
+			t.Fatalf("workers=%s: code=%d err=%q", workers, code, errOut)
+		}
+		outs = append(outs, out)
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("experiment output differs between -workers 1 and -workers 8\n--- workers=1 ---\n%s--- workers=8 ---\n%s",
+			outs[0], outs[1])
+	}
+}
+
 func TestExperimentUnknownID(t *testing.T) {
 	code, _, errOut := run(t, "experiment", "-id", "fig99")
 	if code != 1 || !strings.Contains(errOut, "unknown id") {

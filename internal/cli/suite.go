@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -8,16 +9,21 @@ import (
 
 	"github.com/stellar-repro/stellar/internal/core"
 	"github.com/stellar-repro/stellar/internal/experiments"
+	"github.com/stellar-repro/stellar/internal/runner"
 )
 
 // cmdSuite runs a whole measurement campaign from a suite configuration
 // file: each experiment deploys into a fresh simulated cloud, runs its load
 // scenario, and reports; optional per-experiment CSVs land in -csv-dir.
+// Experiments are independent, so they run on a worker pool; each draws its
+// randomness from a per-experiment shard stream and buffers its report, so
+// the output is identical at any -workers setting.
 func cmdSuite(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("suite", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	configPath := fs.String("config", "", "suite configuration file (required)")
 	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "concurrent experiments (0 = all CPUs, 1 = serial)")
 	csvDir := fs.String("csv-dir", "", "directory for per-experiment CSV files")
 	breakdown := fs.Bool("breakdown", false, "print per-component latency breakdowns")
 	if err := fs.Parse(args); err != nil {
@@ -34,43 +40,48 @@ func cmdSuite(args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "suite: %d experiments\n\n", len(sc.Experiments))
-	type row struct {
-		name string
-		sum  string
+	type expOut struct {
+		report string
+		sum    string
 	}
-	var rows []row
-	for _, exp := range sc.Experiments {
-		env, err := experiments.NewEnv(exp.Static.Provider, *seed)
+	pool := runner.Pool{Workers: *workers, Seed: *seed}
+	outs, err := runner.Map(pool, len(sc.Experiments), func(sh runner.Shard) (expOut, error) {
+		exp := sc.Experiments[sh.Index]
+		var buf bytes.Buffer
+		env, err := experiments.NewEnv(exp.Static.Provider, sh.Seed)
 		if err != nil {
-			return fmt.Errorf("suite %q: %w", exp.Name, err)
+			return expOut{}, fmt.Errorf("suite %q: %w", exp.Name, err)
 		}
+		defer env.Close()
 		eps, err := env.Deployer().Deploy(&exp.Static)
 		if err != nil {
-			env.Close()
-			return fmt.Errorf("suite %q: %w", exp.Name, err)
+			return expOut{}, fmt.Errorf("suite %q: %w", exp.Name, err)
 		}
 		res, err := env.Client().Run(eps.Endpoints, exp.Runtime)
 		if err != nil {
-			env.Close()
-			return fmt.Errorf("suite %q: %w", exp.Name, err)
+			return expOut{}, fmt.Errorf("suite %q: %w", exp.Name, err)
 		}
-		fmt.Fprintf(stdout, "== %s (%s, %d endpoints)\n", exp.Name, exp.Static.Provider, len(eps.Endpoints))
-		printRun(stdout, res, *breakdown)
-		fmt.Fprintln(stdout)
+		fmt.Fprintf(&buf, "== %s (%s, %d endpoints)\n", exp.Name, exp.Static.Provider, len(eps.Endpoints))
+		printRun(&buf, res, *breakdown)
+		fmt.Fprintln(&buf)
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, exp.Name+".csv")
 			if err := writeCSV(path, exp.Name, res); err != nil {
-				env.Close()
-				return fmt.Errorf("suite %q: %w", exp.Name, err)
+				return expOut{}, fmt.Errorf("suite %q: %w", exp.Name, err)
 			}
-			fmt.Fprintf(stdout, "csv written to %s\n\n", path)
+			fmt.Fprintf(&buf, "csv written to %s\n\n", path)
 		}
-		rows = append(rows, row{exp.Name, res.Summary().String()})
-		env.Close()
+		return expOut{report: buf.String(), sum: res.Summary().String()}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, o := range outs {
+		fmt.Fprint(stdout, o.report)
 	}
 	fmt.Fprintln(stdout, "== suite summary")
-	for _, r := range rows {
-		fmt.Fprintf(stdout, "%-28s %s\n", r.name, r.sum)
+	for i, o := range outs {
+		fmt.Fprintf(stdout, "%-28s %s\n", sc.Experiments[i].Name, o.sum)
 	}
 	return nil
 }

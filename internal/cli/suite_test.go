@@ -47,6 +47,25 @@ func TestSuiteCommand(t *testing.T) {
 	}
 }
 
+// TestSuiteWorkersDeterminism: the suite's report must be byte-identical
+// at any -workers setting (each experiment buffers its output and draws
+// randomness from its own shard stream).
+func TestSuiteWorkersDeterminism(t *testing.T) {
+	cfg := writeTestFile(t, "suite.json", validSuite)
+	var outs []string
+	for _, workers := range []string{"1", "4"} {
+		code, out, errOut := run(t, "suite", "-config", cfg, "-workers", workers)
+		if code != 0 {
+			t.Fatalf("workers=%s: code=%d err=%q", workers, code, errOut)
+		}
+		outs = append(outs, out)
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("suite output differs between -workers 1 and -workers 4\n--- workers=1 ---\n%s--- workers=4 ---\n%s",
+			outs[0], outs[1])
+	}
+}
+
 func TestSuiteCommandErrors(t *testing.T) {
 	code, _, errOut := run(t, "suite")
 	if code != 1 || !strings.Contains(errOut, "-config is required") {

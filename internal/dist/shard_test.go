@@ -1,0 +1,68 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestShardSeedDeterministic(t *testing.T) {
+	for _, seed := range []int64{0, 1, -7, 1 << 40} {
+		for _, shard := range []int{0, 1, 2, 1000} {
+			a := ShardSeed(seed, shard)
+			b := ShardSeed(seed, shard)
+			if a != b {
+				t.Errorf("ShardSeed(%d,%d) not deterministic: %d vs %d", seed, shard, a, b)
+			}
+		}
+	}
+}
+
+func TestShardSeedUnique(t *testing.T) {
+	// No collisions across a realistic (seed, shard) grid, and no shard
+	// seed collides with its own root.
+	seen := map[int64]string{}
+	for _, seed := range []int64{0, 1, 2, 3, -1, 123456789} {
+		for shard := 0; shard < 2000; shard++ {
+			s := ShardSeed(seed, shard)
+			if s == seed {
+				t.Errorf("ShardSeed(%d,%d) equals the root seed", seed, shard)
+			}
+			if prev, ok := seen[s]; ok {
+				t.Fatalf("collision: ShardSeed(%d,%d) = %d already produced by %s", seed, shard, s, prev)
+			}
+			seen[s] = fmt.Sprintf("(%d,%d)", seed, shard)
+		}
+	}
+}
+
+func TestShardSeedSensitivity(t *testing.T) {
+	// Different roots must give different shard families.
+	if ShardSeed(1, 0) == ShardSeed(2, 0) {
+		t.Error("shard 0 identical across different root seeds")
+	}
+	// Adjacent shards must not be trivially related (catch additive bugs).
+	d1 := ShardSeed(1, 1) - ShardSeed(1, 0)
+	d2 := ShardSeed(1, 2) - ShardSeed(1, 1)
+	if d1 == d2 {
+		t.Error("adjacent shard seeds form an arithmetic progression")
+	}
+}
+
+func TestStreamsShard(t *testing.T) {
+	root := NewStreams(42)
+	a := root.Shard(3).Stream("cold-start")
+	b := NewStreams(42).Shard(3).Stream("cold-start")
+	c := root.Shard(4).Stream("cold-start")
+	for i := 0; i < 100; i++ {
+		av, bv, cv := a.Int63(), b.Int63(), c.Int63()
+		if av != bv {
+			t.Fatalf("draw %d: same shard produced different values", i)
+		}
+		if i == 0 && av == cv {
+			t.Error("different shards produced the same first draw")
+		}
+	}
+	if root.Shard(0).Seed() == root.Seed() {
+		t.Error("shard 0 must not alias the root")
+	}
+}

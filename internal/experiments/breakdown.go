@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/stellar-repro/stellar/internal/core"
+	"github.com/stellar-repro/stellar/internal/runner"
 )
 
 // BreakdownScenario names one load regime of the per-component study.
@@ -39,28 +40,43 @@ func BreakdownStudy(opts Options) (*BreakdownResult, error) {
 		Stats:     make(map[string]map[BreakdownScenario]*core.BreakdownStats),
 		Latencies: make(map[string]map[BreakdownScenario]*core.RunResult),
 	}
+	type bdCase struct {
+		prov string
+		scen BreakdownScenario
+	}
+	var cases []bdCase
 	for _, prov := range AllProviders {
-		res.Stats[prov] = make(map[BreakdownScenario]*core.BreakdownStats)
-		res.Latencies[prov] = make(map[BreakdownScenario]*core.RunResult)
-
-		warm, err := runBurst(prov, opts.Seed, BurstShortIAT, 1, opts.Samples, 0)
+		for _, scen := range []BreakdownScenario{ScenarioWarm, ScenarioCold, ScenarioBurstCold} {
+			cases = append(cases, bdCase{prov, scen})
+		}
+	}
+	runs, err := runner.Map(opts.pool(), len(cases), func(sh runner.Shard) (*core.RunResult, error) {
+		c := cases[sh.Index]
+		var r *core.RunResult
+		var err error
+		switch c.scen {
+		case ScenarioWarm:
+			r, err = runBurst(c.prov, sh.Seed, BurstShortIAT, 1, opts.Samples, 0)
+		case ScenarioCold:
+			r, err = measure(c.prov, sh.Seed, pythonFn("cold", opts.Replicas), coldRC(c.prov, opts))
+		case ScenarioBurstCold:
+			r, err = runBurst(c.prov, sh.Seed, BurstLongIAT, 100, burstSamples(opts, 100), 0)
+		}
 		if err != nil {
-			return nil, fmt.Errorf("breakdown %s warm: %w", prov, err)
+			return nil, fmt.Errorf("breakdown %s %s: %w", c.prov, c.scen, err)
 		}
-		cold, err := measure(prov, opts.Seed, pythonFn("cold", opts.Replicas), coldRC(prov, opts))
-		if err != nil {
-			return nil, fmt.Errorf("breakdown %s cold: %w", prov, err)
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cases {
+		if res.Stats[c.prov] == nil {
+			res.Stats[c.prov] = make(map[BreakdownScenario]*core.BreakdownStats)
+			res.Latencies[c.prov] = make(map[BreakdownScenario]*core.RunResult)
 		}
-		burst, err := runBurst(prov, opts.Seed, BurstLongIAT, 100, burstSamples(opts, 100), 0)
-		if err != nil {
-			return nil, fmt.Errorf("breakdown %s burst: %w", prov, err)
-		}
-		for scen, r := range map[BreakdownScenario]*core.RunResult{
-			ScenarioWarm: warm, ScenarioCold: cold, ScenarioBurstCold: burst,
-		} {
-			res.Stats[prov][scen] = r.Breakdowns()
-			res.Latencies[prov][scen] = r
-		}
+		res.Stats[c.prov][c.scen] = runs[i].Breakdowns()
+		res.Latencies[c.prov][c.scen] = runs[i]
 	}
 	return res, nil
 }

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// detOpts are deliberately small so that every figure runs three times
+// (Workers=1, Workers=8, different seed) in a few seconds.
+func detOpts(seed int64, workers int) Options {
+	return Options{Seed: seed, Samples: 120, Replicas: 10, Workers: workers}
+}
+
+// fingerprint serializes everything a report shows about a figure: per
+// series the label, sweep parameter, and the summary statistics plus
+// cold/error counts. Byte equality of fingerprints is the determinism
+// guarantee the runner package promises.
+func fingerprint(fig *Figure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s\n", fig.ID, fig.Title)
+	for _, s := range fig.Series {
+		sum := s.Summary()
+		fmt.Fprintf(&b, "%s x=%g n=%d min=%d median=%d p95=%d p99=%d max=%d mean=%d colds=%d errors=%d\n",
+			s.Label, s.X, sum.Count,
+			int64(sum.Min), int64(sum.Median), int64(sum.P95), int64(sum.P99),
+			int64(sum.Max), int64(sum.Mean), s.Colds, s.Errors)
+	}
+	return b.String()
+}
+
+// figureRunners lists every figure reproduction that shards series across
+// the worker pool.
+var figureRunners = []struct {
+	name string
+	run  func(Options) (*Figure, error)
+}{
+	{"fig3-warm", Fig3Warm},
+	{"fig3-cold", Fig3Cold},
+	{"fig4", Fig4ImageSize},
+	{"fig5", Fig5RuntimeDeploy},
+	{"fig6", Fig6Inline},
+	{"fig7", Fig7Storage},
+	{"fig8", Fig8Bursts},
+	{"fig9", Fig9Scheduling},
+}
+
+// TestFigureDeterminismAcrossWorkers is the central promise of the runner
+// package: for every figure, Workers=1 and Workers=8 produce byte-identical
+// summaries for the same seed, because each series derives all randomness
+// from its positional shard seed and results are collected in index order.
+func TestFigureDeterminismAcrossWorkers(t *testing.T) {
+	for _, fr := range figureRunners {
+		fr := fr
+		t.Run(fr.name, func(t *testing.T) {
+			t.Parallel()
+			serial, err := fr.run(detOpts(1, 1))
+			if err != nil {
+				t.Fatalf("%s Workers=1: %v", fr.name, err)
+			}
+			parallel, err := fr.run(detOpts(1, 8))
+			if err != nil {
+				t.Fatalf("%s Workers=8: %v", fr.name, err)
+			}
+			fp1, fp8 := fingerprint(serial), fingerprint(parallel)
+			if fp1 != fp8 {
+				t.Errorf("%s: Workers=1 and Workers=8 summaries differ\n--- Workers=1 ---\n%s--- Workers=8 ---\n%s",
+					fr.name, fp1, fp8)
+			}
+		})
+	}
+}
+
+// TestFigureSeedSensitivity guards against the opposite failure: the
+// determinism above must come from the seed, not from the randomness being
+// inert. A different root seed must change the measurements.
+func TestFigureSeedSensitivity(t *testing.T) {
+	for _, fr := range figureRunners {
+		fr := fr
+		t.Run(fr.name, func(t *testing.T) {
+			t.Parallel()
+			a, err := fr.run(detOpts(1, 8))
+			if err != nil {
+				t.Fatalf("%s seed=1: %v", fr.name, err)
+			}
+			b, err := fr.run(detOpts(2, 8))
+			if err != nil {
+				t.Fatalf("%s seed=2: %v", fr.name, err)
+			}
+			if fingerprint(a) == fingerprint(b) {
+				t.Errorf("%s: seeds 1 and 2 produced identical summaries; randomness is not seeded", fr.name)
+			}
+		})
+	}
+}
+
+// TestTable1DeterminismAcrossWorkers covers the non-Figure runner with the
+// most shards (26 cells).
+func TestTable1DeterminismAcrossWorkers(t *testing.T) {
+	render := func(res *Table1Result) string {
+		var b strings.Builder
+		for _, row := range res.Rows {
+			for _, prov := range AllProviders {
+				c := row.Cells[prov]
+				fmt.Fprintf(&b, "%s/%s mr=%.6f tr=%.6f na=%v\n", row.Factor, prov, c.MR, c.TR, c.NA)
+			}
+		}
+		for _, prov := range AllProviders {
+			fmt.Fprintf(&b, "base %s=%d\n", prov, int64(res.BaseMedians[prov]))
+		}
+		return b.String()
+	}
+	serial, err := Table1(detOpts(1, 1))
+	if err != nil {
+		t.Fatalf("table1 Workers=1: %v", err)
+	}
+	parallel, err := Table1(detOpts(1, 8))
+	if err != nil {
+		t.Fatalf("table1 Workers=8: %v", err)
+	}
+	if s, p := render(serial), render(parallel); s != p {
+		t.Errorf("table1: Workers=1 and Workers=8 differ\n--- Workers=1 ---\n%s--- Workers=8 ---\n%s", s, p)
+	}
+}
+
+// TestParallelSpeedup demonstrates that the pool buys wall-clock time on
+// multi-core machines without changing results. It needs real cores, so it
+// is skipped on smaller runners and under -short.
+func TestParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup measurement skipped in -short mode")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("speedup needs >=4 CPUs, have %d", runtime.NumCPU())
+	}
+	opts := Options{Seed: 1, Samples: 600, Replicas: 40} // Quick scale
+	run := func(workers int) (string, time.Duration) {
+		opts := opts
+		opts.Workers = workers
+		start := time.Now()
+		fig, err := Fig8Bursts(opts)
+		if err != nil {
+			t.Fatalf("fig8 Workers=%d: %v", workers, err)
+		}
+		return fingerprint(fig), time.Since(start)
+	}
+	fpSerial, serial := run(1)
+	fpParallel, parallel := run(4)
+	if fpSerial != fpParallel {
+		t.Fatalf("Workers=1 and Workers=4 summaries differ")
+	}
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("fig8 at Quick scale: Workers=1 %v, Workers=4 %v (%.2fx)", serial, parallel, speedup)
+	// The 24 series of fig8 split well over 4 workers; require a
+	// conservative 1.5x so a noisy shared runner cannot flake the test.
+	if speedup < 1.5 {
+		t.Errorf("Workers=4 speedup %.2fx < 1.5x (serial %v, parallel %v)", speedup, serial, parallel)
+	}
+}

@@ -14,18 +14,26 @@ import (
 	"github.com/stellar-repro/stellar/internal/des"
 	"github.com/stellar-repro/stellar/internal/dist"
 	"github.com/stellar-repro/stellar/internal/providers"
+	"github.com/stellar-repro/stellar/internal/runner"
 	"github.com/stellar-repro/stellar/internal/stats"
 )
 
 // Options scales experiments: full paper scale (3000 samples, 100 replicas)
 // by default, reducible for benches and CI.
 type Options struct {
-	// Seed roots all randomness.
+	// Seed roots all randomness. Every independent measurement (one
+	// provider/configuration series) draws from its own splittable shard
+	// stream derived from Seed, so results are byte-identical at any
+	// Workers setting.
 	Seed int64
 	// Samples per configuration (paper: 3000).
 	Samples int
 	// Replicas for cold-start studies (paper: >100).
 	Replicas int
+	// Workers bounds how many independent series run concurrently, each on
+	// its own isolated DES engine. Zero means GOMAXPROCS; 1 is fully
+	// serial. The setting changes wall-clock time only, never results.
+	Workers int
 	// CSVDir, when set, makes Report write each figure's series as
 	// <CSVDir>/<figureID>.csv for external plotting.
 	CSVDir string
@@ -169,6 +177,21 @@ func measure(providerName string, seed int64, sc core.StaticConfig, rc core.Runt
 	}
 	defer e.close()
 	return e.run(sc, rc)
+}
+
+// pool returns the worker pool all of the options' shards run on.
+func (o Options) pool() runner.Pool {
+	return runner.Pool{Workers: o.Workers, Seed: o.Seed}
+}
+
+// mapSeries runs n independent series measurements on the options' worker
+// pool and collects them in index order. Each measurement receives its
+// shard index and private seed; everything random inside it must derive
+// from that seed so Workers=1 and Workers=N stay byte-identical.
+func mapSeries(opts Options, n int, fn func(i int, seed int64) (Series, error)) ([]Series, error) {
+	return runner.Map(opts.pool(), n, func(sh runner.Shard) (Series, error) {
+		return fn(sh.Index, sh.Seed)
+	})
 }
 
 // seriesFrom converts a run result into a Series.

@@ -32,17 +32,22 @@ func Fig3Warm(opts Options) (*Figure, error) {
 		Title: "Warm-function response time CDFs (short IAT)",
 		Notes: []string{"latencies are client-observed and include propagation delays"},
 	}
-	for _, prov := range AllProviders {
-		res, err := measure(prov, opts.Seed, pythonFn("warm", 1), core.RuntimeConfig{
+	series, err := mapSeries(opts, len(AllProviders), func(i int, seed int64) (Series, error) {
+		prov := AllProviders[i]
+		res, err := measure(prov, seed, pythonFn("warm", 1), core.RuntimeConfig{
 			Samples:       opts.Samples,
 			IAT:           core.Duration(shortIAT),
 			WarmupDiscard: 3,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("fig3a %s: %w", prov, err)
+			return Series{}, fmt.Errorf("fig3a %s: %w", prov, err)
 		}
-		fig.Series = append(fig.Series, seriesFrom(prov, 0, res, fig3WarmRefs[prov]))
+		return seriesFrom(prov, 0, res, fig3WarmRefs[prov]), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -56,15 +61,20 @@ func Fig3Cold(opts Options) (*Figure, error) {
 		ID:    "fig3b",
 		Title: "Cold-function response time CDFs (long IAT)",
 	}
-	for _, prov := range AllProviders {
-		res, err := measure(prov, opts.Seed, pythonFn("cold", opts.Replicas), core.RuntimeConfig{
+	series, err := mapSeries(opts, len(AllProviders), func(i int, seed int64) (Series, error) {
+		prov := AllProviders[i]
+		res, err := measure(prov, seed, pythonFn("cold", opts.Replicas), core.RuntimeConfig{
 			Samples: opts.Samples,
 			IAT:     core.Duration(longIATFor(prov) / time.Duration(opts.Replicas)),
 		})
 		if err != nil {
-			return nil, fmt.Errorf("fig3b %s: %w", prov, err)
+			return Series{}, fmt.Errorf("fig3b %s: %w", prov, err)
 		}
-		fig.Series = append(fig.Series, seriesFrom(prov, 0, res, fig3ColdRefs[prov]))
+		return seriesFrom(prov, 0, res, fig3ColdRefs[prov]), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	fig.Series = series
 	return fig, nil
 }

@@ -39,25 +39,38 @@ func Fig4ImageSize(opts Options) (*Figure, error) {
 		Title: "Cold-start latency vs. function image size",
 		Notes: []string{"Go ZIP functions; extra random-content file of 10MB / 100MB"},
 	}
+	type fig4Case struct {
+		prov string
+		size int64
+	}
+	var cases []fig4Case
 	for _, prov := range AllProviders {
 		for _, size := range Fig4ImageSizes {
-			sc := core.StaticConfig{Functions: []core.FunctionConfig{{
-				Name:            "imgsize",
-				Runtime:         string(cloud.RuntimeGo),
-				Method:          string(cloud.DeployZIP),
-				ExtraImageBytes: size,
-				Replicas:        opts.Replicas,
-			}}}
-			res, err := measure(prov, opts.Seed, sc, core.RuntimeConfig{
-				Samples: opts.Samples,
-				IAT:     core.Duration(longIATFor(prov) / time.Duration(opts.Replicas)),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig4 %s %dMB: %w", prov, size>>20, err)
-			}
-			label := fmt.Sprintf("%s +%dMB", prov, size>>20)
-			fig.Series = append(fig.Series, seriesFrom(label, float64(size), res, fig4Refs[prov][size]))
+			cases = append(cases, fig4Case{prov, size})
 		}
 	}
+	series, err := mapSeries(opts, len(cases), func(i int, seed int64) (Series, error) {
+		c := cases[i]
+		sc := core.StaticConfig{Functions: []core.FunctionConfig{{
+			Name:            "imgsize",
+			Runtime:         string(cloud.RuntimeGo),
+			Method:          string(cloud.DeployZIP),
+			ExtraImageBytes: c.size,
+			Replicas:        opts.Replicas,
+		}}}
+		res, err := measure(c.prov, seed, sc, core.RuntimeConfig{
+			Samples: opts.Samples,
+			IAT:     core.Duration(longIATFor(c.prov) / time.Duration(opts.Replicas)),
+		})
+		if err != nil {
+			return Series{}, fmt.Errorf("fig4 %s %dMB: %w", c.prov, c.size>>20, err)
+		}
+		label := fmt.Sprintf("%s +%dMB", c.prov, c.size>>20)
+		return seriesFrom(label, float64(c.size), res, fig4Refs[c.prov][c.size]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = series
 	return fig, nil
 }

@@ -36,22 +36,27 @@ func Fig5RuntimeDeploy(opts Options) (*Figure, error) {
 		ID:    "fig5",
 		Title: "AWS cold-start latency by language runtime and deployment method",
 	}
-	for _, tc := range fig5Cases {
+	series, err := mapSeries(opts, len(fig5Cases), func(i int, seed int64) (Series, error) {
+		tc := fig5Cases[i]
 		sc := core.StaticConfig{Functions: []core.FunctionConfig{{
 			Name:     "rtdm",
 			Runtime:  string(tc.runtime),
 			Method:   string(tc.method),
 			Replicas: opts.Replicas,
 		}}}
-		res, err := measure("aws", opts.Seed, sc, core.RuntimeConfig{
+		res, err := measure("aws", seed, sc, core.RuntimeConfig{
 			Samples: opts.Samples,
 			IAT:     core.Duration(longIATFor("aws") / time.Duration(opts.Replicas)),
 		})
 		if err != nil {
-			return nil, fmt.Errorf("fig5 %s/%s: %w", tc.runtime, tc.method, err)
+			return Series{}, fmt.Errorf("fig5 %s/%s: %w", tc.runtime, tc.method, err)
 		}
 		label := fmt.Sprintf("%s %s", tc.runtime, tc.method)
-		fig.Series = append(fig.Series, seriesFrom(label, 0, res, tc.paper))
+		return seriesFrom(label, 0, res, tc.paper), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	fig.Series = series
 	return fig, nil
 }

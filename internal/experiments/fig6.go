@@ -70,21 +70,39 @@ func Fig6Inline(opts Options) (*Figure, error) {
 		Title: "Inline data-transfer latency vs. payload size",
 		Notes: []string{"two-function Go chain; instrumented producer->consumer transfer time"},
 	}
+	cases := transferCases(Fig6Payloads)
+	series, err := mapSeries(opts, len(cases), func(i int, seed int64) (Series, error) {
+		c := cases[i]
+		res, err := runTransfer(c.prov, seed, "inline", c.payload, opts.Samples)
+		if err != nil {
+			return Series{}, fmt.Errorf("fig6 %s %dB: %w", c.prov, c.payload, err)
+		}
+		label := fmt.Sprintf("%s %s", c.prov, sizeLabel(c.payload))
+		return transferSeriesFrom(label, float64(c.payload), res, fig6Refs[c.prov][c.payload])
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = series
+	return fig, nil
+}
+
+// transferCase is one provider/payload cell of a transfer sweep.
+type transferCase struct {
+	prov    string
+	payload int64
+}
+
+// transferCases enumerates a payload sweep across TransferProviders in the
+// figures' fixed order (the shard index of each cell must be stable).
+func transferCases(payloads []int64) []transferCase {
+	var cases []transferCase
 	for _, prov := range TransferProviders {
-		for _, payload := range Fig6Payloads {
-			res, err := runTransfer(prov, opts.Seed, "inline", payload, opts.Samples)
-			if err != nil {
-				return nil, fmt.Errorf("fig6 %s %dB: %w", prov, payload, err)
-			}
-			label := fmt.Sprintf("%s %s", prov, sizeLabel(payload))
-			s, err := transferSeriesFrom(label, float64(payload), res, fig6Refs[prov][payload])
-			if err != nil {
-				return nil, err
-			}
-			fig.Series = append(fig.Series, s)
+		for _, payload := range payloads {
+			cases = append(cases, transferCase{prov, payload})
 		}
 	}
-	return fig, nil
+	return cases
 }
 
 // sizeLabel formats a payload size the way the paper's axes do.

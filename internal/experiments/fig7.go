@@ -31,27 +31,27 @@ func Fig7Storage(opts Options) (*Figure, error) {
 		Title: "Storage-based data-transfer latency vs. payload size",
 		Notes: []string{"two-function Go chain via S3 / Cloud Storage; instrumented transfer time"},
 	}
-	for _, prov := range TransferProviders {
-		for _, payload := range Fig7Payloads {
-			// Very large payloads transfer slowly; scale the sample count
-			// down to keep the virtual experiment tractable, as the paper
-			// effectively does by fixing wall-clock budget per sweep point.
-			samples := opts.Samples
-			if payload >= 100<<20 && samples > 600 {
-				samples = 600
-			}
-			res, err := runTransfer(prov, opts.Seed, "storage", payload, samples)
-			if err != nil {
-				return nil, fmt.Errorf("fig7 %s %dB: %w", prov, payload, err)
-			}
-			label := fmt.Sprintf("%s %s", prov, sizeLabel(payload))
-			s, err := transferSeriesFrom(label, float64(payload), res, fig7Refs[prov][payload])
-			if err != nil {
-				return nil, err
-			}
-			fig.Series = append(fig.Series, s)
+	cases := transferCases(Fig7Payloads)
+	series, err := mapSeries(opts, len(cases), func(i int, seed int64) (Series, error) {
+		c := cases[i]
+		// Very large payloads transfer slowly; scale the sample count
+		// down to keep the virtual experiment tractable, as the paper
+		// effectively does by fixing wall-clock budget per sweep point.
+		samples := opts.Samples
+		if c.payload >= 100<<20 && samples > 600 {
+			samples = 600
 		}
+		res, err := runTransfer(c.prov, seed, "storage", c.payload, samples)
+		if err != nil {
+			return Series{}, fmt.Errorf("fig7 %s %dB: %w", c.prov, c.payload, err)
+		}
+		label := fmt.Sprintf("%s %s", c.prov, sizeLabel(c.payload))
+		return transferSeriesFrom(label, float64(c.payload), res, fig7Refs[c.prov][c.payload])
+	})
+	if err != nil {
+		return nil, err
 	}
+	fig.Series = series
 	return fig, nil
 }
 

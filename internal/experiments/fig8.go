@@ -87,28 +87,42 @@ func Fig8Bursts(opts Options) (*Figure, error) {
 		Title: "Burst response-time CDFs (short and long IAT)",
 		Notes: []string{"burst size 1 equals Fig. 3's individual invocations"},
 	}
+	type fig8Case struct {
+		prov  string
+		kind  BurstKind
+		burst int
+	}
+	var cases []fig8Case
 	for _, prov := range AllProviders {
 		for _, kind := range []BurstKind{BurstShortIAT, BurstLongIAT} {
 			for _, burst := range Fig8BurstSizes {
-				samples := opts.Samples
-				if samples < burst*2 {
-					samples = burst * 2 // at least two measured bursts
-				}
-				res, err := runBurst(prov, opts.Seed, kind, burst, samples, 0)
-				if err != nil {
-					return nil, fmt.Errorf("fig8 %s %s burst=%d: %w", prov, kind, burst, err)
-				}
-				var paper Ref
-				switch kind {
-				case BurstShortIAT:
-					paper = fig8ShortRefs[prov][burst]
-				case BurstLongIAT:
-					paper = fig8LongRefs[prov][burst]
-				}
-				label := fmt.Sprintf("%s %s-IAT burst=%d", prov, kind, burst)
-				fig.Series = append(fig.Series, seriesFrom(label, float64(burst), res, paper))
+				cases = append(cases, fig8Case{prov, kind, burst})
 			}
 		}
 	}
+	series, err := mapSeries(opts, len(cases), func(i int, seed int64) (Series, error) {
+		c := cases[i]
+		samples := opts.Samples
+		if samples < c.burst*2 {
+			samples = c.burst * 2 // at least two measured bursts
+		}
+		res, err := runBurst(c.prov, seed, c.kind, c.burst, samples, 0)
+		if err != nil {
+			return Series{}, fmt.Errorf("fig8 %s %s burst=%d: %w", c.prov, c.kind, c.burst, err)
+		}
+		var paper Ref
+		switch c.kind {
+		case BurstShortIAT:
+			paper = fig8ShortRefs[c.prov][c.burst]
+		case BurstLongIAT:
+			paper = fig8LongRefs[c.prov][c.burst]
+		}
+		label := fmt.Sprintf("%s %s-IAT burst=%d", c.prov, c.kind, c.burst)
+		return seriesFrom(label, float64(c.burst), res, paper), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = series
 	return fig, nil
 }

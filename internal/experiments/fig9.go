@@ -40,24 +40,37 @@ func Fig9Scheduling(opts Options) (*Figure, error) {
 		ID:    "fig9",
 		Title: "Burst latency with 1-second function execution time (long IAT)",
 	}
+	type fig9Case struct {
+		prov  string
+		burst int
+	}
+	var cases []fig9Case
 	for _, prov := range AllProviders {
 		for _, burst := range Fig9BurstSizes {
-			samples := opts.Samples
-			if burst == 1 {
-				// Burst size 1 has no queueing potential; a smaller sample
-				// suffices for its reference CDF.
-				samples = min(samples, 300)
-			} else if samples < burst*2 {
-				samples = burst * 2
-			}
-			res, err := runBurst(prov, opts.Seed, BurstLongIAT, burst, samples, Fig9ExecTime)
-			if err != nil {
-				return nil, fmt.Errorf("fig9 %s burst=%d: %w", prov, burst, err)
-			}
-			label := fmt.Sprintf("%s burst=%d", prov, burst)
-			fig.Series = append(fig.Series, seriesFrom(label, float64(burst), res, fig9Refs[prov][burst]))
+			cases = append(cases, fig9Case{prov, burst})
 		}
 	}
+	series, err := mapSeries(opts, len(cases), func(i int, seed int64) (Series, error) {
+		c := cases[i]
+		samples := opts.Samples
+		if c.burst == 1 {
+			// Burst size 1 has no queueing potential; a smaller sample
+			// suffices for its reference CDF.
+			samples = min(samples, 300)
+		} else if samples < c.burst*2 {
+			samples = c.burst * 2
+		}
+		res, err := runBurst(c.prov, seed, BurstLongIAT, c.burst, samples, Fig9ExecTime)
+		if err != nil {
+			return Series{}, fmt.Errorf("fig9 %s burst=%d: %w", c.prov, c.burst, err)
+		}
+		label := fmt.Sprintf("%s burst=%d", c.prov, c.burst)
+		return seriesFrom(label, float64(c.burst), res, fig9Refs[c.prov][c.burst]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = series
 	return fig, nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"github.com/stellar-repro/stellar/internal/cloud"
 	"github.com/stellar-repro/stellar/internal/providers"
+	"github.com/stellar-repro/stellar/internal/runner"
 	"github.com/stellar-repro/stellar/internal/stats"
 )
 
@@ -49,13 +50,14 @@ func PolicySpace(opts Options) (*PolicySpaceResult, error) {
 	const burst = 100
 	res := &PolicySpaceResult{BurstSize: burst, ExecTime: Fig9ExecTime}
 	samples := burstSamples(opts, burst)
-	for _, depth := range PolicySpaceDepths {
+	points, err := runner.Map(opts.pool(), len(PolicySpaceDepths), func(sh runner.Shard) (PolicyPoint, error) {
+		depth := PolicySpaceDepths[sh.Index]
 		cfg := providers.MustGet("aws")
 		cfg.Name = fmt.Sprintf("aws-queue-depth-%d", depth)
 		cfg.Policy = cloud.PolicyConfig{Kind: cloud.PolicyBoundedQueue, MaxQueuePerInstance: depth}
-		run, err := BurstWithConfig(cfg, opts.Seed, BurstLongIAT, burst, samples, Fig9ExecTime)
+		run, err := BurstWithConfig(cfg, sh.Seed, BurstLongIAT, burst, samples, Fig9ExecTime)
 		if err != nil {
-			return nil, fmt.Errorf("policyspace depth %d: %w", depth, err)
+			return PolicyPoint{}, fmt.Errorf("policyspace depth %d: %w", depth, err)
 		}
 		instances := map[int]bool{}
 		for _, s := range run.Samples {
@@ -63,13 +65,17 @@ func PolicySpace(opts Options) (*PolicySpaceResult, error) {
 				instances[s.InstanceID] = true
 			}
 		}
-		res.Points = append(res.Points, PolicyPoint{
+		return PolicyPoint{
 			QueueDepth:      depth,
 			Latencies:       run.Latencies,
 			Instances:       len(instances),
 			BilledGBSeconds: run.BilledGBSeconds,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Points = points
 	return res, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"github.com/stellar-repro/stellar/internal/cloud"
 	"github.com/stellar-repro/stellar/internal/core"
 	"github.com/stellar-repro/stellar/internal/providers"
+	"github.com/stellar-repro/stellar/internal/runner"
 	"github.com/stellar-repro/stellar/internal/stats"
 )
 
@@ -28,7 +29,7 @@ type SnapshotStudyResult struct {
 // an unmeasured warm-up round.
 func SnapshotStudy(opts Options) (*SnapshotStudyResult, error) {
 	opts = opts.normalized()
-	run := func(provider string) (*core.RunResult, error) {
+	run := func(provider string, seed int64) (*core.RunResult, error) {
 		cfg := providers.MustGet(provider)
 		sc := core.StaticConfig{Functions: []core.FunctionConfig{{
 			Name:     "snap",
@@ -39,20 +40,24 @@ func SnapshotStudy(opts Options) (*SnapshotStudyResult, error) {
 		// Warm-up round: one cold start per replica captures snapshots;
 		// discarded from the measurement.
 		iat := 5 * time.Minute / time.Duration(opts.Replicas)
-		return MeasureWithConfig(cfg, opts.Seed, sc, core.RuntimeConfig{
+		return MeasureWithConfig(cfg, seed, sc, core.RuntimeConfig{
 			Samples:       opts.Samples,
 			IAT:           core.Duration(iat),
 			WarmupDiscard: opts.Replicas,
 		})
 	}
-	boot, err := run("vhive")
+	variants := []string{"vhive", "vhive-snapshots"}
+	runs, err := runner.Map(opts.pool(), len(variants), func(sh runner.Shard) (*core.RunResult, error) {
+		r, err := run(variants[sh.Index], sh.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("snapshots (%s): %w", variants[sh.Index], err)
+		}
+		return r, nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("snapshots (boot): %w", err)
+		return nil, err
 	}
-	restore, err := run("vhive-snapshots")
-	if err != nil {
-		return nil, fmt.Errorf("snapshots (restore): %w", err)
-	}
+	boot, restore := runs[0], runs[1]
 	return &SnapshotStudyResult{
 		Boot:             boot.Latencies,
 		Restore:          restore.Latencies,

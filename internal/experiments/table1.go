@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/stellar-repro/stellar/internal/core"
+	"github.com/stellar-repro/stellar/internal/runner"
 	"github.com/stellar-repro/stellar/internal/stats"
 )
 
@@ -59,72 +60,106 @@ var Table1Factors = []string{
 func Table1(opts Options) (*Table1Result, error) {
 	opts = opts.normalized()
 	res := &Table1Result{BaseMedians: make(map[string]time.Duration)}
-	cells := make(map[string]map[string]*stats.Sample) // factor -> provider -> sample
 
-	record := func(factor, prov string, s *stats.Sample) {
-		if cells[factor] == nil {
-			cells[factor] = make(map[string]*stats.Sample)
-		}
-		cells[factor][prov] = s
+	// Every cell of the table is an independent measurement on its own
+	// simulated cloud; enumerate them all as shards (fixed order, so each
+	// cell's shard seed is stable) and run them on the worker pool. The
+	// base-warm normalization happens after collection.
+	type cellCase struct {
+		factor, prov string
+		run          func(seed int64) (*stats.Sample, error)
 	}
-
+	var cases []cellCase
 	for _, prov := range AllProviders {
-		// Base warm: individual invocations with the short IAT.
-		warm, err := runBurst(prov, opts.Seed, BurstShortIAT, 1, opts.Samples, 0)
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s base warm: %w", prov, err)
-		}
-		res.BaseMedians[prov] = warm.Latencies.Median()
-		record("Base warm", prov, warm.Latencies)
-
-		// Base cold: individual invocations with the long IAT.
-		cold, err := measure(prov, opts.Seed, pythonFn("cold", opts.Replicas), coldRC(prov, opts))
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s base cold: %w", prov, err)
-		}
-		record("Base cold", prov, cold.Latencies)
-
-		// Image size: +100MB random-content file, cold invocations.
-		img, err := imageSizeRun(prov, opts, 100<<20)
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s image size: %w", prov, err)
-		}
-		record("Image size, 100MB", prov, img.Latencies)
-
-		// Bursty warm / cold: bursts of 100.
-		bw, err := runBurst(prov, opts.Seed, BurstShortIAT, 100, burstSamples(opts, 100), 0)
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s bursty warm: %w", prov, err)
-		}
-		record("Bursty warm", prov, bw.Latencies)
-		bc, err := runBurst(prov, opts.Seed, BurstLongIAT, 100, burstSamples(opts, 100), 0)
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s bursty cold: %w", prov, err)
-		}
-		record("Bursty cold", prov, bc.Latencies)
-
-		// Bursty long: bursts of 100 with 1s execution; the execution time
-		// is subtracted to isolate infrastructure and queueing delays
-		// (Table I footnote).
-		bl, err := runBurst(prov, opts.Seed, BurstLongIAT, 100, burstSamples(opts, 100), Fig9ExecTime)
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s bursty long: %w", prov, err)
-		}
-		record("Bursty long", prov, bl.Latencies.Sub(Fig9ExecTime))
+		prov := prov
+		cases = append(cases,
+			// Base warm: individual invocations with the short IAT.
+			cellCase{"Base warm", prov, func(seed int64) (*stats.Sample, error) {
+				r, err := runBurst(prov, seed, BurstShortIAT, 1, opts.Samples, 0)
+				if err != nil {
+					return nil, fmt.Errorf("table1 %s base warm: %w", prov, err)
+				}
+				return r.Latencies, nil
+			}},
+			// Base cold: individual invocations with the long IAT.
+			cellCase{"Base cold", prov, func(seed int64) (*stats.Sample, error) {
+				r, err := measure(prov, seed, pythonFn("cold", opts.Replicas), coldRC(prov, opts))
+				if err != nil {
+					return nil, fmt.Errorf("table1 %s base cold: %w", prov, err)
+				}
+				return r.Latencies, nil
+			}},
+			// Image size: +100MB random-content file, cold invocations.
+			cellCase{"Image size, 100MB", prov, func(seed int64) (*stats.Sample, error) {
+				r, err := imageSizeRun(prov, seed, opts, 100<<20)
+				if err != nil {
+					return nil, fmt.Errorf("table1 %s image size: %w", prov, err)
+				}
+				return r.Latencies, nil
+			}},
+			// Bursty warm / cold: bursts of 100.
+			cellCase{"Bursty warm", prov, func(seed int64) (*stats.Sample, error) {
+				r, err := runBurst(prov, seed, BurstShortIAT, 100, burstSamples(opts, 100), 0)
+				if err != nil {
+					return nil, fmt.Errorf("table1 %s bursty warm: %w", prov, err)
+				}
+				return r.Latencies, nil
+			}},
+			cellCase{"Bursty cold", prov, func(seed int64) (*stats.Sample, error) {
+				r, err := runBurst(prov, seed, BurstLongIAT, 100, burstSamples(opts, 100), 0)
+				if err != nil {
+					return nil, fmt.Errorf("table1 %s bursty cold: %w", prov, err)
+				}
+				return r.Latencies, nil
+			}},
+			// Bursty long: bursts of 100 with 1s execution; the execution
+			// time is subtracted to isolate infrastructure and queueing
+			// delays (Table I footnote).
+			cellCase{"Bursty long", prov, func(seed int64) (*stats.Sample, error) {
+				r, err := runBurst(prov, seed, BurstLongIAT, 100, burstSamples(opts, 100), Fig9ExecTime)
+				if err != nil {
+					return nil, fmt.Errorf("table1 %s bursty long: %w", prov, err)
+				}
+				return r.Latencies.Sub(Fig9ExecTime), nil
+			}},
+		)
 	}
-
 	// Transfer rows: 1MB payloads on the providers that support them.
 	for _, prov := range TransferProviders {
-		inline, err := runTransfer(prov, opts.Seed, "inline", 1<<20, opts.Samples)
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s inline: %w", prov, err)
+		prov := prov
+		cases = append(cases,
+			cellCase{"Inline transfer", prov, func(seed int64) (*stats.Sample, error) {
+				r, err := runTransfer(prov, seed, "inline", 1<<20, opts.Samples)
+				if err != nil {
+					return nil, fmt.Errorf("table1 %s inline: %w", prov, err)
+				}
+				return r.Transfers, nil
+			}},
+			cellCase{"Storage transfer", prov, func(seed int64) (*stats.Sample, error) {
+				r, err := runTransfer(prov, seed, "storage", 1<<20, opts.Samples)
+				if err != nil {
+					return nil, fmt.Errorf("table1 %s storage: %w", prov, err)
+				}
+				return r.Transfers, nil
+			}},
+		)
+	}
+
+	samples, err := runner.Map(opts.pool(), len(cases), func(sh runner.Shard) (*stats.Sample, error) {
+		return cases[sh.Index].run(sh.Seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	cells := make(map[string]map[string]*stats.Sample) // factor -> provider -> sample
+	for i, c := range cases {
+		if cells[c.factor] == nil {
+			cells[c.factor] = make(map[string]*stats.Sample)
 		}
-		record("Inline transfer", prov, inline.Transfers)
-		storage, err := runTransfer(prov, opts.Seed, "storage", 1<<20, opts.Samples)
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s storage: %w", prov, err)
+		cells[c.factor][c.prov] = samples[i]
+		if c.factor == "Base warm" {
+			res.BaseMedians[c.prov] = samples[i].Median()
 		}
-		record("Storage transfer", prov, storage.Transfers)
 	}
 
 	for _, factor := range Table1Factors {
@@ -159,11 +194,11 @@ func coldRC(prov string, opts Options) core.RuntimeConfig {
 
 // imageSizeRun measures cold starts with an extra image file (Fig. 4's
 // configuration, reused by Table I).
-func imageSizeRun(prov string, opts Options, size int64) (*core.RunResult, error) {
+func imageSizeRun(prov string, seed int64, opts Options, size int64) (*core.RunResult, error) {
 	sc := pythonFn("imgsz", opts.Replicas)
 	sc.Functions[0].Runtime = "go1.x"
 	sc.Functions[0].ExtraImageBytes = size
-	return measure(prov, opts.Seed, sc, coldRC(prov, opts))
+	return measure(prov, seed, sc, coldRC(prov, opts))
 }
 
 // burstSamples sizes a burst run: at least two bursts.

@@ -1,0 +1,69 @@
+package providers
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzLoadJSON asserts that an arbitrary JSON provider profile never
+// panics the loader, and that loading is deterministic: parsing the same
+// bytes twice — or re-parsing the spec's own re-marshaled form — yields
+// the same verdict and the same config.
+func FuzzLoadJSON(f *testing.F) {
+	f.Add(`{"name": "mini", "scheduler_capacity": 1, "workers": 1,
+		"policy": {"kind": "no-queue"}, "keep_alive_fixed": "10m"}`)
+	f.Add(`{"name": "full", "scheduler_capacity": 4, "workers": 8,
+		"propagation_rtt": "30ms",
+		"frontend_delay": {"type": "lognormal", "median": "18ms", "p99": "74ms"},
+		"sandbox_boot": {"type": "mixture", "components": [
+			{"weight": 0.97, "dist": {"type": "constant", "value": "250ms"}},
+			{"weight": 0.03, "dist": {"type": "uniform", "min": "1s", "max": "2s"}}]},
+		"runtime_init": {"python3": {"type": "exponential", "mean": "100ms"}},
+		"image_store": {"name": "img", "get_bandwidth_bps": 1e9,
+			"cache": {"activation_count": 2, "activation_window": "1m", "ttl": "5m"}},
+		"policy": {"kind": "bounded-queue", "max_queue_per_instance": 4},
+		"keep_alive_dist": {"type": "uniform", "min": "5m", "max": "20m"}}`)
+	f.Add(`{"policy": {"kind": "rate-limited"}}`)
+	f.Add(`{"name": "x", "workers": 0}`)
+	f.Add(`{"name": "x", "frontend_delay": {"type": "warp"}}`)
+	f.Add(`{"name": "x", "frontend_delay": {"type": "uniform", "min": "2s", "max": "1s"}}`)
+	f.Add(`{"name": "x", "keep_alive_fixed": "not-a-duration"}`)
+	f.Add(`{"name": "x", "sandbox_boot": {"type": "mixture", "components": []}}`)
+	f.Add(`not json`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, data string) {
+		var spec ConfigSpec
+		if err := json.Unmarshal([]byte(data), &spec); err != nil {
+			return
+		}
+		cfg1, err1 := spec.ToConfig()
+		cfg2, err2 := spec.ToConfig()
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("ToConfig verdict not deterministic: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return // invalid profile rejected without panicking: fine
+		}
+		if !reflect.DeepEqual(cfg1, cfg2) {
+			t.Fatalf("ToConfig not deterministic for %q", data)
+		}
+		// Round trip: the spec's own marshaled form must load to the same
+		// config (JSON numbers cannot encode NaN, so DeepEqual is sound).
+		remarshaled, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("marshal accepted spec: %v", err)
+		}
+		var spec2 ConfigSpec
+		if err := json.Unmarshal(remarshaled, &spec2); err != nil {
+			t.Fatalf("re-parse of marshaled spec failed: %v\n%s", err, remarshaled)
+		}
+		cfg3, err := spec2.ToConfig()
+		if err != nil {
+			t.Fatalf("round-tripped spec rejected: %v\n%s", err, remarshaled)
+		}
+		if !reflect.DeepEqual(cfg1, cfg3) {
+			t.Fatalf("round-tripped config differs for %q", data)
+		}
+	})
+}

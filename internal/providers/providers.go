@@ -12,12 +12,17 @@ package providers
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/stellar-repro/stellar/internal/cloud"
 )
 
 // Builder constructs a fresh provider profile.
 type Builder func() cloud.Config
+
+// registryMu guards registry: experiment shards call Get concurrently from
+// the worker pool, and Register may run from tests or profile loading.
+var registryMu sync.RWMutex
 
 var registry = map[string]Builder{
 	"aws":    AWS,
@@ -27,6 +32,8 @@ var registry = map[string]Builder{
 
 // Names lists registered providers in sorted order.
 func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
 	names := make([]string, 0, len(registry))
 	for name := range registry {
 		names = append(names, name)
@@ -37,7 +44,9 @@ func Names() []string {
 
 // Get returns a fresh config for the named provider.
 func Get(name string) (cloud.Config, error) {
+	registryMu.RLock()
 	b, ok := registry[name]
+	registryMu.RUnlock()
 	if !ok {
 		return cloud.Config{}, fmt.Errorf("providers: unknown provider %q (have %v)", name, Names())
 	}
@@ -56,5 +65,7 @@ func MustGet(name string) cloud.Config {
 // Register adds a custom provider profile (e.g., ablated variants).
 // Registering an existing name replaces it.
 func Register(name string, b Builder) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
 	registry[name] = b
 }

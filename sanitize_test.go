@@ -1,0 +1,36 @@
+package stellar
+
+import "testing"
+
+func TestSanitize(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"", ""},
+		{"aws", "aws"},
+		{"aws short-IAT burst=100", "aws_short_IAT_burst_100"},
+		{"go1.x/zip", "go1_x-zip"},
+		{"Image size, 100MB", "Image_size__100MB"},
+		{"inline (1MB)", "inline__1MB_"},
+		{"p99 50%", "p99_50_"},
+		{"a+b=c", "a_b_c"},
+		{"tabs\tand\nnewlines", "tabs_and_newlines"},
+		{"unicode µs", "unicode__s"},
+		{"UPPER lower 0123", "UPPER_lower_0123"},
+	}
+	for _, c := range cases {
+		if got := sanitize(c.in); got != c.want {
+			t.Errorf("sanitize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Whatever goes in, only alphanumerics, '_' and '-' may come out —
+	// that is the metric-name-safety contract.
+	for _, c := range cases {
+		for _, r := range sanitize(c.in) {
+			safe := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' || r == '-'
+			if !safe {
+				t.Errorf("sanitize(%q) leaked unsafe rune %q", c.in, r)
+			}
+		}
+	}
+}
