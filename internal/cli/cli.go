@@ -154,9 +154,10 @@ func cmdRun(args []string, stdout io.Writer) error {
 }
 
 // cmdBench runs one ad-hoc configuration without config files.
-func cmdBench(args []string, stdout io.Writer) error {
+func cmdBench(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
+	prof := addProfileFlags(fs)
 	provider := fs.String("provider", "aws", "provider profile")
 	providerFile := fs.String("provider-file", "", "JSON provider profile to load and use")
 	samples := fs.Int("samples", 3000, "measured requests")
@@ -179,6 +180,15 @@ func cmdBench(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	if *providerFile != "" {
 		name, err := providers.RegisterFile(*providerFile)
 		if err != nil {
@@ -265,9 +275,10 @@ func writeCSV(path, label string, res *core.RunResult) error {
 }
 
 // cmdExperiment regenerates paper results.
-func cmdExperiment(args []string, stdout io.Writer) error {
+func cmdExperiment(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
 	fs.SetOutput(stdout)
+	prof := addProfileFlags(fs)
 	id := fs.String("id", "all", "experiment id (fig3a..fig10, table1, all)")
 	samples := fs.Int("samples", 3000, "samples per configuration")
 	replicas := fs.Int("replicas", 100, "replicas for cold studies")
@@ -277,6 +288,15 @@ func cmdExperiment(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	opts := experiments.Options{Seed: *seed, Samples: *samples, Replicas: *replicas, Workers: *workers, CSVDir: *csvDir}
 	return experiments.Report(stdout, *id, opts)
 }

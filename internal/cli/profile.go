@@ -1,0 +1,62 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profileFlags registers -cpuprofile/-memprofile on a command's flag set.
+// Call start after flag parsing; the returned stop function finalizes both
+// profiles and must run before the command returns (including error paths),
+// so callers defer it.
+type profileFlags struct {
+	cpu *string
+	mem *string
+}
+
+func addProfileFlags(fs *flag.FlagSet) *profileFlags {
+	return &profileFlags{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)"),
+		mem: fs.String("memprofile", "", "write an allocation profile to this file on exit"),
+	}
+}
+
+// start begins CPU profiling if requested and returns the stop function.
+// The memory profile is captured at stop time so it reflects the command's
+// live heap after the work ran.
+func (p *profileFlags) start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if *p.cpu != "" {
+		cpuFile, err = os.Create(*p.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpuprofile: %w", err)
+			}
+		}
+		if *p.mem != "" {
+			f, err := os.Create(*p.mem)
+			if err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // flush garbage so the profile shows live allocations
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

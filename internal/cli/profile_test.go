@@ -1,0 +1,48 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBenchProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	code, _, errOut := run(t, "bench",
+		"-provider", "aws", "-samples", "50", "-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s: empty profile", path)
+		}
+	}
+}
+
+func TestExperimentProfileFlags(t *testing.T) {
+	mem := filepath.Join(t.TempDir(), "mem.pprof")
+	code, _, errOut := run(t, "experiment",
+		"-id", "fig3a", "-samples", "40", "-replicas", "4", "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+	if info, err := os.Stat(mem); err != nil || info.Size() == 0 {
+		t.Fatalf("memprofile not written: %v", err)
+	}
+}
+
+func TestCPUProfileBadPath(t *testing.T) {
+	code, _, errOut := run(t, "bench",
+		"-provider", "aws", "-samples", "10", "-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof"))
+	if code != 1 || !strings.Contains(errOut, "cpuprofile") {
+		t.Fatalf("code=%d err=%q, want cpuprofile error", code, errOut)
+	}
+}

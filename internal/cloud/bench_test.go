@@ -59,6 +59,34 @@ func BenchmarkColdInvoke(b *testing.B) {
 	eng.Run(0)
 }
 
+// BenchmarkKeepAliveChurn measures warm invocations with an aggressive
+// keep-alive: every request cancels the instance's expiry timer on claim
+// and re-arms it on release, so this is the timer-churn stress of the
+// engine's indexed cancellation path.
+func BenchmarkKeepAliveChurn(b *testing.B) {
+	cfg := testConfig()
+	cfg.KeepAlive = KeepAlivePolicy{Fixed: 30 * time.Second}
+	eng := des.NewEngine()
+	defer eng.Close()
+	c, err := New(eng, cfg, dist.NewStreams(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Deploy(FunctionSpec{Name: "f", Runtime: RuntimePython, Method: DeployZIP}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	eng.Spawn("bench", func(p *des.Proc) {
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Invoke(p, &Request{Fn: "f"}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	eng.Run(0)
+}
+
 // BenchmarkBurst100 measures a full 100-request cold burst round.
 func BenchmarkBurst100(b *testing.B) {
 	for i := 0; i < b.N; i++ {

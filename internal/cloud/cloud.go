@@ -190,9 +190,7 @@ func (c *Cloud) Remove(name string) error {
 		return fmt.Errorf("cloud %s: function %q not deployed", c.cfg.Name, name)
 	}
 	for _, inst := range fn.live {
-		if inst.keepAlive != nil {
-			inst.keepAlive.Cancel()
-		}
+		inst.keepAlive.Cancel()
 		inst.state = stateGone
 		inst.worker.Instances--
 		c.noteInstanceDelta(-1)

@@ -20,7 +20,7 @@ type Instance struct {
 	worker        *Worker
 	state         instanceState
 	served        uint64
-	keepAlive     *des.Timer
+	keepAlive     des.Timer
 	createdAt     des.Time
 	coldBreakdown ColdBreakdown
 }
@@ -77,10 +77,8 @@ func (fn *Function) claimIdle() *Instance {
 		if inst.state != stateIdle {
 			continue // raced with expiry bookkeeping; skip
 		}
-		if inst.keepAlive != nil {
-			inst.keepAlive.Cancel()
-			inst.keepAlive = nil
-		}
+		inst.keepAlive.Cancel()
+		inst.keepAlive = des.Timer{}
 		inst.state = stateBusy
 		return inst
 	}
@@ -155,10 +153,8 @@ func (fn *Function) destroy(inst *Instance) {
 	if inst.state == stateGone {
 		return
 	}
-	if inst.keepAlive != nil {
-		inst.keepAlive.Cancel()
-		inst.keepAlive = nil
-	}
+	inst.keepAlive.Cancel()
+	inst.keepAlive = des.Timer{}
 	inst.state = stateGone
 	delete(fn.live, inst.id)
 	inst.worker.Instances--
@@ -172,7 +168,7 @@ func (fn *Function) expire(inst *Instance) {
 		return
 	}
 	inst.state = stateGone
-	inst.keepAlive = nil
+	inst.keepAlive = des.Timer{}
 	for i, cand := range fn.idle {
 		if cand == inst {
 			fn.idle = append(fn.idle[:i], fn.idle[i+1:]...)

@@ -40,6 +40,96 @@ func BenchmarkProcessSwitch(b *testing.B) {
 	e.Run(0)
 }
 
+// BenchmarkTimerCancel measures the schedule + indexed-cancel round trip —
+// the keep-alive pattern of the cloud model (every warm hit arms and later
+// cancels an expiry timer).
+func BenchmarkTimerCancel(b *testing.B) {
+	e := NewEngine()
+	defer e.Close()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := e.After(time.Hour, fn)
+		t.Cancel()
+	}
+}
+
+// BenchmarkSpawnExit measures process spawn/exit with goroutine reuse — the
+// cloud model's process-per-request pattern.
+func BenchmarkSpawnExit(b *testing.B) {
+	e := NewEngine()
+	defer e.Close()
+	body := func(p *Proc) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Spawn("s", body)
+		e.Run(0)
+	}
+}
+
+// BenchmarkWaitTimeoutChurn measures WaitTimeout where the signal wins —
+// the gateway queue-timeout pattern. Under lazy cancellation every
+// iteration leaked a dead far-future timer into the heap, so this bench
+// also exercises the indexed-removal path.
+func BenchmarkWaitTimeoutChurn(b *testing.B) {
+	e := NewEngine()
+	defer e.Close()
+	e.Spawn("churn", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			sig := NewSignal(e)
+			e.After(time.Microsecond, sig.Fire)
+			if !p.WaitTimeout(sig, time.Hour) {
+				b.Error("signal should win")
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	e.Run(0)
+}
+
+// BenchmarkSignalBroadcast measures fan-out wake-ups: one firer releasing
+// 16 waiters per round, the scatter-gather join pattern.
+func BenchmarkSignalBroadcast(b *testing.B) {
+	e := NewEngine()
+	defer e.Close()
+	const waiters = 16
+	rounds := b.N/waiters + 1
+	b.ResetTimer()
+	for r := 0; r < rounds; r++ {
+		sig := NewSignal(e)
+		for i := 0; i < waiters; i++ {
+			e.Spawn("w", func(p *Proc) { p.Wait(sig) })
+		}
+		e.Spawn("firer", func(p *Proc) {
+			p.Sleep(time.Microsecond)
+			sig.Fire()
+		})
+		e.Run(0)
+	}
+}
+
+// BenchmarkQueuePutGet measures the producer/consumer handoff through a
+// blocking queue — the request-buffer pattern.
+func BenchmarkQueuePutGet(b *testing.B) {
+	e := NewEngine()
+	defer e.Close()
+	q := NewQueue[int](e)
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Get(p)
+		}
+	})
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Put(i)
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	e.Run(0)
+}
+
 // BenchmarkResourceContention measures acquire/release under a contended
 // FIFO resource with 64 concurrent processes.
 func BenchmarkResourceContention(b *testing.B) {

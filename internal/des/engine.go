@@ -1,20 +1,43 @@
 // Package des implements a deterministic discrete-event simulation engine.
 //
-// The engine advances a virtual clock over a heap of scheduled events.
-// Concurrent activities are modeled as cooperative processes: each process
-// is a goroutine, but the engine guarantees that at most one process runs at
-// any instant, so state shared between processes needs no locking and every
-// run with the same inputs produces the same event ordering (events at equal
-// times are tie-broken by scheduling sequence number).
+// The engine advances a virtual clock over an indexed 4-ary min-heap of
+// scheduled events stored by value and keyed by (at, seq): events at equal
+// times are tie-broken by scheduling sequence number, so every run with the
+// same inputs produces the same event ordering. Concurrent activities are
+// modeled as cooperative processes: each process is a goroutine, but a
+// single control token guarantees that at most one process (or event
+// callback) runs at any instant, so state shared between processes needs no
+// locking.
+//
+// The scheduling core is built for throughput and is allocation-free in
+// steady state:
+//
+//   - Events are values in a reusable heap array — no per-event heap
+//     allocation. Process-resume events carry the *Proc directly instead of
+//     a closure, so Sleep/Wait/Acquire wake-ups allocate nothing.
+//   - Cancelable timers (At/After) draw a generation-counted handle from a
+//     free list. The handle tracks the event's heap index, so Cancel removes
+//     the event from the heap immediately (sift at its index) instead of
+//     leaving a tombstone to be popped later; a Timer from a previous
+//     generation can never cancel a reused handle.
+//   - The control token travels with the goroutines themselves: a parking
+//     process drives the dispatch loop inline, so a process that pops its
+//     own resume event (the ubiquitous Sleep path) switches with zero
+//     channel operations, and a process handing off to another process costs
+//     one. The engine's Run goroutine regains the token only when the run
+//     terminates or a process exits.
+//   - Spawn recycles process records, wake channels, and parked goroutines
+//     through a pool, so the cloud model's process-per-request pattern does
+//     not start a goroutine per request.
 //
 // The engine also supports a real-time mode in which virtual delays are
 // slept on the wall clock (optionally scaled) and external goroutines may
 // inject work with Engine.Inject; this mode backs the live-HTTP serving of
-// the simulated cloud.
+// the simulated cloud. In real-time mode processes never dispatch inline:
+// the token always returns to the run loop, which owns wall-clock pacing.
 package des
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"runtime"
@@ -27,62 +50,80 @@ import (
 // formatting.
 type Time = time.Duration
 
-// event is a scheduled callback.
+// event is a scheduled occurrence, stored by value in the heap array.
+// Exactly one of fn and proc is set: fn events invoke a callback, proc
+// events transfer control to a parked process.
 type event struct {
 	at   Time
 	seq  uint64
-	fire func()
-	// canceled events stay in the heap but do nothing when popped.
-	canceled bool
+	fn   func()
+	proc *Proc
+	// hid is the timer-handle slot tracking this event's heap index, or -1
+	// for events that can never be canceled (process resumes, injected work).
+	hid int32
 }
 
-// eventHeap orders events by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// timerHandle is one slot of the engine's cancelable-timer table. Slots are
+// recycled through a free list; gen increments on every fire/cancel so stale
+// Timer copies referring to a recycled slot are inert.
+type timerHandle struct {
+	gen uint32
+	idx int32 // current heap index of the live event, -1 when fired/canceled
 }
 
-// Timer is a handle to a scheduled callback that can be canceled.
-type Timer struct{ ev *event }
+// Timer is a handle to a scheduled callback that can be canceled. The zero
+// Timer is valid and inert: Cancel reports false, Pending reports false.
+type Timer struct {
+	eng *Engine
+	id  int32
+	gen uint32
+}
 
-// Cancel prevents the timer's callback from firing. Canceling an already
-// fired or canceled timer is a no-op. Cancel reports whether the callback
-// was prevented.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.canceled || t.ev.fire == nil {
+// Cancel prevents the timer's callback from firing, removing the event from
+// the schedule immediately. Canceling an already fired, canceled, or zero
+// Timer is a no-op. Cancel reports whether the callback was prevented.
+func (t Timer) Cancel() bool {
+	e := t.eng
+	if e == nil {
 		return false
 	}
-	t.ev.canceled = true
+	h := &e.handles[t.id]
+	if h.gen != t.gen || h.idx < 0 {
+		return false
+	}
+	e.removeAt(int(h.idx))
+	h.idx = -1
+	h.gen++
+	e.freeHandles = append(e.freeHandles, t.id)
 	return true
+}
+
+// Pending reports whether the timer's callback is still scheduled.
+func (t Timer) Pending() bool {
+	if t.eng == nil {
+		return false
+	}
+	h := &t.eng.handles[t.id]
+	return h.gen == t.gen && h.idx >= 0
 }
 
 // Engine is a discrete-event simulation engine. The zero value is not usable;
 // call NewEngine.
 type Engine struct {
 	now    Time
-	events eventHeap
+	events []event // 4-ary min-heap by (at, seq), indexed via handles
 	seq    uint64
+	until  Time // horizon of the active Run, 0 = unbounded
 
-	// Process coordination: the engine resumes one process and then waits on
-	// parked until that process blocks again or exits.
-	parked chan struct{}
+	handles     []timerHandle
+	freeHandles []int32
+
+	// mainWake returns the control token to the run loop (Run, RunRealTime,
+	// or Close) when a process exits, is killed, or parks at the horizon.
+	mainWake chan struct{}
 
 	procs   map[*Proc]struct{}
+	pool    []*Proc // exited process records with parked goroutines
 	stopped bool
 
 	// Real-time mode.
@@ -97,7 +138,7 @@ type Engine struct {
 // NewEngine returns an engine with the virtual clock at zero.
 func NewEngine() *Engine {
 	return &Engine{
-		parked:   make(chan struct{}),
+		mainWake: make(chan struct{}),
 		procs:    make(map[*Proc]struct{}),
 		injectCh: make(chan struct{}, 1),
 	}
@@ -119,57 +160,267 @@ func NewRealTimeEngine(timeScale float64) *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// schedule registers fn to run at time at (>= now) and returns its event.
-func (e *Engine) schedule(at Time, fn func()) *event {
+// --- 4-ary indexed heap -----------------------------------------------------
+//
+// The heap stores events by value; children of slot i live at 4i+1..4i+4.
+// A 4-ary layout halves tree depth versus binary, trading slightly wider
+// sibling scans (cache-friendly: four 40-byte events span two or three cache
+// lines) for fewer swap levels. Every move of an event with a handle updates
+// the handle's idx, which is what makes O(log n) removal at Cancel possible.
+
+// less orders events by (at, seq).
+func (e *Engine) less(i, j int) bool {
+	a, b := &e.events[i], &e.events[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// noteIdx records ev's current heap slot in its timer handle, if any.
+func (e *Engine) noteIdx(i int) {
+	if h := e.events[i].hid; h >= 0 {
+		e.handles[h].idx = int32(i)
+	}
+}
+
+// siftUp moves the event at slot i toward the root until ordered.
+func (e *Engine) siftUp(i int) {
+	ev := e.events[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := &e.events[parent]
+		if p.at < ev.at || (p.at == ev.at && p.seq < ev.seq) {
+			break
+		}
+		e.events[i] = *p
+		e.noteIdx(i)
+		i = parent
+	}
+	e.events[i] = ev
+	e.noteIdx(i)
+}
+
+// siftDown moves the event at slot i toward the leaves until ordered.
+func (e *Engine) siftDown(i int) {
+	n := len(e.events)
+	ev := e.events[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(c, min) {
+				min = c
+			}
+		}
+		m := &e.events[min]
+		if ev.at < m.at || (ev.at == m.at && ev.seq < m.seq) {
+			break
+		}
+		e.events[i] = *m
+		e.noteIdx(i)
+		i = min
+	}
+	e.events[i] = ev
+	e.noteIdx(i)
+}
+
+// push appends an event and restores heap order.
+func (e *Engine) push(ev event) {
+	e.events = append(e.events, ev)
+	e.siftUp(len(e.events) - 1)
+}
+
+// pop removes and returns the minimum event. The vacated tail slot is
+// cleared so recycled array capacity does not retain closures or processes.
+func (e *Engine) pop() event {
+	ev := e.events[0]
+	n := len(e.events) - 1
+	if n > 0 {
+		e.events[0] = e.events[n]
+	}
+	e.events[n] = event{}
+	e.events = e.events[:n]
+	if n > 1 {
+		e.siftDown(0)
+	} else if n == 1 {
+		e.noteIdx(0)
+	}
+	if ev.hid >= 0 {
+		h := &e.handles[ev.hid]
+		h.idx = -1
+		h.gen++
+		e.freeHandles = append(e.freeHandles, ev.hid)
+	}
+	return ev
+}
+
+// removeAt deletes the event at heap slot i (timer cancellation), restoring
+// heap order with a sift from that index.
+func (e *Engine) removeAt(i int) {
+	n := len(e.events) - 1
+	moved := e.events[n]
+	e.events[n] = event{}
+	e.events = e.events[:n]
+	if i == n {
+		return
+	}
+	e.events[i] = moved
+	e.siftUp(i)
+	// seq is unique: if siftUp left the filler in place, order below i may
+	// still be violated, so sift down from the same slot.
+	if e.events[i].seq == moved.seq {
+		e.siftDown(i)
+	}
+}
+
+// --- scheduling -------------------------------------------------------------
+
+// schedule registers fn to run at time at (>= now).
+func (e *Engine) schedule(at Time, fn func()) {
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
-	ev := &event{at: at, seq: e.seq, fire: fn}
-	heap.Push(&e.events, ev)
-	return ev
+	e.push(event{at: at, seq: e.seq, fn: fn, hid: -1})
+}
+
+// scheduleProc registers a process resume at time at (>= now). This is the
+// allocation-free hot path behind Sleep, Signal.Fire, and Resource.Release.
+func (e *Engine) scheduleProc(at Time, p *Proc) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.push(event{at: at, seq: e.seq, proc: p, hid: -1})
+}
+
+// scheduleTimer registers a cancelable callback, drawing a handle slot from
+// the free list (growing the table only on first use at each depth).
+func (e *Engine) scheduleTimer(at Time, fn func()) Timer {
+	if at < e.now {
+		at = e.now
+	}
+	var id int32
+	if n := len(e.freeHandles); n > 0 {
+		id = e.freeHandles[n-1]
+		e.freeHandles = e.freeHandles[:n-1]
+	} else {
+		id = int32(len(e.handles))
+		e.handles = append(e.handles, timerHandle{})
+	}
+	e.seq++
+	e.push(event{at: at, seq: e.seq, fn: fn, hid: id})
+	// push recorded the heap index via noteIdx.
+	return Timer{eng: e, id: id, gen: e.handles[id].gen}
 }
 
 // At schedules fn to run at the given virtual time and returns a cancelable
 // Timer. Must be called from simulation context (a process or event callback).
-func (e *Engine) At(at Time, fn func()) *Timer {
-	return &Timer{ev: e.schedule(at, fn)}
+func (e *Engine) At(at Time, fn func()) Timer {
+	return e.scheduleTimer(at, fn)
 }
 
 // After schedules fn to run d from now.
-func (e *Engine) After(d time.Duration, fn func()) *Timer {
-	return e.At(e.now+d, fn)
+func (e *Engine) After(d time.Duration, fn func()) Timer {
+	return e.scheduleTimer(e.now+d, fn)
 }
 
 // errKilled is the sentinel used to unwind killed processes.
 var errKilled = errors.New("des: process killed")
 
+// atHorizon reports whether dispatch must stop: no events remain, or the
+// next event lies beyond the active run's bound.
+func (e *Engine) atHorizon() bool {
+	return len(e.events) == 0 || (e.until != 0 && e.events[0].at > e.until)
+}
+
 // Run drains events until the heap is empty or the virtual clock would pass
 // until. A zero until means run until no events remain. Processes blocked on
 // resources or signals when Run returns remain parked; use Close to release
 // them.
+//
+// The calling goroutine holds the control token between events, but hands it
+// to processes it resumes; a process chain dispatches events among itself
+// and returns the token here only when the horizon is reached or a process
+// exits.
 func (e *Engine) Run(until Time) {
-	for len(e.events) > 0 {
-		next := e.events[0]
-		if until != 0 && next.at > until {
-			e.now = until
-			return
-		}
-		heap.Pop(&e.events)
-		if next.canceled {
-			continue
-		}
+	e.until = until
+	for !e.atHorizon() {
+		ev := e.pop()
 		if e.realTime {
-			e.waitWall(next.at)
+			e.waitWall(ev.at)
 			e.drainInjected()
 		}
-		e.now = next.at
-		fn := next.fire
-		next.fire = nil
-		fn()
+		e.now = ev.at
+		if ev.proc != nil {
+			ev.proc.wake <- struct{}{}
+			<-e.mainWake
+			continue
+		}
+		ev.fn()
 	}
 	if until != 0 && until > e.now {
 		e.now = until
+	}
+	e.until = 0
+}
+
+// dispatchFrom drives the event loop from a parking process p until p's own
+// resume event surfaces (return true: p regains control with zero channel
+// operations) or the token leaves this goroutine (return false: p must wait
+// on its wake channel). Virtual-time mode only.
+func (e *Engine) dispatchFrom(p *Proc) bool {
+	for {
+		if e.atHorizon() {
+			e.mainWake <- struct{}{}
+			return false
+		}
+		ev := e.pop()
+		e.now = ev.at
+		if ev.proc == nil {
+			ev.fn()
+			continue
+		}
+		if ev.proc == p {
+			return true
+		}
+		ev.proc.wake <- struct{}{}
+		return false
+	}
+}
+
+// dispatchOnExit hands the token onward when a process finishes: it keeps
+// firing callback events, transfers to the next resumed process, or returns
+// the token to Run at the horizon. A callback it fires may Spawn and reuse
+// the exiting record, and the loop could then pop that record's fresh
+// first-resume on its own goroutine. Sending to the own wake channel would
+// deadlock, so dispatchOnExit reports true instead and the goroutine starts
+// the new assignment directly.
+func (e *Engine) dispatchOnExit(exited *Proc) bool {
+	for {
+		if e.atHorizon() {
+			e.mainWake <- struct{}{}
+			return false
+		}
+		ev := e.pop()
+		e.now = ev.at
+		if ev.proc == nil {
+			ev.fn()
+			continue
+		}
+		if ev.proc == exited {
+			return true
+		}
+		ev.proc.wake <- struct{}{}
+		return false
 	}
 }
 
@@ -204,19 +455,19 @@ func (e *Engine) RunRealTime(stop <-chan struct{}) {
 		}
 		e.syncVirtualClock()
 		e.drainInjected()
-		if len(e.events) == 0 || e.events[0] != next {
+		if len(e.events) == 0 || e.events[0].seq != next.seq {
 			continue // an injection scheduled something earlier
 		}
-		heap.Pop(&e.events)
-		if next.canceled {
+		ev := e.pop()
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		if ev.proc != nil {
+			ev.proc.wake <- struct{}{}
+			<-e.mainWake
 			continue
 		}
-		if next.at > e.now {
-			e.now = next.at
-		}
-		fn := next.fire
-		next.fire = nil
-		fn()
+		ev.fn()
 	}
 }
 
@@ -306,15 +557,24 @@ func (e *Engine) drainInjected() {
 	}
 }
 
-// Close kills all live processes so their goroutines exit. The engine must
-// not be used afterwards.
+// Close kills all live processes and releases the pooled goroutines. The
+// engine must not be used afterwards.
 func (e *Engine) Close() {
 	e.stopped = true
 	for p := range e.procs {
 		p.kill()
 	}
+	for _, p := range e.pool {
+		p.fn = nil
+		p.wake <- struct{}{} // pooled runner sees nil fn and exits
+	}
+	e.pool = nil
 	e.events = nil
+	e.handles = nil
+	e.freeHandles = nil
 }
 
-// PendingEvents reports the number of scheduled (possibly canceled) events.
+// PendingEvents reports the number of scheduled events. Canceled timers are
+// removed from the schedule immediately, so this count stays bounded under
+// timer churn (WaitTimeout cancel/fire cycles).
 func (e *Engine) PendingEvents() int { return len(e.events) }

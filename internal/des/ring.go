@@ -1,0 +1,85 @@
+package des
+
+// ring is a growable FIFO ring buffer. Push/popFront reuse the backing array
+// in steady state, so wait queues that repeatedly fill and drain (Signal
+// waiters, Resource queues, request buffers) stop allocating once they reach
+// their high-water capacity — unlike the append/copy-shift slice idiom,
+// which reallocates whenever append outruns the shifted prefix.
+type ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// len reports the number of queued items.
+func (r *ring[T]) len() int { return r.n }
+
+// push appends v at the tail.
+func (r *ring[T]) push(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+// popFront removes and returns the oldest item. It panics on an empty ring.
+func (r *ring[T]) popFront() T {
+	if r.n == 0 {
+		panic("des: pop from empty ring")
+	}
+	v := r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v
+}
+
+// at returns the i-th oldest item (0 = front).
+func (r *ring[T]) at(i int) T {
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// removeFunc deletes the first item matching the predicate, preserving FIFO
+// order of the rest, and reports whether a match was removed.
+func (r *ring[T]) removeFunc(match func(T) bool) bool {
+	for i := 0; i < r.n; i++ {
+		if !match(r.at(i)) {
+			continue
+		}
+		// Shift the younger suffix forward one slot.
+		for j := i; j < r.n-1; j++ {
+			r.buf[(r.head+j)%len(r.buf)] = r.buf[(r.head+j+1)%len(r.buf)]
+		}
+		var zero T
+		r.buf[(r.head+r.n-1)%len(r.buf)] = zero
+		r.n--
+		return true
+	}
+	return false
+}
+
+// clear empties the ring, zeroing occupied slots so pooled references are
+// released, while keeping the backing array for reuse.
+func (r *ring[T]) clear() {
+	var zero T
+	for i := 0; i < r.n; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = zero
+	}
+	r.head, r.n = 0, 0
+}
+
+// grow doubles the backing array, re-linearizing the queue at index 0.
+func (r *ring[T]) grow() {
+	capacity := len(r.buf) * 2
+	if capacity == 0 {
+		capacity = 8
+	}
+	next := make([]T, capacity)
+	for i := 0; i < r.n; i++ {
+		next[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = next
+	r.head = 0
+}

@@ -6,7 +6,7 @@ package des
 type Signal struct {
 	eng     *Engine
 	fired   bool
-	waiters []*Proc
+	waiters ring[*Proc]
 }
 
 // NewSignal returns an unfired signal bound to the engine.
@@ -15,17 +15,17 @@ func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
 // Fired reports whether the signal has fired.
 func (s *Signal) Fired() bool { return s.fired }
 
-// Fire wakes all current waiters at the present virtual instant. Firing an
-// already fired signal is a no-op.
+// Fire wakes all current waiters at the present virtual instant, in the
+// order they started waiting. Firing an already fired signal is a no-op.
 func (s *Signal) Fire() {
 	if s.fired {
 		return
 	}
 	s.fired = true
-	for _, p := range s.waiters {
-		s.eng.schedule(s.eng.now, p.resume)
+	for i := 0; i < s.waiters.len(); i++ {
+		s.eng.scheduleProc(s.eng.now, s.waiters.at(i))
 	}
-	s.waiters = nil
+	s.waiters.clear()
 }
 
 // Wait blocks the process until the signal fires.
@@ -33,7 +33,7 @@ func (p *Proc) Wait(s *Signal) {
 	if s.fired {
 		return
 	}
-	s.waiters = append(s.waiters, p)
+	s.waiters.push(p)
 	p.park()
 }
 
@@ -41,18 +41,15 @@ func (p *Proc) Wait(s *Signal) {
 // the waiter list, so a timed-out waiter and a fired signal can never both
 // resume the same process.
 func (s *Signal) remove(p *Proc) bool {
-	for i, cand := range s.waiters {
-		if cand == p {
-			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
-			return true
-		}
-	}
-	return false
+	return s.waiters.removeFunc(func(cand *Proc) bool { return cand == p })
 }
 
 // WaitTimeout blocks until the signal fires or d elapses, reporting true
 // when the signal fired. A signal that fires at exactly the deadline wins
 // or loses by event order; either way the process resumes exactly once.
+// When the signal wins, the timeout timer is canceled and removed from the
+// schedule immediately, so churning WaitTimeout calls cannot accumulate
+// dead events in the heap.
 func (p *Proc) WaitTimeout(s *Signal, d Time) bool {
 	if s.fired {
 		return true
@@ -63,9 +60,9 @@ func (p *Proc) WaitTimeout(s *Signal, d Time) bool {
 			return // the signal fired first at this same instant
 		}
 		timedOut = true
-		p.eng.schedule(p.eng.now, p.resume)
+		p.eng.scheduleProc(p.eng.now, p)
 	})
-	s.waiters = append(s.waiters, p)
+	s.waiters.push(p)
 	p.park()
 	if timedOut {
 		return false
@@ -80,7 +77,7 @@ type Resource struct {
 	eng      *Engine
 	capacity int
 	inUse    int
-	queue    []*Proc
+	queue    ring[*Proc]
 
 	// Metrics.
 	totalAcquires uint64
@@ -103,9 +100,9 @@ func (p *Proc) Acquire(r *Resource) {
 		r.inUse++
 		return
 	}
-	r.queue = append(r.queue, p)
-	if len(r.queue) > r.maxQueue {
-		r.maxQueue = len(r.queue)
+	r.queue.push(p)
+	if r.queue.len() > r.maxQueue {
+		r.maxQueue = r.queue.len()
 	}
 	p.park()
 	// Ownership was transferred by Release; inUse already accounts for us.
@@ -117,11 +114,9 @@ func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic("des: release of idle resource")
 	}
-	if len(r.queue) > 0 {
-		next := r.queue[0]
-		copy(r.queue, r.queue[1:])
-		r.queue = r.queue[:len(r.queue)-1]
-		r.eng.schedule(r.eng.now, next.resume)
+	if r.queue.len() > 0 {
+		next := r.queue.popFront()
+		r.eng.scheduleProc(r.eng.now, next)
 		return // inUse unchanged: unit transferred
 	}
 	r.inUse--
@@ -131,7 +126,7 @@ func (r *Resource) Release() {
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen reports the number of processes waiting.
-func (r *Resource) QueueLen() int { return len(r.queue) }
+func (r *Resource) QueueLen() int { return r.queue.len() }
 
 // MaxQueueLen reports the high-water mark of the wait queue.
 func (r *Resource) MaxQueueLen() int { return r.maxQueue }
@@ -140,11 +135,13 @@ func (r *Resource) MaxQueueLen() int { return r.maxQueue }
 func (r *Resource) TotalAcquires() uint64 { return r.totalAcquires }
 
 // Queue is an unbounded FIFO queue of items with blocking receive, used to
-// model request buffers in virtual time.
+// model request buffers in virtual time. Items and waiters both live in
+// reusable ring buffers, so a queue that oscillates between empty and its
+// high-water mark allocates nothing in steady state.
 type Queue[T any] struct {
 	eng     *Engine
-	items   []T
-	waiters []*Proc
+	items   ring[T]
+	waiters ring[*Proc]
 	maxLen  int
 }
 
@@ -153,47 +150,35 @@ func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{eng: e} }
 
 // Put appends an item and wakes the oldest waiting receiver, if any.
 func (q *Queue[T]) Put(item T) {
-	q.items = append(q.items, item)
-	if len(q.items) > q.maxLen {
-		q.maxLen = len(q.items)
+	q.items.push(item)
+	if q.items.len() > q.maxLen {
+		q.maxLen = q.items.len()
 	}
-	if len(q.waiters) > 0 {
-		next := q.waiters[0]
-		copy(q.waiters, q.waiters[1:])
-		q.waiters = q.waiters[:len(q.waiters)-1]
-		q.eng.schedule(q.eng.now, next.resume)
+	if q.waiters.len() > 0 {
+		q.eng.scheduleProc(q.eng.now, q.waiters.popFront())
 	}
 }
 
 // Get removes and returns the oldest item, blocking while the queue is empty.
 func (q *Queue[T]) Get(p *Proc) T {
-	for len(q.items) == 0 {
-		q.waiters = append(q.waiters, p)
+	for q.items.len() == 0 {
+		q.waiters.push(p)
 		p.park()
 	}
-	item := q.items[0]
-	copy(q.items, q.items[1:])
-	var zero T
-	q.items[len(q.items)-1] = zero
-	q.items = q.items[:len(q.items)-1]
-	return item
+	return q.items.popFront()
 }
 
 // TryGet removes and returns the oldest item without blocking.
 func (q *Queue[T]) TryGet() (T, bool) {
-	var zero T
-	if len(q.items) == 0 {
+	if q.items.len() == 0 {
+		var zero T
 		return zero, false
 	}
-	item := q.items[0]
-	copy(q.items, q.items[1:])
-	q.items[len(q.items)-1] = zero
-	q.items = q.items[:len(q.items)-1]
-	return item, true
+	return q.items.popFront(), true
 }
 
 // Len reports the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.items.len() }
 
 // MaxLen reports the queue's high-water mark.
 func (q *Queue[T]) MaxLen() int { return q.maxLen }

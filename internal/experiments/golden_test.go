@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateGolden rewrites the committed fingerprint fixtures from the current
+// engine. Run `go test ./internal/experiments -run TestGoldenFigureFingerprints
+// -update-golden` only when an intentional statistical change is made; engine
+// refactors must leave the fixtures untouched.
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden figure fingerprints")
+
+// TestGoldenFigureFingerprints pins every figure's summary fingerprint to a
+// fixture generated with the seed engine. Together with the Workers=1 vs
+// Workers=8 determinism test this guarantees that engine rewrites (heap
+// layout, timer cancellation, goroutine pooling) change only wall-clock
+// time, never simulation output: the same seed must produce byte-identical
+// figures at any worker count.
+func TestGoldenFigureFingerprints(t *testing.T) {
+	for _, fr := range figureRunners {
+		fr := fr
+		t.Run(fr.name, func(t *testing.T) {
+			t.Parallel()
+			path := filepath.Join("testdata", "golden", fr.name+".fingerprint")
+			serial, err := fr.run(detOpts(1, 1))
+			if err != nil {
+				t.Fatalf("%s Workers=1: %v", fr.name, err)
+			}
+			fp := fingerprint(serial)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(fp), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (run with -update-golden to regenerate): %v", err)
+			}
+			if fp != string(want) {
+				t.Errorf("%s: Workers=1 output diverged from the seed-engine fixture\n--- got ---\n%s--- want ---\n%s",
+					fr.name, fp, want)
+			}
+			parallel, err := fr.run(detOpts(1, 8))
+			if err != nil {
+				t.Fatalf("%s Workers=8: %v", fr.name, err)
+			}
+			if fp8 := fingerprint(parallel); fp8 != string(want) {
+				t.Errorf("%s: Workers=8 output diverged from the seed-engine fixture\n--- got ---\n%s--- want ---\n%s",
+					fr.name, fp8, want)
+			}
+		})
+	}
+}

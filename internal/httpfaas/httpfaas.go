@@ -66,8 +66,31 @@ func NewServer(cfg cloud.Config, seed int64, timeScale float64) (*Server, error)
 	}, nil
 }
 
-// Cloud exposes the underlying simulated cloud.
+// Cloud exposes the underlying simulated cloud. While the server is
+// running, cloud state must only be read from simulation context (via
+// Inject); use Metrics for a race-free counter snapshot.
 func (s *Server) Cloud() *cloud.Cloud { return s.cloud }
+
+// Metrics returns a snapshot of the cloud's counters. When the server is
+// running, the snapshot is taken inside the simulation loop so it cannot
+// race live event processing (keep-alive expiries mutate counters at any
+// wall-clock moment).
+func (s *Server) Metrics() cloud.Metrics {
+	s.mu.Lock()
+	running := s.running
+	s.mu.Unlock()
+	if !running {
+		return s.cloud.Metrics()
+	}
+	done := make(chan cloud.Metrics, 1)
+	s.eng.Inject(func() { done <- s.cloud.Metrics() })
+	select {
+	case m := <-done:
+		return m
+	case <-time.After(10 * time.Second):
+		return s.cloud.Metrics()
+	}
+}
 
 // BaseURL returns the listener address ("http://127.0.0.1:PORT") once
 // started.

@@ -244,7 +244,9 @@ func TestConcurrentHTTPBurst(t *testing.T) {
 		t.Error("no instance ids reported")
 	}
 	// The simulated cloud's accounting must be consistent after the burst.
-	m := srv.Cloud().Metrics()
+	// Snapshot via the simulation loop: the engine is still live and a
+	// keep-alive expiry would race a direct read.
+	m := srv.Metrics()
 	if m.Invocations != n {
 		t.Fatalf("cloud served %d of %d", m.Invocations, n)
 	}

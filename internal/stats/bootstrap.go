@@ -3,7 +3,7 @@ package stats
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -53,7 +53,7 @@ func (s *Sample) PercentileCI(p, confidence float64, resamples int, rng *rand.Ra
 		tmp.sorted = false
 		estimates[r] = tmp.Percentile(p)
 	}
-	sort.Slice(estimates, func(i, j int) bool { return estimates[i] < estimates[j] })
+	slices.Sort(estimates)
 	alpha := 1 - confidence
 	lo := estimates[int(alpha/2*float64(resamples))]
 	hiIdx := int((1 - alpha/2) * float64(resamples))

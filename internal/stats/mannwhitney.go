@@ -1,8 +1,9 @@
 package stats
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 )
 
 // MannWhitney holds the result of a two-sided Mann-Whitney U test.
@@ -36,7 +37,7 @@ func MannWhitneyU(a, b *Sample) MannWhitney {
 	for _, v := range b.Values() {
 		all = append(all, obs{float64(v), 1})
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].value < all[j].value })
+	slices.SortFunc(all, func(x, y obs) int { return cmp.Compare(x.value, y.value) })
 
 	// Assign average ranks to ties; accumulate the tie correction term.
 	ranks := make([]float64, len(all))

@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"time"
 )
@@ -33,8 +34,11 @@ func (s *Sample) Add(v time.Duration) {
 	s.sorted = false
 }
 
-// AddAll records many observations.
+// AddAll records many observations. The backing array is grown to the final
+// size in one step, so bulk-loading a large run does not reallocate per
+// append doubling.
 func (s *Sample) AddAll(vs []time.Duration) {
+	s.values = slices.Grow(s.values, len(vs))
 	s.values = append(s.values, vs...)
 	s.sorted = false
 }
@@ -51,7 +55,10 @@ func (s *Sample) Values() []time.Duration {
 
 func (s *Sample) ensureSorted() {
 	if !s.sorted {
-		sort.Slice(s.values, func(i, j int) bool { return s.values[i] < s.values[j] })
+		// slices.Sort sorts in place without the closure and interface
+		// boxing of sort.Slice, so repeated percentile queries after the
+		// first sort are allocation-free.
+		slices.Sort(s.values)
 		s.sorted = true
 	}
 }

@@ -1,7 +1,7 @@
 package stats
 
 import (
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -40,7 +40,7 @@ func Windows(samples []TimedSample, width time.Duration) []WindowSummary {
 	for idx := range buckets {
 		idxs = append(idxs, idx)
 	}
-	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	slices.Sort(idxs)
 	out := make([]WindowSummary, 0, len(idxs))
 	for _, idx := range idxs {
 		out = append(out, WindowSummary{
