@@ -38,6 +38,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		err = cmdCompare(args[1:], stdout)
 	case "trace":
 		err = cmdTrace(args[1:], stdout)
+	case "scale":
+		err = cmdScale(args[1:], stdout)
 	case "experiment":
 		err = cmdExperiment(args[1:], stdout)
 	case "-h", "--help", "help":
@@ -64,6 +66,8 @@ commands:
   suite      run a multi-experiment campaign from a suite config file
   compare    A/B-compare two saved runs (bootstrap CIs + Mann-Whitney)
   trace      generate/analyze Azure-style execution-time traces (Fig. 10)
+  scale      sustained multi-million-invocation series summarized by
+             bounded-memory mergeable quantile sketches
   experiment regenerate a paper table/figure or extension study
              (fig3a..fig10, table1, breakdown, policyspace, snapshots, observations, all)`)
 }

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/stellar-repro/stellar/internal/results"
 )
 
 // run invokes Main capturing output.
@@ -436,5 +438,75 @@ func TestSimAndRunCLIsIntegrate(t *testing.T) {
 	}
 	if !strings.Contains(out, "samples=10 colds=0") {
 		t.Fatalf("http run output:\n%s", out)
+	}
+}
+
+// TestScaleCommand exercises the sketch-summarized series end to end:
+// report, saved sketch record, and CDF export.
+func TestScaleCommand(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "cdf.csv")
+	savePath := filepath.Join(dir, "scale.json")
+	code, out, errOut := run(t, "scale",
+		"-provider", "google", "-n", "4000", "-shards", "2",
+		"-iat", "20ms", "-csv", csvPath, "-save", savePath)
+	if code != 0 {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+	for _, want := range []string{"invocations=4000", "mode=sketch", "p99=", "memory=", "sketch saved"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scale output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "latency_ns,cdf") {
+		t.Errorf("csv header wrong: %q", string(data[:20]))
+	}
+	rec, err := results.Load(savePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rec.Recorder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() == 0 || rec.Sketch == nil || len(rec.LatenciesNS) != 0 {
+		t.Fatalf("saved scale record malformed: count=%d sketch=%v lats=%d",
+			r.Count(), rec.Sketch != nil, len(rec.LatenciesNS))
+	}
+}
+
+// TestScaleCommandExactRejectsSave: exact mode has no sketch to persist.
+func TestScaleCommandExactRejectsSave(t *testing.T) {
+	code, _, errOut := run(t, "scale",
+		"-provider", "google", "-n", "200", "-shards", "2", "-iat", "20ms",
+		"-exact", "-save", filepath.Join(t.TempDir(), "x.json"))
+	if code == 0 || !strings.Contains(errOut, "-exact") {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+}
+
+// TestCompareRejectsSketchOnlyRecords: sketch records load fine but cannot
+// feed bootstrap/rank comparisons — the CLI must say so instead of
+// panicking on an empty sample.
+func TestCompareRejectsSketchOnlyRecords(t *testing.T) {
+	dir := t.TempDir()
+	sketchPath := filepath.Join(dir, "sketch.json")
+	benchPath := filepath.Join(dir, "bench.json")
+	if code, _, errOut := run(t, "scale",
+		"-provider", "google", "-n", "2000", "-shards", "2", "-iat", "20ms",
+		"-save", sketchPath); code != 0 {
+		t.Fatalf("scale failed: %s", errOut)
+	}
+	if code, _, errOut := run(t, "bench",
+		"-provider", "google", "-samples", "100", "-save", benchPath); code != 0 {
+		t.Fatalf("bench failed: %s", errOut)
+	}
+	code, _, errOut := run(t, "compare", sketchPath, benchPath)
+	if code == 0 || !strings.Contains(errOut, "sketch-only") {
+		t.Fatalf("code=%d err=%q", code, errOut)
 	}
 }

@@ -33,6 +33,13 @@ func cmdCompare(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// Bootstrap resampling and rank tests need raw samples; sketch-only
+	// records (from `stellar scale`) summarize too far for either.
+	for i, rec := range []*results.RunRecord{a, b} {
+		if len(rec.LatenciesNS) == 0 {
+			return fmt.Errorf("compare: %s is a sketch-only record; comparisons need raw samples (rerun without sketch summarization, e.g. `stellar bench -save`)", fs.Arg(i))
+		}
+	}
 	cmp := results.Compare(a, b, *confidence, *resamples, rand.New(rand.NewSource(*seed)))
 	cmp.Write(stdout)
 	return nil

@@ -1,0 +1,93 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/experiments"
+	"github.com/stellar-repro/stellar/internal/providers"
+	"github.com/stellar-repro/stellar/internal/results"
+)
+
+// cmdScale drives a sustained multi-million-invocation series against one
+// simulated provider at bounded heap: latencies stream into mergeable
+// quantile sketches instead of per-sample slices, so series length is
+// limited by simulated time, not memory.
+func cmdScale(args []string, stdout io.Writer) (err error) {
+	fs := flag.NewFlagSet("scale", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	prof := addProfileFlags(fs)
+	provider := fs.String("provider", "aws", "provider profile")
+	providerFile := fs.String("provider-file", "", "JSON provider profile to load and use")
+	invocations := fs.Uint64("n", 5_000_000, "total invocations across all shards")
+	shards := fs.Int("shards", 8, "independent simulation shards")
+	workers := fs.Int("workers", 0, "concurrent shards (0 = all CPUs, 1 = serial)")
+	iat := fs.Duration("iat", 100*time.Millisecond, "inter-arrival time between bursts within a shard")
+	burst := fs.Int("burst", 1, "requests per arrival step")
+	exec := fs.Duration("exec", 0, "function busy-spin time")
+	alpha := fs.Float64("alpha", 0, "sketch relative-accuracy target (0 = default 0.5%)")
+	exact := fs.Bool("exact", false, "record exact per-sample latencies (O(n) memory; small n only)")
+	seed := fs.Int64("seed", 1, "random seed")
+	csvPath := fs.String("csv", "", "write the latency CDF as CSV")
+	savePath := fs.String("save", "", "save the merged sketch as a results file")
+	name := fs.String("name", "scale", "run name used in saved results")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+	if *providerFile != "" {
+		loaded, err := providers.RegisterFile(*providerFile)
+		if err != nil {
+			return err
+		}
+		*provider = loaded
+	}
+
+	res, err := experiments.RunScale(experiments.ScaleOptions{
+		Provider:    *provider,
+		Invocations: *invocations,
+		Shards:      *shards,
+		Workers:     *workers,
+		Seed:        *seed,
+		IAT:         *iat,
+		Burst:       *burst,
+		ExecTime:    *exec,
+		Alpha:       *alpha,
+		Exact:       *exact,
+	})
+	if err != nil {
+		return err
+	}
+	experiments.WriteScaleReport(stdout, res)
+
+	if *savePath != "" {
+		if res.Sketch == nil {
+			return fmt.Errorf("scale: -save requires sketch mode (drop -exact)")
+		}
+		rec := results.FromScaleRun(*name, res.Sketch, int(res.Colds), int(res.Errors))
+		if err := rec.Save(*savePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "sketch saved to %s\n", *savePath)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return experiments.WriteScaleCDF(f, res)
+	}
+	return nil
+}

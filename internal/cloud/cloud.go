@@ -48,6 +48,16 @@ type Metrics struct {
 	BilledGBSeconds float64
 }
 
+// LatencyRecorder receives one client-observed latency per successful
+// external invocation, in virtual-time completion order. Both the exact
+// stats.Sample and the bounded sketch.Sketch satisfy it, so callers choose
+// O(n) fidelity or fixed-memory scale without touching the simulator.
+// Implementations need not be goroutine-safe: all invocations of one cloud
+// run inside its single-threaded DES engine.
+type LatencyRecorder interface {
+	Add(latency time.Duration)
+}
+
 // Worker is a physical host in the simulated cluster. Placement is
 // round-robin; the struct tracks occupancy for metrics and tests.
 type Worker struct {
@@ -80,6 +90,11 @@ type Cloud struct {
 
 	instanceSeq int
 	payloadSeq  int
+
+	// latRec, when set, receives every successful external invocation's
+	// client-observed latency as it completes (the Recorder seam; see
+	// ARCHITECTURE.md). nil keeps the hot path untouched.
+	latRec LatencyRecorder
 
 	// Instance-seconds accounting: the integral of live instances over
 	// virtual time, the provider-side resource-cost counterpart of the
@@ -128,6 +143,12 @@ func (c *Cloud) Config() Config { return c.cfg }
 
 // Metrics returns a snapshot of cloud counters.
 func (c *Cloud) Metrics() Metrics { return c.metrics }
+
+// SetLatencyRecorder installs (or, with nil, removes) the recorder that
+// observes successful external invocation latencies. Swapping recorders
+// mid-simulation is allowed; each completion records into the recorder
+// installed at its completion time.
+func (c *Cloud) SetLatencyRecorder(r LatencyRecorder) { c.latRec = r }
 
 // ImageStore exposes the function-image store (for tests and experiments).
 func (c *Cloud) ImageStore() *blobstore.Store { return c.imageStore }
@@ -277,10 +298,18 @@ func (c *Cloud) pickWorker() *Worker {
 // Invoke executes one function invocation on behalf of the calling process,
 // advancing virtual time through every infrastructure component the request
 // traverses. It returns when the response reaches the caller.
-func (c *Cloud) Invoke(p *des.Proc, req *Request) (*Response, error) {
+func (c *Cloud) Invoke(p *des.Proc, req *Request) (_ *Response, err error) {
 	fn, ok := c.functions[req.Fn]
 	if !ok {
 		return nil, fmt.Errorf("cloud %s: function %q not deployed", c.cfg.Name, req.Fn)
+	}
+	if c.latRec != nil && !req.Internal {
+		start := p.Now()
+		defer func() {
+			if err == nil {
+				c.latRec.Add(p.Now() - start)
+			}
+		}()
 	}
 	if req.depth > maxChainDepth {
 		return nil, fmt.Errorf("cloud %s: chain depth exceeds %d", c.cfg.Name, maxChainDepth)
@@ -343,7 +372,6 @@ func (c *Cloud) Invoke(p *des.Proc, req *Request) (*Response, error) {
 	// attempts fold wholesale into the Retried bucket so the final
 	// breakdown still sums to the observed latency.
 	var resp *Response
-	var err error
 	attempts := 0
 	for {
 		attempts++

@@ -1,0 +1,105 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/stats"
+)
+
+// TestLatencyRecorderObservesExternalSuccesses pins the Recorder seam's
+// contract: every successful external invocation records exactly its
+// client-observed latency; internal chain hops and failures do not record.
+func TestLatencyRecorderObservesExternalSuccesses(t *testing.T) {
+	eng, c := newTestCloud(t, testConfig())
+	rec := stats.NewSample(0)
+	c.SetLatencyRecorder(rec)
+	deploy(t, c, FunctionSpec{Name: "f"})
+
+	results := make([]*result, 5)
+	for i := range results {
+		results[i] = invokeAt(eng, c, time.Duration(i)*time.Second, &Request{Fn: "f"})
+	}
+	eng.Run(0)
+
+	if got := rec.Len(); got != len(results) {
+		t.Fatalf("recorder saw %d latencies for %d invocations", got, len(results))
+	}
+	observed := make(map[time.Duration]int)
+	for _, r := range results {
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		observed[r.lat]++
+	}
+	for _, v := range rec.Values() {
+		if observed[v] == 0 {
+			t.Fatalf("recorder holds latency %v that no client observed", v)
+		}
+		observed[v]--
+	}
+}
+
+// TestLatencyRecorderSkipsInternalHops: a chained invocation is one client
+// observation, not one per hop.
+func TestLatencyRecorderSkipsInternalHops(t *testing.T) {
+	eng, c := newTestCloud(t, testConfig())
+	rec := stats.NewSample(0)
+	c.SetLatencyRecorder(rec)
+	deploy(t, c, FunctionSpec{Name: "consumer"})
+	deploy(t, c, FunctionSpec{Name: "producer",
+		Chain: &ChainSpec{Next: "consumer", Transfer: TransferInline, PayloadBytes: 1024}})
+
+	r := invokeAt(eng, c, 0, &Request{Fn: "producer"})
+	eng.Run(0)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if rec.Len() != 1 {
+		t.Fatalf("chained invocation recorded %d latencies, want 1", rec.Len())
+	}
+	if rec.Values()[0] != r.lat {
+		t.Fatalf("recorded %v, client observed %v", rec.Values()[0], r.lat)
+	}
+}
+
+// TestLatencyRecorderSkipsFailures: invocations that surface an error to
+// the client must not pollute the latency distribution (the run layers
+// count them as Errors instead).
+func TestLatencyRecorderSkipsFailures(t *testing.T) {
+	cfg := testConfig()
+	cfg.Faults.CrashProb = 1 // every invocation crashes, no retries
+	eng, c := newTestCloud(t, cfg)
+	rec := stats.NewSample(0)
+	c.SetLatencyRecorder(rec)
+	deploy(t, c, FunctionSpec{Name: "f"})
+
+	r := invokeAt(eng, c, 0, &Request{Fn: "f"})
+	eng.Run(0)
+	if r.err == nil {
+		t.Fatal("expected the crash to surface")
+	}
+	if rec.Len() != 0 {
+		t.Fatalf("failed invocation recorded %d latencies, want 0", rec.Len())
+	}
+}
+
+// TestLatencyRecorderNilIsUntouchedPath: the default nil recorder keeps
+// Invoke behavior identical (smoke for the seam's zero-cost default).
+func TestLatencyRecorderNilIsUntouchedPath(t *testing.T) {
+	eng, c := newTestCloud(t, testConfig())
+	deploy(t, c, FunctionSpec{Name: "f"})
+	r := invokeAt(eng, c, 0, &Request{Fn: "f"})
+	eng.Run(0)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	c.SetLatencyRecorder(nil) // explicit nil install is also a no-op
+	r2 := invokeAt(eng, c, time.Hour, &Request{Fn: "f"})
+	eng.Run(0)
+	if r2.err != nil {
+		t.Fatal(r2.err)
+	}
+}
+
+var _ LatencyRecorder = (*stats.Sample)(nil)

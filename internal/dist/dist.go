@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 )
 
@@ -194,6 +195,9 @@ type Component struct {
 type Mixture struct {
 	Components []Component
 	total      float64
+	// cum[i] is the cumulative weight of Components[0..i], precomputed by
+	// NewMixture so Sample selects in O(log k) instead of O(k).
+	cum []float64
 }
 
 // NewMixture validates and returns a mixture.
@@ -202,25 +206,37 @@ func NewMixture(components ...Component) *Mixture {
 		panic("dist: empty mixture")
 	}
 	total := 0.0
-	for _, c := range components {
+	cum := make([]float64, len(components))
+	for i, c := range components {
 		if c.Weight <= 0 {
 			panic("dist: non-positive mixture weight")
 		}
 		total += c.Weight
+		cum[i] = total
 	}
-	return &Mixture{Components: components, total: total}
+	return &Mixture{Components: components, total: total, cum: cum}
 }
 
 // Sample implements Dist.
 func (m *Mixture) Sample(rng *rand.Rand) time.Duration {
-	x := rng.Float64() * m.total
-	for _, c := range m.Components {
-		if x < c.Weight {
-			return c.D.Sample(rng)
+	if m.cum == nil {
+		// Mixture built as a literal rather than via NewMixture: fall back
+		// to the weight-subtraction scan.
+		x := rng.Float64() * m.total
+		for _, c := range m.Components {
+			if x < c.Weight {
+				return c.D.Sample(rng)
+			}
+			x -= c.Weight
 		}
-		x -= c.Weight
+		return m.Components[len(m.Components)-1].D.Sample(rng)
 	}
-	return m.Components[len(m.Components)-1].D.Sample(rng)
+	x := rng.Float64() * m.total
+	i := sort.Search(len(m.cum), func(j int) bool { return x < m.cum[j] })
+	if i == len(m.cum) {
+		i--
+	}
+	return m.Components[i].D.Sample(rng)
 }
 
 func (m *Mixture) String() string {

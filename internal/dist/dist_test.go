@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -228,4 +229,62 @@ func absDiff(a, b time.Duration) time.Duration {
 		return a - b
 	}
 	return b - a
+}
+
+// TestMixtureBinarySearchMatchesLinearScan: the precomputed-cum binary
+// search must pick the same component as the original weight-subtraction
+// scan for the same RNG stream — the selection rule is an observable part
+// of every provider profile's golden output.
+func TestMixtureBinarySearchMatchesLinearScan(t *testing.T) {
+	comps := []Component{
+		{Weight: 0.93, D: Constant(1 * time.Millisecond)},
+		{Weight: 0.05, D: Constant(2 * time.Millisecond)},
+		{Weight: 0.015, D: Constant(3 * time.Millisecond)},
+		{Weight: 0.005, D: Constant(4 * time.Millisecond)},
+	}
+	fast := NewMixture(comps...)
+	// A literal mixture (nil cum) exercises the reference scan; copy the
+	// validated total so both see the same selection domain.
+	slow := &Mixture{Components: comps, total: fast.total}
+	for seed := int64(0); seed < 20; seed++ {
+		a, b := rand.New(rand.NewSource(seed)), rand.New(rand.NewSource(seed))
+		for i := 0; i < 5_000; i++ {
+			if got, want := fast.Sample(a), slow.Sample(b); got != want {
+				t.Fatalf("seed %d draw %d: binary search picked %v, linear scan %v",
+					seed, i, got, want)
+			}
+		}
+	}
+}
+
+// TestMixtureSampleAllocFree: component selection must not allocate — it
+// runs once per simulated network/storage hop.
+func TestMixtureSampleAllocFree(t *testing.T) {
+	m := NewMixture(
+		Component{Weight: 0.97, D: Constant(time.Millisecond)},
+		Component{Weight: 0.03, D: Constant(time.Second)},
+	)
+	rng := rand.New(rand.NewSource(1))
+	if avg := testing.AllocsPerRun(1000, func() { m.Sample(rng) }); avg != 0 {
+		t.Fatalf("Mixture.Sample allocates %.1f per draw, want 0", avg)
+	}
+}
+
+// BenchmarkMixtureSample measures component selection across mixture widths
+// (selection is O(log k) on the precomputed cumulative weights).
+func BenchmarkMixtureSample(b *testing.B) {
+	for _, k := range []int{2, 8, 32} {
+		comps := make([]Component, k)
+		for i := range comps {
+			comps[i] = Component{Weight: 1 / float64(i+1), D: Constant(time.Millisecond)}
+		}
+		m := NewMixture(comps...)
+		rng := rand.New(rand.NewSource(1))
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.Sample(rng)
+			}
+		})
+	}
 }

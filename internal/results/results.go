@@ -15,14 +15,19 @@ import (
 
 	"github.com/stellar-repro/stellar/internal/core"
 	"github.com/stellar-repro/stellar/internal/stats"
+	"github.com/stellar-repro/stellar/internal/stats/sketch"
 )
 
-// RunRecord is a serialized measurement run.
+// RunRecord is a serialized measurement run. Small runs carry their raw
+// latencies; scale runs instead (or additionally) carry a compact quantile
+// sketch whose size is independent of the series length.
 type RunRecord struct {
 	// Name labels the run ("aws-warm-baseline").
 	Name string `json:"name"`
 	// LatenciesNS are the measured response times in nanoseconds.
-	LatenciesNS []int64 `json:"latencies_ns"`
+	LatenciesNS []int64 `json:"latencies_ns,omitempty"`
+	// Sketch is the run's mergeable latency summary, if one was recorded.
+	Sketch *sketch.Record `json:"sketch,omitempty"`
 	// TransfersNS are instrumented transfer times, if any.
 	TransfersNS []int64 `json:"transfers_ns,omitempty"`
 	// Colds and Errors echo the run's outcome counts.
@@ -40,22 +45,52 @@ func FromRunResult(name string, res *core.RunResult) *RunRecord {
 		Errors:          res.Errors,
 		BilledGBSeconds: res.BilledGBSeconds,
 	}
-	for _, v := range res.Latencies.Values() {
+	lats := res.Latencies.Values()
+	rec.LatenciesNS = make([]int64, 0, len(lats))
+	for _, v := range lats {
 		rec.LatenciesNS = append(rec.LatenciesNS, int64(v))
 	}
-	for _, v := range res.Transfers.Values() {
-		rec.TransfersNS = append(rec.TransfersNS, int64(v))
+	if trans := res.Transfers.Values(); len(trans) > 0 {
+		rec.TransfersNS = make([]int64, 0, len(trans))
+		for _, v := range trans {
+			rec.TransfersNS = append(rec.TransfersNS, int64(v))
+		}
 	}
 	return rec
 }
 
-// Latencies rebuilds the latency sample.
+// FromScaleRun builds a record for a sketch-summarized series: counters plus
+// the compact sketch, no per-sample data.
+func FromScaleRun(name string, sk *sketch.Sketch, colds, errors int) *RunRecord {
+	return &RunRecord{
+		Name:   name,
+		Sketch: sk.Record(),
+		Colds:  colds,
+		Errors: errors,
+	}
+}
+
+// Latencies rebuilds the latency sample. It requires raw samples; use
+// Recorder for records that may only carry a sketch.
 func (r *RunRecord) Latencies() *stats.Sample {
 	s := stats.NewSample(len(r.LatenciesNS))
 	for _, v := range r.LatenciesNS {
 		s.Add(time.Duration(v))
 	}
 	return s
+}
+
+// Recorder returns the record's latency distribution under the common
+// Recorder interface: the exact sample when raw latencies are present,
+// otherwise the rehydrated sketch.
+func (r *RunRecord) Recorder() (sketch.Recorder, error) {
+	if len(r.LatenciesNS) > 0 {
+		return r.Latencies(), nil
+	}
+	if r.Sketch == nil {
+		return nil, fmt.Errorf("results: %s has neither latencies nor a sketch", r.Name)
+	}
+	return sketch.FromRecord(r.Sketch)
 }
 
 // Save writes the record as JSON.
@@ -80,8 +115,15 @@ func Load(path string) (*RunRecord, error) {
 	if err := json.Unmarshal(data, &rec); err != nil {
 		return nil, fmt.Errorf("results: parse: %w", err)
 	}
-	if len(rec.LatenciesNS) == 0 {
+	if len(rec.LatenciesNS) == 0 && rec.Sketch == nil {
 		return nil, fmt.Errorf("results: %s has no latency samples", path)
+	}
+	if rec.Sketch != nil {
+		// Validate the sketch payload eagerly so corrupt files fail at
+		// load time, not mid-analysis.
+		if _, err := sketch.FromRecord(rec.Sketch); err != nil {
+			return nil, fmt.Errorf("results: %s: %w", path, err)
+		}
 	}
 	return &rec, nil
 }

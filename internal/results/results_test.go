@@ -9,6 +9,7 @@ import (
 
 	"github.com/stellar-repro/stellar/internal/core"
 	"github.com/stellar-repro/stellar/internal/stats"
+	"github.com/stellar-repro/stellar/internal/stats/sketch"
 )
 
 func fakeRun(base time.Duration, n int, seed int64) *core.RunResult {
@@ -54,6 +55,74 @@ func TestLoadErrors(t *testing.T) {
 	}
 	if _, err := Load(empty); err == nil || !strings.Contains(err.Error(), "no latency samples") {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestSketchRecordRoundTrip: a scale run persists as a compact sketch-only
+// record; loading rehydrates a Recorder with the original quantiles.
+func TestSketchRecordRoundTrip(t *testing.T) {
+	sk := sketch.New(0)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50_000; i++ {
+		sk.Add(40*time.Millisecond + time.Duration(rng.ExpFloat64()*float64(10*time.Millisecond)))
+	}
+	rec := FromScaleRun("scale-aws", sk, 12, 3)
+	path := filepath.Join(t.TempDir(), "scale.json")
+	if err := rec.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.LatenciesNS) != 0 {
+		t.Fatal("sketch-only record grew raw latencies in transit")
+	}
+	if loaded.Colds != 12 || loaded.Errors != 3 {
+		t.Fatalf("counters mangled: %+v", loaded)
+	}
+	r, err := loaded.Recorder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != sk.Count() || r.Quantile(0.99) != sk.Quantile(0.99) {
+		t.Fatalf("rehydrated recorder differs: count %d/%d p99 %v/%v",
+			r.Count(), sk.Count(), r.Quantile(0.99), sk.Quantile(0.99))
+	}
+}
+
+// TestLoadRejectsCorruptSketch: sketch payload validation happens at load
+// time, not when the analysis first touches it.
+func TestLoadRejectsCorruptSketch(t *testing.T) {
+	rec := &RunRecord{
+		Name:   "bad",
+		Sketch: &sketch.Record{Alpha: 0.005, Count: 5, Keys: []int32{1, 2}, Counts: []uint64{1}},
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := rec.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("corrupt sketch record loaded without error")
+	}
+}
+
+// TestRecorderPrefersExactSamples: raw latencies win over a sketch when a
+// record carries both.
+func TestRecorderPrefersExactSamples(t *testing.T) {
+	rec := FromRunResult("both", fakeRun(40*time.Millisecond, 100, 3))
+	sk := sketch.New(0)
+	sk.Add(time.Hour) // decoy: would distort quantiles if preferred
+	rec.Sketch = sk.Record()
+	r, err := rec.Recorder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.(*stats.Sample); !ok {
+		t.Fatalf("record with raw samples rehydrated as %T", r)
+	}
+	if _, err := (&RunRecord{Name: "neither"}).Recorder(); err == nil {
+		t.Fatal("record with neither samples nor sketch produced a recorder")
 	}
 }
 

@@ -17,6 +17,7 @@
 package runner
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -112,4 +113,25 @@ func Map[T any](p Pool, n int, fn func(Shard) (T, error)) ([]T, error) {
 		}
 	}
 	return results, nil
+}
+
+// MapReduce runs fn once per shard and folds the per-shard results into an
+// accumulator with merge, in shard-index order. It exists for mergeable
+// summaries (quantile sketches, counters): a scale run's aggregation cost
+// is O(shards × summary size) — never O(total observations) — because no
+// shard's raw stream is ever concatenated. The index-ordered fold keeps the
+// result deterministic at any Workers setting even for merges that are not
+// commutative; for exact merges like the sketch's it is simply the cheapest
+// deterministic order.
+func MapReduce[S, A any](p Pool, n int, acc A, fn func(Shard) (S, error), merge func(acc A, shard S) (A, error)) (A, error) {
+	outs, err := Map(p, n, fn)
+	if err != nil {
+		return acc, err
+	}
+	for i, out := range outs {
+		if acc, err = merge(acc, out); err != nil {
+			return acc, fmt.Errorf("runner: merge shard %d: %w", i, err)
+		}
+	}
+	return acc, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -155,5 +156,52 @@ func TestMapEdgeCases(t *testing.T) {
 	res, err := Map(Pool{Workers: 16, Seed: 5}, 2, draw)
 	if err != nil || len(res) != 2 {
 		t.Errorf("n=2: got %d results, err %v", len(res), err)
+	}
+}
+
+// TestMapReduceFoldsInIndexOrder pins the deterministic fold: shard results
+// merge in index order regardless of worker count or completion order.
+func TestMapReduceFoldsInIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		got, err := MapReduce(Pool{Workers: workers, Seed: 9}, 8, "acc",
+			func(sh Shard) (string, error) {
+				return string(rune('a' + sh.Index)), nil
+			},
+			func(acc, shard string) (string, error) {
+				return acc + shard, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != "accabcdefgh" {
+			t.Errorf("Workers=%d: fold = %q, want accabcdefgh", workers, got)
+		}
+	}
+}
+
+// TestMapReduceSurfacesErrors: shard errors preempt the fold; merge errors
+// carry the shard index.
+func TestMapReduceSurfacesErrors(t *testing.T) {
+	_, err := MapReduce(Pool{Workers: 2, Seed: 1}, 4, 0,
+		func(sh Shard) (int, error) {
+			if sh.Index == 1 {
+				return 0, errors.New("shard boom")
+			}
+			return sh.Index, nil
+		},
+		func(acc, shard int) (int, error) { return acc + shard, nil })
+	if err == nil || !strings.Contains(err.Error(), "shard boom") {
+		t.Fatalf("shard error not surfaced: %v", err)
+	}
+	_, err = MapReduce(Pool{Workers: 2, Seed: 1}, 4, 0,
+		func(sh Shard) (int, error) { return sh.Index, nil },
+		func(acc, shard int) (int, error) {
+			if shard == 2 {
+				return 0, errors.New("merge boom")
+			}
+			return acc + shard, nil
+		})
+	if err == nil || !strings.Contains(err.Error(), "merge shard 2") {
+		t.Fatalf("merge error not indexed: %v", err)
 	}
 }

@@ -1,0 +1,122 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// --- Allocation and memory-bound gates ---------------------------------------
+//
+// The sketch's contract is fixed memory under unbounded streams: once the
+// value range has populated its grid buckets, recording more observations
+// must neither allocate nor grow the sketch. These gates are the
+// bounded-memory counterpart of internal/des/alloc_test.go.
+
+// warmSketch populates a sketch across the operating range. The dense grid
+// is fully allocated at New, so "warming" here only makes the queries
+// representative — the alloc-free property holds from the first Add.
+func warmSketch() *Sketch {
+	s := New(0)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200_000; i++ {
+		s.Add(time.Duration(rng.Int63n(int64(10 * time.Second))))
+	}
+	return s
+}
+
+// TestAllocFreeSteadyStateAdd: recording into warmed buckets is
+// allocation-free — the hot-path requirement for in-sim recording.
+func TestAllocFreeSteadyStateAdd(t *testing.T) {
+	s := warmSketch()
+	rng := rand.New(rand.NewSource(2))
+	values := make([]time.Duration, 1024)
+	for i := range values {
+		values[i] = time.Duration(rng.Int63n(int64(10 * time.Second)))
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		for _, v := range values {
+			s.Add(v)
+		}
+	}); avg != 0 {
+		t.Fatalf("steady-state Add allocates %.1f allocs per 1024 observations, want 0", avg)
+	}
+}
+
+// TestAllocFreeQuantileQueries: quantile/summary queries walk the fixed
+// grid and are allocation-free.
+func TestAllocFreeQuantileQueries(t *testing.T) {
+	s := warmSketch()
+	if avg := testing.AllocsPerRun(100, func() {
+		s.Quantile(0.5)
+		s.Quantile(0.95)
+		s.Quantile(0.99)
+		s.TMR()
+	}); avg != 0 {
+		t.Fatalf("quantile queries allocate %.1f allocs per batch, want 0", avg)
+	}
+}
+
+// TestMemoryIndependentOfCount: the sketch's footprint is a function of the
+// value range, not the observation count — 10x the stream, same bytes.
+func TestMemoryIndependentOfCount(t *testing.T) {
+	load := func(n int) *Sketch {
+		s := New(0)
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < n; i++ {
+			s.Add(time.Duration(rng.Int63n(int64(10 * time.Second))))
+		}
+		s.Quantile(0.5)
+		return s
+	}
+	small, large := load(300_000), load(3_000_000)
+	if small.MemoryBytes() != large.MemoryBytes() {
+		t.Fatalf("sketch memory grew with n: %dB at 300k vs %dB at 3M",
+			small.MemoryBytes(), large.MemoryBytes())
+	}
+	if b := large.GridBuckets(); b > 4096 {
+		t.Fatalf("grid holds %d buckets, exceeds the range bound", b)
+	}
+}
+
+// BenchmarkSketchAdd measures the per-observation recording cost — the
+// price paid inside the simulation hot loop.
+func BenchmarkSketchAdd(b *testing.B) {
+	s := warmSketch()
+	rng := rand.New(rand.NewSource(4))
+	values := make([]time.Duration, 8192)
+	for i := range values {
+		values[i] = time.Duration(rng.Int63n(int64(10 * time.Second)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(values[i&8191])
+	}
+}
+
+// BenchmarkSketchQuantile measures the steady-state quantile query.
+func BenchmarkSketchQuantile(b *testing.B) {
+	s := warmSketch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Quantile(0.99)
+	}
+}
+
+// BenchmarkSketchMerge measures the per-shard aggregation cost —
+// O(buckets), independent of how many observations each shard recorded.
+func BenchmarkSketchMerge(b *testing.B) {
+	shard := warmSketch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		acc := New(0)
+		b.StartTimer()
+		if err := acc.Merge(shard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

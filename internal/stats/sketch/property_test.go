@@ -1,0 +1,140 @@
+package sketch
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/dist"
+	"github.com/stellar-repro/stellar/internal/stats"
+)
+
+// distFamilies spans the latency shapes the provider profiles are built
+// from: mild and heavy log-normal tails, sub-exponential Weibull, Pareto
+// power laws, and the fast-path/straggler mixtures used for storage GETs.
+func distFamilies() map[string]dist.Dist {
+	return map[string]dist.Dist{
+		"lognormal-mild":  dist.LogNormalMedTail(45*time.Millisecond, 100*time.Millisecond),
+		"lognormal-heavy": dist.LogNormalMedTail(90*time.Millisecond, 4*time.Second),
+		"weibull":         dist.Weibull{Shape: 0.7, Scale: 120 * time.Millisecond},
+		"pareto":          dist.Pareto{Xm: 10 * time.Millisecond, Alpha: 2.2},
+		"mixture": dist.NewMixture(
+			dist.Component{Weight: 0.97, D: dist.LogNormalMedTail(30*time.Millisecond, 80*time.Millisecond)},
+			dist.Component{Weight: 0.03, D: dist.LogNormalMedTail(2*time.Second, 8*time.Second)},
+		),
+	}
+}
+
+// TestSketchQuantilesMatchExactAcrossFamilies is the property-test
+// satellite: for every distribution family, sketch quantiles track exact
+// Sample percentiles within the 1% acceptance band.
+func TestSketchQuantilesMatchExactAcrossFamilies(t *testing.T) {
+	n := 200_000
+	if testing.Short() {
+		n = 20_000
+	}
+	for name, d := range distFamilies() {
+		d := d
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(1234))
+			exact := stats.NewSample(n)
+			sk := New(0)
+			for i := 0; i < n; i++ {
+				v := d.Sample(rng)
+				exact.Add(v)
+				sk.Add(v)
+			}
+			for _, p := range []float64{25, 50, 75, 90, 95, 99, 99.9} {
+				got, want := sk.Percentile(p), exact.Percentile(p)
+				if e := relErr(got, want); e > 0.01 {
+					t.Errorf("p%v: sketch %v vs exact %v (rel err %.4f > 1%%)", p, got, want, e)
+				}
+			}
+		})
+	}
+}
+
+// TestShardSplitMergeEquivalence is the distribution-level shard property:
+// for every family and several shard counts, merging per-shard sketches is
+// byte-identical to sketching the unsharded stream.
+func TestShardSplitMergeEquivalence(t *testing.T) {
+	n := 50_000
+	if testing.Short() {
+		n = 8_000
+	}
+	for name, d := range distFamilies() {
+		d := d
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(99))
+			values := make([]time.Duration, n)
+			for i := range values {
+				values[i] = d.Sample(rng)
+			}
+			single := New(0)
+			for _, v := range values {
+				single.Add(v)
+			}
+			want := recordJSON(t, single)
+			for _, shards := range []int{2, 5, 16} {
+				parts := make([]*Sketch, shards)
+				for i := range parts {
+					parts[i] = New(0)
+				}
+				// Contiguous split, as the runner shards series.
+				for i, v := range values {
+					parts[i*shards/len(values)].Add(v)
+				}
+				merged := New(0)
+				for _, p := range parts {
+					mustMerge(t, merged, p)
+				}
+				if got := recordJSON(t, merged); got != want {
+					t.Errorf("%d-shard merge differs from single stream", shards)
+				}
+			}
+		})
+	}
+}
+
+func recordJSON(t *testing.T, s *Sketch) string {
+	t.Helper()
+	b, err := json.Marshal(s.Record())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestAccuracyAtOneMillion is the acceptance gate: at n=1M, sketch p50 and
+// p99 stay within 1% relative error of the exact percentiles, and the
+// bucket count stays orders of magnitude below n.
+func TestAccuracyAtOneMillion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-sample accuracy gate skipped in short mode")
+	}
+	const n = 1_000_000
+	d := dist.LogNormalMedTail(45*time.Millisecond, 450*time.Millisecond)
+	rng := rand.New(rand.NewSource(2024))
+	exact := stats.NewSample(n)
+	sk := New(0)
+	for i := 0; i < n; i++ {
+		v := d.Sample(rng)
+		exact.Add(v)
+		sk.Add(v)
+	}
+	for _, p := range []float64{50, 99} {
+		got, want := sk.Percentile(p), exact.Percentile(p)
+		if e := relErr(got, want); e > 0.01 {
+			t.Errorf("p%v at n=1M: sketch %v vs exact %v (rel err %.4f > 1%%)", p, got, want, e)
+		}
+	}
+	if b := sk.Buckets(); b > 4096 {
+		t.Errorf("sketch holds %d buckets at n=1M, want bounded (<= 4096)", b)
+	}
+	if e := relErr(sk.Mean(), exact.Mean()); e > 1e-9 {
+		t.Errorf("mean should be (integer-)exact: sketch %v vs exact %v", sk.Mean(), exact.Mean())
+	}
+}

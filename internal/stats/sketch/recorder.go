@@ -1,0 +1,42 @@
+package sketch
+
+import (
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/stats"
+)
+
+// Recorder is the seam between measurement producers (the simulated cloud,
+// the STeLLAR client, the scale driver) and statistics consumers (reports,
+// plots, serialized results). Two implementations exist:
+//
+//   - *stats.Sample — exact: retains every observation, O(n) memory.
+//     The default for paper figures, bootstrap CIs, and Mann-Whitney
+//     tests, all of which need raw values.
+//   - *Sketch — bounded: fixed-memory mergeable quantile summary for
+//     sustained large-n runs where retaining observations is the last
+//     O(n) path.
+//
+// Both report quantiles with the same closest-rank convention, so report
+// code is agnostic to which one fed it.
+type Recorder interface {
+	// Add records one observation.
+	Add(v time.Duration)
+	// AddN records n copies of an observation.
+	AddN(v time.Duration, n uint64)
+	// Count reports the number of recorded observations.
+	Count() uint64
+	// Quantile returns the q-th quantile, 0 <= q <= 1. It panics on an
+	// empty recorder.
+	Quantile(q float64) time.Duration
+	// CDF returns the cumulative distribution (exact point set or bucket
+	// representatives).
+	CDF() []stats.CDFPoint
+	// Summarize computes the headline metrics.
+	Summarize() stats.Summary
+}
+
+var (
+	_ Recorder = (*Sketch)(nil)
+	_ Recorder = (*stats.Sample)(nil)
+)

@@ -43,8 +43,25 @@ func (s *Sample) AddAll(vs []time.Duration) {
 	s.sorted = false
 }
 
+// AddN records n copies of an observation (Recorder conformance: the exact
+// counterpart of a sketch bucket increment, O(n) by nature).
+func (s *Sample) AddN(v time.Duration, n uint64) {
+	if n == 0 {
+		return
+	}
+	s.values = slices.Grow(s.values, int(n))
+	for ; n > 0; n-- {
+		s.values = append(s.values, v)
+	}
+	s.sorted = false
+}
+
 // Len reports the number of observations.
 func (s *Sample) Len() int { return len(s.values) }
+
+// Count reports the number of observations as the Recorder seam's unsigned
+// count.
+func (s *Sample) Count() uint64 { return uint64(len(s.values)) }
 
 // Values returns the observations sorted ascending. The returned slice is
 // owned by the sample; callers must not modify it.
@@ -88,6 +105,10 @@ func (s *Sample) Percentile(p float64) time.Duration {
 	frac := rank - float64(lo)
 	return s.values[lo] + time.Duration(frac*float64(s.values[hi]-s.values[lo]))
 }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) — the Recorder-seam
+// spelling of Percentile.
+func (s *Sample) Quantile(q float64) time.Duration { return s.Percentile(q * 100) }
 
 // Median returns the 50th percentile.
 func (s *Sample) Median() time.Duration { return s.Percentile(50) }
@@ -202,13 +223,14 @@ func (s *Sample) CDF() []CDFPoint {
 	return points
 }
 
-// FracBelow returns the fraction of observations <= v.
+// FracBelow returns the fraction of observations <= v (0 for an empty
+// sample, checked before paying for the sort and the search).
 func (s *Sample) FracBelow(v time.Duration) float64 {
-	s.ensureSorted()
-	idx := sort.Search(len(s.values), func(i int) bool { return s.values[i] > v })
 	if len(s.values) == 0 {
 		return 0
 	}
+	s.ensureSorted()
+	idx := sort.Search(len(s.values), func(i int) bool { return s.values[i] > v })
 	return float64(idx) / float64(len(s.values))
 }
 

@@ -106,6 +106,30 @@ func TestFracBelow(t *testing.T) {
 	}
 }
 
+// TestFracBelowAndCDFEdgeCases: the degenerate samples every aggregation
+// path can produce — empty (all invocations errored) and single-element.
+func TestFracBelowAndCDFEdgeCases(t *testing.T) {
+	empty := NewSample(0)
+	if f := empty.FracBelow(ms(1)); f != 0 {
+		t.Fatalf("empty FracBelow = %v, want 0", f)
+	}
+	if cdf := empty.CDF(); len(cdf) != 0 {
+		t.Fatalf("empty CDF has %d points, want 0", len(cdf))
+	}
+
+	one := FromDurations([]time.Duration{ms(7)})
+	if f := one.FracBelow(ms(6)); f != 0 {
+		t.Fatalf("single-element FracBelow(below) = %v, want 0", f)
+	}
+	if f := one.FracBelow(ms(7)); f != 1 {
+		t.Fatalf("single-element FracBelow(equal) = %v, want 1", f)
+	}
+	cdf := one.CDF()
+	if len(cdf) != 1 || cdf[0].Value != ms(7) || cdf[0].Frac != 1 {
+		t.Fatalf("single-element CDF = %v", cdf)
+	}
+}
+
 func TestSub(t *testing.T) {
 	s := FromDurations([]time.Duration{ms(30), ms(50), ms(10)})
 	out := s.Sub(ms(20))
