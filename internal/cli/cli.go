@@ -40,6 +40,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		err = cmdTrace(args[1:], stdout)
 	case "scale":
 		err = cmdScale(args[1:], stdout)
+	case "faults":
+		err = cmdFaults(args[1:], stdout)
 	case "experiment":
 		err = cmdExperiment(args[1:], stdout)
 	case "-h", "--help", "help":
@@ -68,6 +70,8 @@ commands:
   trace      generate/analyze Azure-style execution-time traces (Fig. 10)
   scale      sustained multi-million-invocation series summarized by
              bounded-memory mergeable quantile sketches
+  faults     fault-injection sweep: failure-rate x retry-policy grid with
+             success-rate / retry-cost / goodput / tail-latency reporting
   experiment regenerate a paper table/figure or extension study
              (fig3a..fig10, table1, breakdown, policyspace, snapshots, observations, all)`)
 }

@@ -1,0 +1,84 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFaultsCommand(t *testing.T) {
+	code, out, errOut := run(t, "faults", "-n", "200", "-shards", "2", "-seed", "7",
+		"-iat", "20ms", "-rates", "0,0.2")
+	if code != 0 {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+	for _, want := range []string{"fault sweep", "none", "r3/t2s/b100ms..1s/jitter"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFaultsWorkerCountInvariance is the PR's acceptance criterion at the
+// user-visible surface: the same seed prints the same numbers whether the
+// shards run serially or eight at a time.
+func TestFaultsWorkerCountInvariance(t *testing.T) {
+	args := []string{"faults", "-n", "200", "-shards", "2", "-seed", "7",
+		"-iat", "20ms", "-rates", "0,0.2", "-csv", "-"}
+	code1, out1, err1 := run(t, append(args, "-workers", "1")...)
+	code8, out8, err8 := run(t, append(args, "-workers", "8")...)
+	if code1 != 0 || code8 != 0 {
+		t.Fatalf("codes %d/%d errs %q/%q", code1, code8, err1, err8)
+	}
+	if out1 != out8 {
+		t.Fatalf("output differs between -workers 1 and -workers 8:\n--- w1:\n%s\n--- w8:\n%s", out1, out8)
+	}
+}
+
+func TestFaultsJSONAndCSVFiles(t *testing.T) {
+	dir := t.TempDir()
+	js := filepath.Join(dir, "sweep.json")
+	csv := filepath.Join(dir, "sweep.csv")
+	code, _, errOut := run(t, "faults", "-n", "100", "-shards", "2", "-rates", "0",
+		"-retries", "0", "-iat", "10ms", "-json", js, "-csv", csv)
+	if code != 0 {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+	jsData, err := os.ReadFile(js)
+	if err != nil || !strings.Contains(string(jsData), `"cells"`) {
+		t.Fatalf("json file: %v %q", err, jsData)
+	}
+	csvData, err := os.ReadFile(csv)
+	if err != nil || !strings.HasPrefix(string(csvData), "rate,policy,") {
+		t.Fatalf("csv file: %v %q", err, csvData)
+	}
+}
+
+func TestFaultsConfigFile(t *testing.T) {
+	code, out, errOut := run(t, "faults", "-n", "100", "-shards", "2", "-iat", "10ms",
+		"-rates", "0.2", "-config", "../../configs/faults.json")
+	if code != 0 {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+	// The committed config replaces the flag grid with naive + its policy.
+	if !strings.Contains(out, "none") || !strings.Contains(out, "h500ms") {
+		t.Fatalf("config-file policies missing from output:\n%s", out)
+	}
+}
+
+func TestFaultsBadFlags(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad rates":       {"faults", "-rates", "zero"},
+		"rate range":      {"faults", "-rates", "2"},
+		"bad retries":     {"faults", "-retries", "three"},
+		"missing config":  {"faults", "-config", "does-not-exist.json"},
+		"zero n":          {"faults", "-n", "0"},
+		"hedge past t/o":  {"faults", "-retries", "1", "-timeout", "1s", "-hedge", "2s"},
+		"unknown profile": {"faults", "-provider", "nonesuch"},
+	} {
+		if code, _, _ := run(t, args...); code == 0 {
+			t.Errorf("%s: exit 0 for %v", name, args)
+		}
+	}
+}

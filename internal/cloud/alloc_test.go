@@ -1,0 +1,67 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/des"
+	"github.com/stellar-repro/stellar/internal/dist"
+	"github.com/stellar-repro/stellar/internal/faults"
+)
+
+// warmInvokeAllocs measures steady-state allocations per run of a 16-invoke
+// warm sequence under the given config. The first run is a warm-up: it pays
+// the cold start, grows the goroutine pool and timer tables, and leaves the
+// instance hot for the measured runs.
+func warmInvokeAllocs(t *testing.T, cfg Config) float64 {
+	t.Helper()
+	eng := des.NewEngine()
+	t.Cleanup(eng.Close)
+	c, err := New(eng, cfg, dist.NewStreams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Deploy(FunctionSpec{Name: "f", Runtime: RuntimePython, Method: DeployZIP}); err != nil {
+		t.Fatal(err)
+	}
+	req := &Request{Fn: "f"}
+	run := func() {
+		eng.Spawn("req", func(p *des.Proc) {
+			for i := 0; i < 16; i++ {
+				if _, err := c.Invoke(p, req); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+		eng.Run(0)
+	}
+	run()
+	return testing.AllocsPerRun(50, run)
+}
+
+// TestWarmInvokeAllocParityWithInjector is the fault layer's alloc gate:
+// the injector seam must add zero allocations per warm invocation, both
+// when faults are compiled out (nil injector — the seed's fast path) and
+// when an injector is present but structurally inert (throttle armed far
+// above the offered load, no probabilistic modes). The inert cloud draws no
+// randomness, so both runs replay the identical virtual trace and the
+// comparison is exact.
+func TestWarmInvokeAllocParityWithInjector(t *testing.T) {
+	baseline := warmInvokeAllocs(t, testConfig())
+
+	inert := testConfig()
+	inert.Inject = &faults.Config{ThrottleLimit: 1 << 30, ThrottleWindow: time.Hour}
+	withInjector := warmInvokeAllocs(t, inert)
+
+	if withInjector > baseline {
+		t.Fatalf("inert injector adds %.2f allocs per 16 warm invokes (%.2f -> %.2f); the seam must be free",
+			withInjector-baseline, baseline, withInjector)
+	}
+	// Guard against the harness going degenerate: a warm invoke sequence
+	// costing hundreds of allocs would mean the hot path regressed badly
+	// enough that parity alone proves nothing.
+	if perOp := baseline / 16; perOp > 8 {
+		t.Fatalf("warm invoke costs %.1f allocs/op in steady state; hot path regressed", perOp)
+	}
+}

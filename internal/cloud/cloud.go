@@ -10,6 +10,7 @@ import (
 	"github.com/stellar-repro/stellar/internal/blobstore"
 	"github.com/stellar-repro/stellar/internal/des"
 	"github.com/stellar-repro/stellar/internal/dist"
+	"github.com/stellar-repro/stellar/internal/faults"
 )
 
 // maxChainDepth bounds function-chain recursion.
@@ -42,6 +43,12 @@ type Metrics struct {
 	SnapshotRestores uint64
 	// QueueTimeouts counts requests the gateway abandoned while buffered.
 	QueueTimeouts uint64
+	// Injector counters (Config.Inject): in-flight request drops,
+	// 429-style admission rejections, and storage-fetch timeouts.
+	// Injector spawn failures fold into SpawnFailures above.
+	Drops         uint64
+	Throttles     uint64
+	StorageFaults uint64
 	// BilledGBSeconds accumulates the pay-per-use bill across all served
 	// invocations (§II-A: providers charge for instance-busy time times
 	// configured memory).
@@ -88,6 +95,12 @@ type Cloud struct {
 	// capRes bounds total cluster instances (nil = unbounded).
 	capRes *des.Resource
 
+	// inj, when non-nil, injects transient failures into the invocation
+	// path (Config.Inject). It stays nil unless a failure mode is active,
+	// so the disabled case costs two nil checks per request and zero
+	// random draws.
+	inj *faults.Injector
+
 	instanceSeq int
 	payloadSeq  int
 
@@ -122,6 +135,9 @@ func New(eng *des.Engine, cfg Config, streams *dist.Streams) (*Cloud, error) {
 		rngWire:     streams.Stream(cfg.Name + "/wire"),
 		functions:   make(map[string]*Function),
 		schedRes:    des.NewResource(eng, cfg.SchedulerCapacity),
+	}
+	if cfg.Inject.Enabled() {
+		c.inj = faults.NewInjector(*cfg.Inject, streams.Stream(cfg.Name+"/faults"), cfg.Workers)
 	}
 	c.imageStore = blobstore.New(eng, cfg.ImageStore, streams.Stream(cfg.Name+"/imagestore"))
 	c.payloadStore = blobstore.New(eng, cfg.PayloadStore, streams.Stream(cfg.Name+"/payloadstore"))
@@ -332,8 +348,22 @@ func (c *Cloud) Invoke(p *des.Proc, req *Request) (_ *Response, err error) {
 	} else {
 		bd.Propagation = c.cfg.PropagationRTT
 		p.Sleep(c.cfg.PropagationRTT / 2)
+		// Injected in-flight drop: the request vanishes before admission
+		// and no response ever travels back — the caller only learns via
+		// its own timeout (see faults.Policy).
+		if c.inj != nil && c.inj.Drop() {
+			c.metrics.Drops++
+			return nil, fmt.Errorf("cloud %s: %s: %w", c.cfg.Name, req.Fn, faults.ErrDropped)
+		}
 		bd.Frontend = c.cfg.FrontendDelay.Sample(c.rngIngress)
 		p.Sleep(bd.Frontend)
+		// Injected throttling: the front end rejects requests beyond the
+		// fleet-wide admission window with a 429, which does travel back.
+		if c.inj != nil && !c.inj.Admit(c.eng.Now()) {
+			c.metrics.Throttles++
+			p.Sleep(c.cfg.PropagationRTT / 2)
+			return nil, fmt.Errorf("cloud %s: %s: %w", c.cfg.Name, req.Fn, faults.ErrThrottled)
+		}
 	}
 	if req.wireDelay > 0 {
 		bd.Wire = req.wireDelay
@@ -386,6 +416,15 @@ func (c *Cloud) Invoke(p *des.Proc, req *Request) (_ *Response, err error) {
 			if c.cfg.QueueTimeout > 0 {
 				if !p.WaitTimeout(pr.sig, c.cfg.QueueTimeout) {
 					fn.dropBuffered(pr)
+					// The timeout and a grant can land at the same
+					// virtual instant: the timer fires first, then a
+					// release grants this request an instance anyway.
+					// Return that instance or it stays busy forever —
+					// leaking its worker slot, cluster capacity, and
+					// keep-alive accounting.
+					if pr.inst != nil {
+						fn.release(pr.inst)
+					}
 					c.metrics.QueueTimeouts++
 					return nil, fmt.Errorf("cloud %s: %s buffered for %v: %w",
 						c.cfg.Name, fn.spec.Name, c.cfg.QueueTimeout, ErrQueueTimeout)
@@ -479,6 +518,18 @@ func (c *Cloud) serve(p *des.Proc, inst *Instance, req *Request, fn *Function, b
 
 	// Retrieve a storage-based payload before the handler body runs.
 	if req.storageKey != "" {
+		// Injected storage timeout: the fetch blocks for the configured
+		// deadline, then fails the invocation (the instance survives and
+		// is released by the non-crash error path in Invoke).
+		if c.inj != nil {
+			if d, ok := c.inj.StorageFault(); ok {
+				bd.PayloadFetch = d
+				p.Sleep(d)
+				c.metrics.StorageFaults++
+				return resp, fmt.Errorf("cloud %s: payload fetch for %s: %w",
+					c.cfg.Name, fn.spec.Name, faults.ErrStorageTimeout)
+			}
+		}
 		_, lat, err := c.payloadStore.Get(p, req.storageKey)
 		if err != nil {
 			return resp, err

@@ -17,6 +17,7 @@ import (
 
 	"github.com/stellar-repro/stellar/internal/blobstore"
 	"github.com/stellar-repro/stellar/internal/dist"
+	"github.com/stellar-repro/stellar/internal/faults"
 )
 
 // Runtime identifies a function's language runtime.
@@ -287,6 +288,13 @@ type Config struct {
 	// Faults optionally injects crashes and spawn failures.
 	Faults FaultConfig
 
+	// Inject optionally enables the deterministic fault injector
+	// (internal/faults): request drops, 429 throttling, storage-fetch
+	// timeouts, and additional spawn failures. nil — or a config with no
+	// active mode — leaves the invoke hot path byte-identical to a cloud
+	// built without it.
+	Inject *faults.Config
+
 	// Snapshots optionally enables MicroVM snapshot/restore cold starts
 	// (the vHive/REAP line of work the paper's §VIII discusses): after a
 	// function's first full cold boot, later instances restore from the
@@ -352,6 +360,11 @@ func (c *Config) Validate() error {
 	}
 	if c.WorkerCapacity < 0 {
 		return fmt.Errorf("cloud %s: negative worker capacity", c.Name)
+	}
+	if c.Inject != nil {
+		if err := c.Inject.Validate(); err != nil {
+			return fmt.Errorf("cloud %s: %w", c.Name, err)
+		}
 	}
 	return nil
 }

@@ -324,6 +324,13 @@ func (fn *Function) spawnOne() {
 				w.Instances--
 				continue
 			}
+			// Same failure injected by the faults layer, from its own
+			// stream so enabling it never shifts scheduler randomness.
+			if c.inj != nil && c.inj.SpawnFail() {
+				c.metrics.SpawnFailures++
+				w.Instances--
+				continue
+			}
 
 			// First full boot with snapshotting enabled: capture a
 			// snapshot for future restores.

@@ -1,0 +1,320 @@
+package cloud
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/des"
+	"github.com/stellar-repro/stellar/internal/dist"
+	"github.com/stellar-repro/stellar/internal/faults"
+)
+
+// --- Injector wiring ---------------------------------------------------------
+
+func TestInjectedDropSurfaces(t *testing.T) {
+	cfg := testConfig()
+	cfg.Inject = &faults.Config{DropProb: 1}
+	eng, c := newTestCloud(t, cfg)
+	deploy(t, c, FunctionSpec{Name: "f"})
+
+	rs := make([]*result, 5)
+	for i := range rs {
+		rs[i] = invokeAt(eng, c, time.Duration(i)*time.Second, &Request{Fn: "f"})
+	}
+	eng.Run(0)
+
+	for i, r := range rs {
+		if !errors.Is(r.err, faults.ErrDropped) {
+			t.Fatalf("request %d: got err %v, want ErrDropped", i, r.err)
+		}
+		// A drop is silence: the error surfaces after half the RTT, with
+		// no front-end, routing, service, or return-path time.
+		if want := cfg.PropagationRTT / 2; r.lat != want {
+			t.Errorf("request %d: dropped latency %v, want %v", i, r.lat, want)
+		}
+	}
+	if m := c.Metrics(); m.Drops != 5 {
+		t.Errorf("Drops = %d, want 5", m.Drops)
+	}
+	if c.LiveInstances("f") != 0 {
+		t.Errorf("dropped requests spawned %d instances", c.LiveInstances("f"))
+	}
+}
+
+func TestInjectedThrottleUnderBurst(t *testing.T) {
+	cfg := testConfig() // 8 workers
+	cfg.Inject = &faults.Config{ThrottleLimit: 1, ThrottleWindow: time.Second}
+	eng, c := newTestCloud(t, cfg)
+	deploy(t, c, FunctionSpec{Name: "f"})
+
+	const burst = 20
+	rs := make([]*result, burst)
+	for i := range rs {
+		rs[i] = invokeAt(eng, c, 0, &Request{Fn: "f"})
+	}
+	eng.Run(0)
+
+	throttled := 0
+	for _, r := range rs {
+		if errors.Is(r.err, faults.ErrThrottled) {
+			throttled++
+			// A 429 travels the full round trip plus the front end.
+			if r.lat < cfg.PropagationRTT {
+				t.Errorf("throttled latency %v below RTT %v", r.lat, cfg.PropagationRTT)
+			}
+		} else if r.err != nil {
+			t.Fatalf("unexpected error: %v", r.err)
+		}
+	}
+	// Fleet-wide limit = ThrottleLimit * Workers = 8 admits per window.
+	if want := burst - 1*8; throttled != want {
+		t.Errorf("throttled %d of %d, want %d", throttled, burst, want)
+	}
+	if m := c.Metrics(); int(m.Throttles) != throttled {
+		t.Errorf("Throttles = %d, want %d", m.Throttles, throttled)
+	}
+}
+
+func TestInjectedThrottleWindowResets(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.Inject = &faults.Config{ThrottleLimit: 1, ThrottleWindow: time.Second}
+	eng, c := newTestCloud(t, cfg)
+	deploy(t, c, FunctionSpec{Name: "f"})
+
+	// Two at t=0 (same window: one admitted), one in the next window.
+	a := invokeAt(eng, c, 0, &Request{Fn: "f"})
+	b := invokeAt(eng, c, 0, &Request{Fn: "f"})
+	later := invokeAt(eng, c, 2*time.Second, &Request{Fn: "f"})
+	eng.Run(0)
+
+	if a.err != nil {
+		t.Errorf("first request should be admitted: %v", a.err)
+	}
+	if !errors.Is(b.err, faults.ErrThrottled) {
+		t.Errorf("second request in window should throttle, got %v", b.err)
+	}
+	if later.err != nil {
+		t.Errorf("next-window request should be admitted: %v", later.err)
+	}
+}
+
+func TestInjectedStorageTimeoutReleasesInstance(t *testing.T) {
+	cfg := testConfig()
+	cfg.Inject = &faults.Config{StorageTimeoutProb: 1, StorageTimeout: 500 * time.Millisecond}
+	eng, c := newTestCloud(t, cfg)
+	deploy(t, c, FunctionSpec{Name: "cons"})
+	deploy(t, c, FunctionSpec{Name: "prod",
+		Chain: &ChainSpec{Next: "cons", Transfer: TransferStorage, PayloadBytes: 1 << 10}})
+
+	r := invokeAt(eng, c, 0, &Request{Fn: "prod"})
+	eng.Run(0)
+
+	if !errors.Is(r.err, faults.ErrStorageTimeout) {
+		t.Fatalf("got err %v, want ErrStorageTimeout", r.err)
+	}
+	if m := c.Metrics(); m.StorageFaults != 1 {
+		t.Errorf("StorageFaults = %d, want 1", m.StorageFaults)
+	}
+	// The failing fetch must block for the configured deadline.
+	if r.lat < 500*time.Millisecond {
+		t.Errorf("latency %v below the 500ms storage timeout", r.lat)
+	}
+	// Both instances survive the failure, are released, and are reaped by
+	// keep-alive before the engine drains: nothing may leak.
+	if live := c.LiveInstances("prod") + c.LiveInstances("cons"); live != 0 {
+		t.Errorf("%d instances leaked past keep-alive", live)
+	}
+	if n := eng.PendingEvents(); n != 0 {
+		t.Errorf("%d events leaked", n)
+	}
+}
+
+func TestInjectedSpawnFailuresRetryUntilSuccess(t *testing.T) {
+	cfg := testConfig()
+	cfg.Inject = &faults.Config{SpawnFailProb: 0.7}
+	eng, c := newTestCloud(t, cfg)
+	deploy(t, c, FunctionSpec{Name: "f"})
+
+	r := invokeAt(eng, c, 0, &Request{Fn: "f"})
+	eng.Run(0)
+	if r.err != nil {
+		t.Fatalf("cold invoke failed: %v", r.err)
+	}
+	if m := c.Metrics(); m.SpawnFailures == 0 {
+		t.Error("expected injected spawn failures at prob 0.7")
+	}
+}
+
+// TestZeroFaultIdentity: a nil-or-disabled Inject config must leave every
+// request's latency byte-identical to a cloud built without the field —
+// the property that keeps all golden figure fingerprints stable.
+func TestZeroFaultIdentity(t *testing.T) {
+	run := func(inject *faults.Config) []time.Duration {
+		cfg := testConfig()
+		cfg.Faults = FaultConfig{CrashProb: 0.05, Retries: 2}
+		cfg.Inject = inject
+		eng := des.NewEngine()
+		defer eng.Close()
+		c, err := New(eng, cfg, dist.NewStreams(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Deploy(FunctionSpec{Name: "f", Runtime: RuntimePython, Method: DeployZIP}); err != nil {
+			t.Fatal(err)
+		}
+		rs := make([]*result, 40)
+		for i := range rs {
+			rs[i] = invokeAt(eng, c, time.Duration(i)*250*time.Millisecond, &Request{Fn: "f"})
+		}
+		eng.Run(0)
+		lats := make([]time.Duration, len(rs))
+		for i, r := range rs {
+			lats[i] = r.lat
+		}
+		return lats
+	}
+
+	base := run(nil)
+	disabled := run(&faults.Config{}) // present but no active mode
+	for i := range base {
+		if base[i] != disabled[i] {
+			t.Fatalf("request %d: nil=%v disabled=%v — disabled injector perturbed the run",
+				i, base[i], disabled[i])
+		}
+	}
+}
+
+// --- Latent-leak regression --------------------------------------------------
+
+// raceConfig provokes the queue-timeout/grant race deterministically: zero
+// delays everywhere, a rate-limited policy with exactly one scale-out
+// token, and QueueTimeout equal to the first request's execution time, so
+// the second request's timeout timer and the instance release land at the
+// same virtual instant — with the timer scheduled first.
+func raceConfig() Config {
+	return Config{
+		Name:              "race",
+		SchedulerCapacity: 1,
+		Workers:           1,
+		Policy: PolicyConfig{
+			Kind:                PolicyRateLimited,
+			MaxQueuePerInstance: 10,
+			InitialTokens:       1,
+			MaxTokens:           1,
+			TokensPerSec:        1e-12,
+		},
+		QueueTimeout: 100 * time.Millisecond,
+		KeepAlive:    KeepAlivePolicy{Fixed: 10 * time.Minute},
+	}
+}
+
+// TestQueueTimeoutGrantRaceReleasesInstance: when a buffered request times
+// out at the same instant a released instance is granted to it, the
+// request still fails — but the instance it was handed must go back to the
+// pool instead of staying busy forever (leaking its worker slot and
+// keep-alive accounting).
+func TestQueueTimeoutGrantRaceReleasesInstance(t *testing.T) {
+	eng, c := newTestCloud(t, raceConfig())
+	deploy(t, c, FunctionSpec{Name: "f"})
+
+	// A occupies the only instance for exactly QueueTimeout; B buffers
+	// behind it with no token left to scale out.
+	a := invokeAt(eng, c, 0, &Request{Fn: "f", ExecTime: 100 * time.Millisecond})
+	b := invokeAt(eng, c, 0, &Request{Fn: "f"})
+	eng.Run(0)
+
+	if a.err != nil {
+		t.Fatalf("first request failed: %v", a.err)
+	}
+	if !errors.Is(b.err, ErrQueueTimeout) {
+		t.Fatalf("second request: got err %v, want ErrQueueTimeout", b.err)
+	}
+	if m := c.Metrics(); m.QueueTimeouts != 1 {
+		t.Errorf("QueueTimeouts = %d, want 1", m.QueueTimeouts)
+	}
+	// The drained engine must have reaped everything: a stranded-busy
+	// instance would still be live with its worker slot held.
+	if live := c.LiveInstances("f"); live != 0 {
+		t.Fatalf("%d instances still live after drain — grant-race leak", live)
+	}
+	if got := c.Workers()[0].Instances; got != 0 {
+		t.Fatalf("worker still holds %d instance slots after drain", got)
+	}
+	if n := eng.PendingEvents(); n != 0 {
+		t.Fatalf("%d events still pending after drain", n)
+	}
+}
+
+// TestNoLeaksAfterFaultedChurn hammers the cloud with 10k resilient
+// invocations under every injected failure mode plus queue timeouts, then
+// asserts the drained engine holds no stranded instances, worker slots, or
+// events — the heap-leak gate for the fault layer's error paths.
+func TestNoLeaksAfterFaultedChurn(t *testing.T) {
+	cfg := raceConfig()
+	cfg.Policy.TokensPerSec = 5 // slow scale-out: deep buffers, many timeouts
+	cfg.Policy.EvalInterval = 20 * time.Millisecond
+	cfg.QueueTimeout = 50 * time.Millisecond
+	cfg.KeepAlive = KeepAlivePolicy{Fixed: time.Second}
+	cfg.Workers = 4
+	cfg.Faults = FaultConfig{CrashProb: 0.05, Retries: 1}
+	cfg.Inject = &faults.Config{
+		DropProb:       0.2,
+		SpawnFailProb:  0.3,
+		ThrottleLimit:  40,
+		ThrottleWindow: 100 * time.Millisecond,
+	}
+	eng, c := newTestCloud(t, cfg)
+	deploy(t, c, FunctionSpec{Name: "f"})
+
+	const n = 10000
+	pol := faults.Policy{
+		Timeout:     80 * time.Millisecond,
+		MaxRetries:  2,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffCap:  20 * time.Millisecond,
+		Jitter:      true,
+		HedgeAfter:  40 * time.Millisecond,
+	}
+	rng := dist.NewStreams(99).Stream("client")
+	req := &Request{Fn: "f", ExecTime: 10 * time.Millisecond}
+	var done, failed int
+	eng.Spawn("churn", func(p *des.Proc) {
+		for i := 0; i < n; i++ {
+			eng.Spawn("req", func(rp *des.Proc) {
+				r := pol.Do(rp, rng, func(ap *des.Proc) error {
+					_, err := c.Invoke(ap, req)
+					return err
+				})
+				done++
+				if r.Err != nil {
+					failed++
+				}
+			})
+			p.Sleep(2 * time.Millisecond)
+		}
+	})
+	eng.Run(0)
+
+	if done != n {
+		t.Fatalf("only %d of %d invocations completed", done, n)
+	}
+	if failed == 0 || failed == n {
+		t.Fatalf("degenerate outcome: %d of %d failed — fault mix not exercised", failed, n)
+	}
+	if live := c.LiveInstances("f"); live != 0 {
+		t.Errorf("%d instances leaked", live)
+	}
+	for _, w := range c.Workers() {
+		if w.Instances != 0 {
+			t.Errorf("worker %d still holds %d instance slots", w.ID, w.Instances)
+		}
+	}
+	if m := c.Metrics(); m.QueueTimeouts == 0 || m.Drops == 0 || m.Throttles == 0 || m.SpawnFailures == 0 {
+		t.Errorf("fault mix incomplete: %+v", m)
+	}
+	if pending := eng.PendingEvents(); pending != 0 {
+		t.Errorf("%d events leaked after drain", pending)
+	}
+}

@@ -1,0 +1,137 @@
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Duration is a JSON-friendly time.Duration: it unmarshals from either a
+// Go duration string ("250ms") or an integer nanosecond count, and always
+// marshals back to the string form, so specs round-trip losslessly.
+type Duration time.Duration
+
+// UnmarshalJSON accepts "250ms" or 250000000.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		parsed, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("faults: bad duration %q: %w", s, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(data, &ns); err != nil {
+		return fmt.Errorf("faults: duration must be a string or integer nanoseconds: %s", data)
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// MarshalJSON writes the duration string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// InjectSpec is the JSON shape of an injector Config.
+type InjectSpec struct {
+	DropProb           float64  `json:"drop_prob,omitempty"`
+	SpawnFailProb      float64  `json:"spawn_fail_prob,omitempty"`
+	StorageTimeoutProb float64  `json:"storage_timeout_prob,omitempty"`
+	StorageTimeout     Duration `json:"storage_timeout,omitempty"`
+	ThrottleLimit      int      `json:"throttle_limit,omitempty"`
+	ThrottleWindow     Duration `json:"throttle_window,omitempty"`
+}
+
+// ToConfig validates the spec and converts it.
+func (s *InjectSpec) ToConfig() (Config, error) {
+	cfg := Config{
+		DropProb:           s.DropProb,
+		SpawnFailProb:      s.SpawnFailProb,
+		StorageTimeoutProb: s.StorageTimeoutProb,
+		StorageTimeout:     time.Duration(s.StorageTimeout),
+		ThrottleLimit:      s.ThrottleLimit,
+		ThrottleWindow:     time.Duration(s.ThrottleWindow),
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// PolicySpec is the JSON shape of a resilience Policy.
+type PolicySpec struct {
+	Timeout     Duration `json:"timeout,omitempty"`
+	MaxRetries  int      `json:"max_retries,omitempty"`
+	BackoffBase Duration `json:"backoff_base,omitempty"`
+	BackoffCap  Duration `json:"backoff_cap,omitempty"`
+	Jitter      bool     `json:"jitter,omitempty"`
+	HedgeAfter  Duration `json:"hedge_after,omitempty"`
+}
+
+// ToPolicy validates the spec and converts it.
+func (s *PolicySpec) ToPolicy() (Policy, error) {
+	pol := Policy{
+		Timeout:     time.Duration(s.Timeout),
+		MaxRetries:  s.MaxRetries,
+		BackoffBase: time.Duration(s.BackoffBase),
+		BackoffCap:  time.Duration(s.BackoffCap),
+		Jitter:      s.Jitter,
+		HedgeAfter:  time.Duration(s.HedgeAfter),
+	}
+	if err := pol.Validate(); err != nil {
+		return Policy{}, err
+	}
+	return pol, nil
+}
+
+// FileSpec is a fault-experiment config file: what the cloud injects and
+// how the client defends. Either section may be omitted.
+type FileSpec struct {
+	Inject *InjectSpec `json:"inject,omitempty"`
+	Policy *PolicySpec `json:"policy,omitempty"`
+}
+
+// Loaded is a parsed and validated fault config file.
+type Loaded struct {
+	// Inject is non-nil when the file configured an injector.
+	Inject *Config
+	// Policy is non-nil when the file configured a client policy.
+	Policy *Policy
+}
+
+// ParseConfig parses and validates a fault-config JSON document.
+func ParseConfig(data []byte) (*Loaded, error) {
+	var spec FileSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, fmt.Errorf("faults: parse config: %w", err)
+	}
+	out := &Loaded{}
+	if spec.Inject != nil {
+		cfg, err := spec.Inject.ToConfig()
+		if err != nil {
+			return nil, err
+		}
+		out.Inject = &cfg
+	}
+	if spec.Policy != nil {
+		pol, err := spec.Policy.ToPolicy()
+		if err != nil {
+			return nil, err
+		}
+		out.Policy = &pol
+	}
+	return out, nil
+}
+
+// LoadFile reads and parses a fault-config JSON file.
+func LoadFile(path string) (*Loaded, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("faults: read config: %w", err)
+	}
+	return ParseConfig(data)
+}

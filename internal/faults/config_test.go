@@ -1,0 +1,134 @@
+package faults
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestConfigValidateTable(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring of the error, "" = valid
+	}{
+		{"zero", Config{}, ""},
+		{"full", Config{DropProb: 0.5, SpawnFailProb: 0.5, StorageTimeoutProb: 0.5,
+			StorageTimeout: time.Second, ThrottleLimit: 10, ThrottleWindow: time.Second}, ""},
+		{"drop one", Config{DropProb: 1}, ""},
+		{"drop NaN", Config{DropProb: math.NaN()}, "finite"},
+		{"drop Inf", Config{DropProb: math.Inf(1)}, "finite"},
+		{"drop negative", Config{DropProb: -0.1}, "out of range"},
+		{"drop above one", Config{DropProb: 1.1}, "out of range"},
+		{"spawn at one", Config{SpawnFailProb: 1}, "out of range"},
+		{"spawn NaN", Config{SpawnFailProb: math.NaN()}, "finite"},
+		{"storage NaN", Config{StorageTimeoutProb: math.NaN()}, "finite"},
+		{"storage prob without duration", Config{StorageTimeoutProb: 0.5}, "storage_timeout must be > 0"},
+		{"negative storage timeout", Config{StorageTimeout: -time.Second}, "negative storage_timeout"},
+		{"negative throttle limit", Config{ThrottleLimit: -1}, "negative throttle_limit"},
+		{"throttle without window", Config{ThrottleLimit: 5}, "throttle_window must be > 0"},
+		{"negative throttle window", Config{ThrottleWindow: -time.Second}, "negative throttle_window"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDurationJSONForms(t *testing.T) {
+	var d Duration
+	if err := json.Unmarshal([]byte(`"250ms"`), &d); err != nil || d != Duration(250*time.Millisecond) {
+		t.Fatalf("string form: %v %v", d, err)
+	}
+	if err := json.Unmarshal([]byte(`1500000000`), &d); err != nil || d != Duration(1500*time.Millisecond) {
+		t.Fatalf("integer nanoseconds form: %v %v", d, err)
+	}
+	if err := json.Unmarshal([]byte(`"not a duration"`), &d); err == nil {
+		t.Fatal("garbage duration string accepted")
+	}
+	if err := json.Unmarshal([]byte(`true`), &d); err == nil {
+		t.Fatal("boolean duration accepted")
+	}
+	out, err := json.Marshal(Duration(1500 * time.Millisecond))
+	if err != nil || string(out) != `"1.5s"` {
+		t.Fatalf("marshal: %s %v", out, err)
+	}
+}
+
+func TestParseConfigFull(t *testing.T) {
+	loaded, err := ParseConfig([]byte(`{
+		"inject": {"drop_prob": 0.1, "throttle_limit": 5, "throttle_window": "1s"},
+		"policy": {"timeout": "2s", "max_retries": 3, "backoff_base": "100ms", "jitter": true}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Inject == nil || loaded.Inject.DropProb != 0.1 || loaded.Inject.ThrottleLimit != 5 ||
+		loaded.Inject.ThrottleWindow != time.Second {
+		t.Fatalf("inject = %+v", loaded.Inject)
+	}
+	if loaded.Policy == nil || loaded.Policy.Timeout != 2*time.Second || loaded.Policy.MaxRetries != 3 ||
+		loaded.Policy.BackoffBase != 100*time.Millisecond || !loaded.Policy.Jitter {
+		t.Fatalf("policy = %+v", loaded.Policy)
+	}
+}
+
+func TestParseConfigSectionsOptional(t *testing.T) {
+	loaded, err := ParseConfig([]byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Inject != nil || loaded.Policy != nil {
+		t.Fatalf("empty document produced sections: %+v", loaded)
+	}
+}
+
+func TestParseConfigRejectsInvalid(t *testing.T) {
+	for name, doc := range map[string]string{
+		"syntax":            `{"inject": `,
+		"bad drop prob":     `{"inject": {"drop_prob": 2}}`,
+		"spawn prob one":    `{"inject": {"spawn_fail_prob": 1}}`,
+		"missing duration":  `{"inject": {"storage_timeout_prob": 0.5}}`,
+		"zero window":       `{"inject": {"throttle_limit": 5}}`,
+		"bad duration":      `{"inject": {"storage_timeout_prob": 0.5, "storage_timeout": "fast"}}`,
+		"negative retries":  `{"policy": {"max_retries": -1}}`,
+		"hedge past limit":  `{"policy": {"timeout": "1s", "hedge_after": "2s"}}`,
+		"negative duration": `{"policy": {"timeout": "-1s"}}`,
+	} {
+		if _, err := ParseConfig([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted %s", name, doc)
+		}
+	}
+}
+
+func TestLoadFileCommittedConfig(t *testing.T) {
+	loaded, err := LoadFile("../../configs/faults.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Inject == nil || loaded.Policy == nil {
+		t.Fatalf("committed config must carry both sections: %+v", loaded)
+	}
+	if loaded.Inject.DropProb != 1 || loaded.Inject.ThrottleLimit != 50 {
+		t.Fatalf("inject = %+v", loaded.Inject)
+	}
+	if loaded.Policy.MaxRetries != 3 || loaded.Policy.HedgeAfter != 500*time.Millisecond {
+		t.Fatalf("policy = %+v", loaded.Policy)
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile("testdata/does-not-exist.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,199 @@
+// Package faults injects transient provider-side failures into the
+// simulated cloud and supplies the client-side resilience policy that
+// real serverless benchmarks must run with: timeouts, bounded retries,
+// exponential backoff with deterministic jitter, and optional request
+// hedging.
+//
+// The design contract is twofold. First, determinism: every random
+// decision draws from a named dist.Streams stream, so a fault schedule is
+// a pure function of (seed, config, workload) and reproduces byte-identically
+// at any host-parallelism setting. Second, invisibility when disabled: a
+// nil or all-zero config must consume no randomness and add no allocations
+// to the invoke hot path, so every existing golden fingerprint stays
+// byte-identical (enforced by the invariant suite and the alloc gate).
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Sentinel errors for injected failures. The cloud wraps them with context;
+// callers match with errors.Is.
+var (
+	// ErrDropped marks a request lost in flight before admission: the
+	// client never hears back, so a resilient client only detects it via
+	// its own timeout.
+	ErrDropped = errors.New("request dropped")
+	// ErrThrottled marks a 429-style admission rejection under burst.
+	ErrThrottled = errors.New("request throttled (429)")
+	// ErrStorageTimeout marks a payload-storage fetch that timed out
+	// inside the serving instance.
+	ErrStorageTimeout = errors.New("storage fetch timeout")
+	// ErrAttemptTimeout marks an attempt abandoned by the client's own
+	// resilience policy after Policy.Timeout of silence.
+	ErrAttemptTimeout = errors.New("attempt timed out")
+)
+
+// Config selects the provider-side failure modes. The zero value injects
+// nothing; each mode activates independently.
+type Config struct {
+	// DropProb is the per-external-request probability that the request
+	// vanishes in flight (network loss before front-end admission).
+	DropProb float64
+	// SpawnFailProb is the per-attempt probability that a cold-start
+	// pipeline fails after runtime init and is retried from placement.
+	// Must stay below 1 or spawns would retry forever.
+	SpawnFailProb float64
+	// StorageTimeoutProb is the per-fetch probability that a payload
+	// storage read times out after StorageTimeout instead of returning.
+	StorageTimeoutProb float64
+	// StorageTimeout is how long a timed-out fetch blocks the instance
+	// before failing. Required when StorageTimeoutProb > 0.
+	StorageTimeout time.Duration
+	// ThrottleLimit caps admitted external requests per ThrottleWindow
+	// per worker; the effective fleet-wide limit is ThrottleLimit times
+	// the cloud's worker count. Zero disables throttling.
+	ThrottleLimit int
+	// ThrottleWindow is the fixed throttling window. Required when
+	// ThrottleLimit > 0.
+	ThrottleWindow time.Duration
+}
+
+// Enabled reports whether any failure mode is active. A disabled config
+// must never reach an Injector: the cloud keeps its injector nil so the
+// hot path stays untouched.
+func (c *Config) Enabled() bool {
+	return c != nil && (c.DropProb > 0 || c.SpawnFailProb > 0 ||
+		c.StorageTimeoutProb > 0 || c.ThrottleLimit > 0)
+}
+
+// Validate reports configuration errors: probabilities must be finite and
+// in range, and every active mode needs its duration parameter.
+func (c *Config) Validate() error {
+	if err := checkProb("drop_prob", c.DropProb, 1); err != nil {
+		return err
+	}
+	// A spawn-failure probability of 1 would retry the cold-start
+	// pipeline forever (same bound as cloud.FaultConfig).
+	if err := checkProb("spawn_fail_prob", c.SpawnFailProb, math.Nextafter(1, 0)); err != nil {
+		return err
+	}
+	if err := checkProb("storage_timeout_prob", c.StorageTimeoutProb, 1); err != nil {
+		return err
+	}
+	if c.StorageTimeoutProb > 0 && c.StorageTimeout <= 0 {
+		return fmt.Errorf("faults: storage_timeout must be > 0 when storage_timeout_prob is set")
+	}
+	if c.StorageTimeout < 0 {
+		return fmt.Errorf("faults: negative storage_timeout %v", c.StorageTimeout)
+	}
+	if c.ThrottleLimit < 0 {
+		return fmt.Errorf("faults: negative throttle_limit %d", c.ThrottleLimit)
+	}
+	if c.ThrottleLimit > 0 && c.ThrottleWindow <= 0 {
+		return fmt.Errorf("faults: throttle_window must be > 0 when throttle_limit is set")
+	}
+	if c.ThrottleWindow < 0 {
+		return fmt.Errorf("faults: negative throttle_window %v", c.ThrottleWindow)
+	}
+	return nil
+}
+
+// checkProb rejects NaN, Inf, negatives, and values above max.
+func checkProb(name string, p, max float64) error {
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		return fmt.Errorf("faults: %s must be finite, got %v", name, p)
+	}
+	if p < 0 || p > max {
+		return fmt.Errorf("faults: %s %v out of range [0, %v]", name, p, max)
+	}
+	return nil
+}
+
+// Injector makes the per-request fault decisions for one cloud. All
+// methods must run inside the cloud's single-threaded DES engine; each
+// draws from the injector's dedicated stream only when its mode is active,
+// so inactive modes leave the stream — and therefore every downstream
+// random decision — untouched.
+type Injector struct {
+	cfg Config
+	rng *rand.Rand
+	// limit is the fleet-wide admissions per window (ThrottleLimit scaled
+	// by the worker count at construction).
+	limit    int
+	winIdx   int64
+	winCount int
+}
+
+// NewInjector builds an injector for a cloud with the given worker-fleet
+// size. cfg must have passed Validate.
+func NewInjector(cfg Config, rng *rand.Rand, workers int) *Injector {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Injector{cfg: cfg, rng: rng, limit: cfg.ThrottleLimit * workers}
+}
+
+// Drop decides whether an external request is lost in flight.
+func (in *Injector) Drop() bool {
+	return in.cfg.DropProb > 0 && in.rng.Float64() < in.cfg.DropProb
+}
+
+// SpawnFail decides whether one cold-start pipeline attempt fails.
+func (in *Injector) SpawnFail() bool {
+	return in.cfg.SpawnFailProb > 0 && in.rng.Float64() < in.cfg.SpawnFailProb
+}
+
+// StorageFault decides whether a payload fetch times out; when it does,
+// the returned duration is how long the instance blocks before failing.
+func (in *Injector) StorageFault() (time.Duration, bool) {
+	if in.cfg.StorageTimeoutProb > 0 && in.rng.Float64() < in.cfg.StorageTimeoutProb {
+		return in.cfg.StorageTimeout, true
+	}
+	return 0, false
+}
+
+// Admit applies the fleet-wide fixed-window rate limit at virtual time
+// now. It returns false for requests beyond the window's budget (a 429).
+// Throttling is a counter, not a random draw, so it never perturbs the
+// fault stream.
+func (in *Injector) Admit(now time.Duration) bool {
+	if in.limit <= 0 {
+		return true
+	}
+	idx := int64(now / in.cfg.ThrottleWindow)
+	if idx != in.winIdx {
+		in.winIdx = idx
+		in.winCount = 0
+	}
+	if in.winCount >= in.limit {
+		return false
+	}
+	in.winCount++
+	return true
+}
+
+// Scaled returns a copy of the config with the probabilistic modes scaled
+// by rate (clamped to each mode's valid range). Throttling parameters are
+// structural, not probabilistic, and pass through unchanged; rate 0 turns
+// the probabilistic modes off entirely.
+func (c Config) Scaled(rate float64) Config {
+	c.DropProb = clampProb(c.DropProb*rate, 1)
+	c.SpawnFailProb = clampProb(c.SpawnFailProb*rate, math.Nextafter(1, 0))
+	c.StorageTimeoutProb = clampProb(c.StorageTimeoutProb*rate, 1)
+	return c
+}
+
+func clampProb(p, max float64) float64 {
+	if p < 0 || math.IsNaN(p) {
+		return 0
+	}
+	if p > max {
+		return max
+	}
+	return p
+}

@@ -1,0 +1,98 @@
+package faults
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// FuzzLoadFaultConfig drives ParseConfig with arbitrary documents and
+// checks the loader's contract: no panics, a deterministic verdict, every
+// accepted config passes its own Validate, and accepted specs survive a
+// marshal round-trip (exercising the dual-form Duration codec).
+func FuzzLoadFaultConfig(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"inject": {"drop_prob": 0.1}}`,
+		`{"inject": {"drop_prob": 1.0, "spawn_fail_prob": 0.5, "storage_timeout_prob": 0.2, "storage_timeout": "5s", "throttle_limit": 50, "throttle_window": "1s"}}`,
+		`{"policy": {"timeout": "2s", "max_retries": 3, "backoff_base": "100ms", "backoff_cap": "1s", "jitter": true, "hedge_after": "500ms"}}`,
+		`{"inject": {"storage_timeout": 1500000000, "storage_timeout_prob": 0.5}}`,
+		`{"inject": {"drop_prob": -1}}`,
+		`{"inject": {"spawn_fail_prob": 1}}`,
+		`{"policy": {"max_retries": 100000}}`,
+		`{"inject": {"storage_timeout_prob": 1e308}}`,
+		`{"inject"`,
+		`[]`,
+		`null`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		a, errA := ParseConfig([]byte(doc))
+		b, errB := ParseConfig([]byte(doc))
+
+		// The verdict is a pure function of the input bytes.
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("non-deterministic verdict: %v vs %v", errA, errB)
+		}
+		if errA != nil {
+			return
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("non-deterministic parse: %+v vs %+v", a, b)
+		}
+
+		// Accepted configs must be internally consistent.
+		if a.Inject != nil {
+			if err := a.Inject.Validate(); err != nil {
+				t.Fatalf("accepted inject config fails Validate: %v", err)
+			}
+			if a.Inject.SpawnFailProb >= 1 {
+				t.Fatalf("spawn_fail_prob %v >= 1 slipped through", a.Inject.SpawnFailProb)
+			}
+			for name, p := range map[string]float64{
+				"drop_prob":            a.Inject.DropProb,
+				"spawn_fail_prob":      a.Inject.SpawnFailProb,
+				"storage_timeout_prob": a.Inject.StorageTimeoutProb,
+			} {
+				if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 || p > 1 {
+					t.Fatalf("%s = %v slipped through validation", name, p)
+				}
+			}
+			if a.Inject.StorageTimeoutProb > 0 && a.Inject.StorageTimeout <= 0 {
+				t.Fatal("active storage fault with non-positive timeout")
+			}
+			if a.Inject.ThrottleLimit > 0 && a.Inject.ThrottleWindow <= 0 {
+				t.Fatal("active throttle with non-positive window")
+			}
+		}
+		if a.Policy != nil {
+			if err := a.Policy.Validate(); err != nil {
+				t.Fatalf("accepted policy fails Validate: %v", err)
+			}
+			if a.Policy.Timeout < 0 || a.Policy.MaxRetries < 0 || a.Policy.MaxRetries > 1000 {
+				t.Fatalf("policy bounds slipped through: %+v", a.Policy)
+			}
+		}
+
+		// Round-trip: spec -> JSON -> spec must be lossless. This is the
+		// Duration codec's contract ("1.5s" and 1500000000 both normalize).
+		var spec FileSpec
+		if err := json.Unmarshal([]byte(doc), &spec); err != nil {
+			t.Fatalf("spec re-parse failed after ParseConfig accepted: %v", err)
+		}
+		out, err := json.Marshal(&spec)
+		if err != nil {
+			t.Fatalf("marshal accepted spec: %v", err)
+		}
+		var again FileSpec
+		if err := json.Unmarshal(out, &again); err != nil {
+			t.Fatalf("re-unmarshal own output: %v", err)
+		}
+		if !reflect.DeepEqual(spec, again) {
+			t.Fatalf("round-trip drift:\n  first:  %+v\n  second: %+v\n  json: %s", spec, again, out)
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func testRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// TestInactiveModesDrawNothing: a mode with probability zero must not
+// consume randomness, or enabling one mode would shift every other mode's
+// decisions and break cross-rate comparability.
+func TestInactiveModesDrawNothing(t *testing.T) {
+	inj := NewInjector(Config{}, testRNG(42), 8)
+	for i := 0; i < 1000; i++ {
+		if inj.Drop() || inj.SpawnFail() {
+			t.Fatal("zero config injected a fault")
+		}
+		if _, ok := inj.StorageFault(); ok {
+			t.Fatal("zero config injected a storage fault")
+		}
+		if !inj.Admit(time.Duration(i) * time.Millisecond) {
+			t.Fatal("zero config throttled")
+		}
+	}
+	if got, want := inj.rng.Int63(), testRNG(42).Int63(); got != want {
+		t.Fatalf("inactive injector consumed randomness: next draw %d, want %d", got, want)
+	}
+}
+
+func TestDecisionsDeterministic(t *testing.T) {
+	cfg := Config{DropProb: 0.3, SpawnFailProb: 0.2, StorageTimeoutProb: 0.1, StorageTimeout: time.Second}
+	a := NewInjector(cfg, testRNG(7), 1)
+	b := NewInjector(cfg, testRNG(7), 1)
+	for i := 0; i < 5000; i++ {
+		if a.Drop() != b.Drop() || a.SpawnFail() != b.SpawnFail() {
+			t.Fatalf("decision %d diverged for identical seeds", i)
+		}
+		da, oa := a.StorageFault()
+		db, ob := b.StorageFault()
+		if da != db || oa != ob {
+			t.Fatalf("storage decision %d diverged", i)
+		}
+	}
+}
+
+func TestDropFrequencyTracksProbability(t *testing.T) {
+	inj := NewInjector(Config{DropProb: 0.25}, testRNG(1), 1)
+	const n = 20000
+	drops := 0
+	for i := 0; i < n; i++ {
+		if inj.Drop() {
+			drops++
+		}
+	}
+	got := float64(drops) / n
+	if math.Abs(got-0.25) > 0.02 {
+		t.Fatalf("drop frequency %.3f, want ~0.25", got)
+	}
+}
+
+func TestAdmitFixedWindow(t *testing.T) {
+	inj := NewInjector(Config{ThrottleLimit: 2, ThrottleWindow: time.Second}, testRNG(1), 1)
+	if !inj.Admit(0) || !inj.Admit(100*time.Millisecond) {
+		t.Fatal("budget requests rejected")
+	}
+	if inj.Admit(900 * time.Millisecond) {
+		t.Fatal("over-budget request admitted in window 0")
+	}
+	// A new window resets the counter.
+	if !inj.Admit(time.Second) || !inj.Admit(1500*time.Millisecond) {
+		t.Fatal("next-window requests rejected")
+	}
+	if inj.Admit(1999 * time.Millisecond) {
+		t.Fatal("over-budget request admitted in window 1")
+	}
+}
+
+func TestAdmitScalesWithFleet(t *testing.T) {
+	inj := NewInjector(Config{ThrottleLimit: 1, ThrottleWindow: time.Second}, testRNG(1), 4)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if inj.Admit(0) {
+			admitted++
+		}
+	}
+	if admitted != 4 {
+		t.Fatalf("admitted %d with limit 1 x 4 workers, want 4", admitted)
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	var nilCfg *Config
+	if nilCfg.Enabled() {
+		t.Error("nil config reported enabled")
+	}
+	if (&Config{}).Enabled() {
+		t.Error("zero config reported enabled")
+	}
+	for _, cfg := range []Config{
+		{DropProb: 0.1},
+		{SpawnFailProb: 0.1},
+		{StorageTimeoutProb: 0.1, StorageTimeout: time.Second},
+		{ThrottleLimit: 1, ThrottleWindow: time.Second},
+	} {
+		if !cfg.Enabled() {
+			t.Errorf("%+v reported disabled", cfg)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	base := Config{DropProb: 1, SpawnFailProb: 0.5, StorageTimeoutProb: 0.4,
+		StorageTimeout: time.Second, ThrottleLimit: 3, ThrottleWindow: time.Second}
+
+	zero := base.Scaled(0)
+	if zero.DropProb != 0 || zero.SpawnFailProb != 0 || zero.StorageTimeoutProb != 0 {
+		t.Errorf("rate 0 left probabilities active: %+v", zero)
+	}
+	if zero.ThrottleLimit != 3 {
+		t.Error("scaling must not touch the structural throttle limit")
+	}
+
+	half := base.Scaled(0.5)
+	if half.DropProb != 0.5 || half.SpawnFailProb != 0.25 || half.StorageTimeoutProb != 0.2 {
+		t.Errorf("rate 0.5 scaled wrong: %+v", half)
+	}
+
+	// Over-unity rates clamp into each mode's valid range, spawn failures
+	// strictly below 1 so cold starts cannot retry forever.
+	over := Config{DropProb: 1, SpawnFailProb: 1}.Scaled(3)
+	if over.DropProb != 1 {
+		t.Errorf("DropProb clamped to %v, want 1", over.DropProb)
+	}
+	if over.SpawnFailProb >= 1 {
+		t.Errorf("SpawnFailProb %v must stay below 1", over.SpawnFailProb)
+	}
+	if err := over.Validate(); err != nil {
+		t.Errorf("clamped config must validate: %v", err)
+	}
+}

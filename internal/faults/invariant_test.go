@@ -1,0 +1,186 @@
+package faults_test
+
+// Invariant suite for the fault-injection layer. These tests check the
+// properties the whole subsystem is built around rather than individual
+// mechanisms:
+//
+//   - conservation: every issued request is accounted for exactly once, and
+//     retry counts respect the policy bound;
+//   - monotone degradation: at a fixed seed, raising the failure rate never
+//     raises the naive client's success rate (modulo a small epsilon for
+//     fault/retry interleaving effects);
+//   - worker-count invariance: the sweep is byte-identical at any host
+//     parallelism, because shard seeds depend only on (seed, shard index).
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/experiments"
+	"github.com/stellar-repro/stellar/internal/faults"
+)
+
+func sweepOpts(workers int) experiments.FaultsOptions {
+	return experiments.FaultsOptions{
+		Provider:    "aws",
+		Invocations: 400,
+		Shards:      2,
+		Workers:     workers,
+		Seed:        7,
+		IAT:         20 * time.Millisecond,
+		Rates:       []float64{0, 0.1, 0.3},
+		Policies: []faults.Policy{
+			{},
+			{Timeout: 2 * time.Second, MaxRetries: 3,
+				BackoffBase: 50 * time.Millisecond, BackoffCap: 500 * time.Millisecond, Jitter: true},
+		},
+	}
+}
+
+func TestSweepConservation(t *testing.T) {
+	res, err := experiments.RunFaults(sweepOpts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxRetries = 3
+	for _, cell := range res.Cells {
+		out := cell.Outcome
+		if out.Issued != res.Invocations {
+			t.Errorf("cell %g/%s: issued %d, want %d", cell.Rate, cell.Policy, out.Issued, res.Invocations)
+		}
+		if out.Succeeded+out.Failed() != out.Issued {
+			t.Errorf("cell %g/%s: succeeded %d + failed %d != issued %d",
+				cell.Rate, cell.Policy, out.Succeeded, out.Failed(), out.Issued)
+		}
+		if out.Retries > out.Issued*maxRetries {
+			t.Errorf("cell %g/%s: %d retries exceeds issued x maxRetries = %d",
+				cell.Rate, cell.Policy, out.Retries, out.Issued*maxRetries)
+		}
+		if cell.Policy == "none" && (out.Retries != 0 || out.Hedges != 0) {
+			t.Errorf("naive cell %g: retries=%d hedges=%d, want 0", cell.Rate, out.Retries, out.Hedges)
+		}
+		if cell.SuccessRate < 0 || cell.SuccessRate > 1 {
+			t.Errorf("cell %g/%s: success rate %v out of [0,1]", cell.Rate, cell.Policy, cell.SuccessRate)
+		}
+	}
+}
+
+// TestSweepMonotoneDegradation: for the naive client at a fixed seed, a
+// higher failure rate must not improve the success rate. Epsilon absorbs
+// second-order interleaving effects (a dropped request frees capacity that
+// can rescue a queued one).
+func TestSweepMonotoneDegradation(t *testing.T) {
+	opts := sweepOpts(0)
+	opts.Rates = []float64{0, 0.1, 0.3, 0.6}
+	opts.Policies = []faults.Policy{{}}
+	res, err := experiments.RunFaults(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 0.02
+	for i := 1; i < len(res.Cells); i++ {
+		prev, cur := res.Cells[i-1], res.Cells[i]
+		if cur.SuccessRate > prev.SuccessRate+eps {
+			t.Errorf("success rate rose with the failure rate: %.4f at rate %g -> %.4f at rate %g",
+				prev.SuccessRate, prev.Rate, cur.SuccessRate, cur.Rate)
+		}
+	}
+	// The sweep must actually degrade something, or the test is vacuous.
+	first, last := res.Cells[0], res.Cells[len(res.Cells)-1]
+	if first.SuccessRate != 1 {
+		t.Errorf("zero-fault cell success rate %.4f, want 1", first.SuccessRate)
+	}
+	if last.SuccessRate >= first.SuccessRate {
+		t.Errorf("rate %g did not degrade success below the zero-fault cell", last.Rate)
+	}
+	if last.Drops == 0 {
+		t.Error("highest-rate cell recorded no drops")
+	}
+}
+
+// TestSweepDeterminismAcrossWorkers is the PR's acceptance criterion: the
+// full sweep result is identical at Workers=1 and Workers=8 for the same
+// seed.
+func TestSweepDeterminismAcrossWorkers(t *testing.T) {
+	seq, err := experiments.RunFaults(sweepOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := experiments.RunFaults(sweepOpts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("sweep differs between Workers=1 and Workers=8:\n  seq: %+v\n  par: %+v", seq, par)
+	}
+}
+
+// TestSweepRetryPolicyImproves: the reason the resilience layer exists —
+// under injected faults, the retrying client must hold a strictly higher
+// success rate than the naive one in the same cell, at the price of
+// non-zero retries.
+func TestSweepRetryPolicyImproves(t *testing.T) {
+	res, err := experiments.RunFaults(sweepOpts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRate := map[float64]map[string]experiments.FaultCell{}
+	for _, cell := range res.Cells {
+		if byRate[cell.Rate] == nil {
+			byRate[cell.Rate] = map[string]experiments.FaultCell{}
+		}
+		byRate[cell.Rate][cell.Policy] = cell
+	}
+	for rate, cells := range byRate {
+		if rate == 0 {
+			continue
+		}
+		var naive, resilient *experiments.FaultCell
+		for label, cell := range cells {
+			c := cell
+			if label == "none" {
+				naive = &c
+			} else {
+				resilient = &c
+			}
+		}
+		if naive == nil || resilient == nil {
+			t.Fatalf("rate %g: missing a policy cell", rate)
+		}
+		if resilient.SuccessRate <= naive.SuccessRate {
+			t.Errorf("rate %g: retry policy %.4f not above naive %.4f",
+				rate, resilient.SuccessRate, naive.SuccessRate)
+		}
+		if resilient.Outcome.Retries == 0 {
+			t.Errorf("rate %g: resilient client recorded no retries", rate)
+		}
+	}
+}
+
+// TestZeroRateMatchesNilInjector: rate 0 disables every probabilistic mode,
+// so the cell must be indistinguishable from a run with faults compiled out
+// entirely — same successes, same latency distribution.
+func TestZeroRateMatchesNilInjector(t *testing.T) {
+	opts := sweepOpts(0)
+	opts.Rates = []float64{0}
+	opts.Policies = []faults.Policy{{}}
+	withTemplate, err := experiments.RunFaults(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An explicitly empty template also scales to nothing at any rate 0.
+	opts.Modes = faults.Config{DropProb: 1, SpawnFailProb: 0.9, StorageTimeoutProb: 0.9, StorageTimeout: time.Second}
+	differentTemplate, err := experiments.RunFaults(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(withTemplate.Cells, differentTemplate.Cells) {
+		t.Fatalf("rate-0 cells depend on the injector template:\n  a: %+v\n  b: %+v",
+			withTemplate.Cells, differentTemplate.Cells)
+	}
+	cell := withTemplate.Cells[0]
+	if cell.SuccessRate != 1 || cell.Drops != 0 || cell.SpawnFailures != 0 || cell.StorageFaults != 0 {
+		t.Fatalf("rate-0 cell shows fault activity: %+v", cell)
+	}
+}

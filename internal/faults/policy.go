@@ -1,0 +1,194 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/des"
+)
+
+// Policy is the client-side resilience strategy wrapped around each
+// invocation: a per-attempt timeout, bounded retries with capped
+// exponential backoff and deterministic jitter, and optional hedging. The
+// zero value is the naive client — one attempt, wait forever, no retries —
+// which is exactly what the figure pipeline runs with.
+type Policy struct {
+	// Timeout abandons an attempt after this much silence (0 = wait
+	// forever). Timeouts are what turn silent drops into retryable
+	// failures.
+	Timeout time.Duration
+	// MaxRetries bounds additional attempts after the first (0 = none).
+	MaxRetries int
+	// BackoffBase is the first retry's backoff; retry k sleeps
+	// base * 2^k, capped at BackoffCap (0 = no backoff).
+	BackoffBase time.Duration
+	// BackoffCap caps the exponential growth (0 = uncapped).
+	BackoffCap time.Duration
+	// Jitter adds a uniform draw from [0, backoff) to every backoff, so
+	// synchronized retry storms decorrelate. Draws come from the caller's
+	// shard RNG stream, keeping schedules deterministic.
+	Jitter bool
+	// HedgeAfter launches one duplicate attempt if the primary has not
+	// settled within this duration (0 = no hedging). The first completion
+	// wins; the loser is discarded.
+	HedgeAfter time.Duration
+}
+
+// Validate reports policy configuration errors.
+func (p *Policy) Validate() error {
+	if p.Timeout < 0 || p.BackoffBase < 0 || p.BackoffCap < 0 || p.HedgeAfter < 0 {
+		return errors.New("faults: policy durations must be >= 0")
+	}
+	if p.MaxRetries < 0 {
+		return errors.New("faults: max_retries must be >= 0")
+	}
+	if p.MaxRetries > 1000 {
+		return errors.New("faults: max_retries > 1000")
+	}
+	if p.BackoffBase > 0 && p.BackoffCap > 0 && p.BackoffCap < p.BackoffBase {
+		return errors.New("faults: backoff_cap below backoff_base")
+	}
+	if p.HedgeAfter > 0 && p.Timeout > 0 && p.HedgeAfter >= p.Timeout {
+		return errors.New("faults: hedge_after must be below timeout")
+	}
+	return nil
+}
+
+// Backoff returns the sleep before retry number retry (0-based: the sleep
+// between the first failure and the second attempt). With Jitter the
+// result is uniform in [b, 2b) where b is the capped exponential backoff.
+func (p *Policy) Backoff(retry int, rng *rand.Rand) time.Duration {
+	b := p.BackoffBase
+	if b <= 0 {
+		return 0
+	}
+	for i := 0; i < retry; i++ {
+		if p.BackoffCap > 0 && b >= p.BackoffCap {
+			break
+		}
+		if b > math.MaxInt64/4 {
+			// Overflow guard: clamp so doubling and jitter stay in range.
+			b = math.MaxInt64 / 4
+			break
+		}
+		b *= 2
+	}
+	if p.BackoffCap > 0 && b > p.BackoffCap {
+		b = p.BackoffCap
+	}
+	if p.Jitter && rng != nil {
+		b += time.Duration(rng.Int63n(int64(b)))
+	}
+	return b
+}
+
+// Result is the outcome of one resilient invocation.
+type Result struct {
+	// Err is nil when some attempt succeeded; otherwise the last
+	// attempt's failure.
+	Err error
+	// Attempts counts every launched attempt, hedges included.
+	Attempts int
+	// Retries counts retry rounds after the first.
+	Retries int
+	// Hedges counts launched hedge attempts.
+	Hedges int
+	// Latency is the client-observed duration of the whole resilient
+	// call, backoff sleeps included — retries inflate the tail, and this
+	// is where that shows up.
+	Latency time.Duration
+}
+
+// roundState tracks one retry round's in-flight attempts (primary plus an
+// optional hedge).
+type roundState struct {
+	done    *des.Signal
+	pending int
+	err     error
+	settled bool
+}
+
+// Do runs attempt under the policy on behalf of process p, advancing
+// virtual time through timeouts and backoff sleeps. rng drives jitter and
+// must be the caller's shard stream for deterministic schedules. attempt
+// receives the process it must invoke from (a sub-process when the round
+// races a timeout or hedge).
+func (pol Policy) Do(p *des.Proc, rng *rand.Rand, attempt func(*des.Proc) error) Result {
+	start := p.Now()
+	res := Result{}
+	for round := 0; ; round++ {
+		res.Attempts++
+		res.Err = pol.round(p, attempt, &res)
+		if res.Err == nil || round >= pol.MaxRetries {
+			res.Latency = p.Now() - start
+			return res
+		}
+		res.Retries++
+		if d := pol.Backoff(round, rng); d > 0 {
+			p.Sleep(d)
+		}
+	}
+}
+
+// round runs one attempt (plus an optional hedge) under the per-attempt
+// timeout and returns its outcome.
+func (pol Policy) round(p *des.Proc, attempt func(*des.Proc) error, res *Result) error {
+	// Fast path: nothing races the attempt, so run it on the caller's own
+	// process with no spawn.
+	if pol.Timeout <= 0 && pol.HedgeAfter <= 0 {
+		return attempt(p)
+	}
+	eng := p.Engine()
+	st := &roundState{done: des.NewSignal(eng)}
+	launch := func(name string) {
+		st.pending++
+		eng.Spawn(name, func(ap *des.Proc) {
+			err := attempt(ap)
+			if st.settled {
+				return // round already resolved; discard the straggler
+			}
+			if err == nil {
+				st.err = nil
+				st.settled = true
+				st.done.Fire()
+				return
+			}
+			st.pending--
+			st.err = err
+			if errors.Is(err, ErrDropped) && pol.Timeout > 0 {
+				// A drop is silence on the wire: the client learns
+				// nothing until its own timeout expires, so a dropped
+				// attempt must not resolve the round early.
+				return
+			}
+			if st.pending == 0 {
+				st.settled = true
+				st.done.Fire()
+			}
+		})
+	}
+	start := p.Now()
+	launch("faults/attempt")
+	if pol.HedgeAfter > 0 {
+		if p.WaitTimeout(st.done, pol.HedgeAfter) {
+			return st.err
+		}
+		res.Hedges++
+		res.Attempts++
+		launch("faults/hedge")
+	}
+	if pol.Timeout > 0 {
+		remaining := pol.Timeout - (p.Now() - start)
+		if remaining <= 0 || !p.WaitTimeout(st.done, remaining) {
+			// Abandon whatever is still in flight; late completions see
+			// settled and discard themselves.
+			st.settled = true
+			return ErrAttemptTimeout
+		}
+		return st.err
+	}
+	p.Wait(st.done)
+	return st.err
+}

@@ -1,0 +1,52 @@
+package providers
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// withFaultsBlock splices a "faults" section into the sample profile.
+func withFaultsBlock(block string) string {
+	return strings.Replace(sampleProfile, `"workers": 4,`,
+		`"workers": 4,`+"\n  "+`"faults": `+block+`,`, 1)
+}
+
+func TestProfileFaultsBlock(t *testing.T) {
+	cfg, err := LoadConfigFile(writeProfile(t, withFaultsBlock(
+		`{"drop_prob": 0.25, "throttle_limit": 10, "throttle_window": "1s"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Inject == nil {
+		t.Fatal("faults block did not populate cfg.Inject")
+	}
+	if cfg.Inject.DropProb != 0.25 || cfg.Inject.ThrottleLimit != 10 ||
+		cfg.Inject.ThrottleWindow != time.Second {
+		t.Fatalf("Inject = %+v", cfg.Inject)
+	}
+}
+
+func TestProfileWithoutFaultsBlock(t *testing.T) {
+	cfg, err := LoadConfigFile(writeProfile(t, sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Inject != nil {
+		t.Fatalf("no faults block must leave Inject nil, got %+v", cfg.Inject)
+	}
+}
+
+func TestProfileFaultsBlockRejected(t *testing.T) {
+	for name, block := range map[string]string{
+		"bad prob":         `{"drop_prob": 2}`,
+		"NaN-ish string":   `{"drop_prob": "NaN"}`,
+		"spawn prob one":   `{"spawn_fail_prob": 1}`,
+		"missing window":   `{"throttle_limit": 5}`,
+		"missing duration": `{"storage_timeout_prob": 0.5}`,
+	} {
+		if _, err := LoadConfigFile(writeProfile(t, withFaultsBlock(block))); err == nil {
+			t.Errorf("%s: profile with faults %s accepted", name, block)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"github.com/stellar-repro/stellar/internal/blobstore"
 	"github.com/stellar-repro/stellar/internal/cloud"
 	"github.com/stellar-repro/stellar/internal/dist"
+	"github.com/stellar-repro/stellar/internal/faults"
 )
 
 // This file lets users define provider profiles in JSON, so new clouds (or
@@ -234,6 +235,10 @@ type ConfigSpec struct {
 
 	DefaultMemoryMB   int `json:"default_memory_mb,omitempty"`
 	FullSpeedMemoryMB int `json:"full_speed_memory_mb,omitempty"`
+
+	// Faults optionally enables the deterministic fault injector as part
+	// of the provider profile itself (internal/faults).
+	Faults *faults.InjectSpec `json:"faults,omitempty"`
 }
 
 // ToConfig builds and validates the provider profile.
@@ -311,6 +316,13 @@ func (s *ConfigSpec) ToConfig() (cloud.Config, error) {
 		if cfg.PayloadStore, err = s.PayloadStore.toConfig(); err != nil {
 			return cfg, err
 		}
+	}
+	if s.Faults != nil {
+		fc, ferr := s.Faults.ToConfig()
+		if ferr != nil {
+			return cfg, fmt.Errorf("providers: faults: %w", ferr)
+		}
+		cfg.Inject = &fc
 	}
 	if err := cfg.Validate(); err != nil {
 		return cfg, err

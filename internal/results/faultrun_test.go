@@ -1,0 +1,65 @@
+package results
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/stats"
+)
+
+func TestFromFaultRunRoundTrip(t *testing.T) {
+	lats := stats.NewSample(3)
+	for _, d := range []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond} {
+		lats.Add(d)
+	}
+	out := stats.Outcome{Issued: 5, Succeeded: 3, Retries: 4, Hedges: 1}
+	rec := FromFaultRun("faulted", lats, out, 10*time.Second)
+
+	if rec.Errors != 2 {
+		t.Fatalf("Errors = %d, want failed count 2", rec.Errors)
+	}
+	if rec.SuccessRate != 0.6 {
+		t.Fatalf("SuccessRate = %v, want 0.6", rec.SuccessRate)
+	}
+	if math.Abs(rec.GoodputRPS-0.3) > 1e-12 {
+		t.Fatalf("GoodputRPS = %v, want 0.3 (3 successes / 10s)", rec.GoodputRPS)
+	}
+
+	path := filepath.Join(t.TempDir(), "faulted.json")
+	if err := rec.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Outcome == nil || *loaded.Outcome != out {
+		t.Fatalf("Outcome = %+v, want %+v", loaded.Outcome, out)
+	}
+	if loaded.SuccessRate != rec.SuccessRate || loaded.GoodputRPS != rec.GoodputRPS {
+		t.Fatalf("headline numbers mangled: %+v", loaded)
+	}
+	if loaded.Latencies().Len() != 3 {
+		t.Fatalf("latency sample mangled: %d values", loaded.Latencies().Len())
+	}
+}
+
+// TestFromRunResultCarriesOutcome: the plain (non-faulted) constructor now
+// also reports the outcome counters, so downstream consumers see a uniform
+// shape.
+func TestFromRunResultCarriesOutcome(t *testing.T) {
+	res := fakeRun(40*time.Millisecond, 100, 1)
+	res.Errors = 25
+	rec := FromRunResult("baseline", res)
+	if rec.Outcome == nil {
+		t.Fatal("FromRunResult left Outcome nil")
+	}
+	if rec.Outcome.Issued != 125 || rec.Outcome.Succeeded != 100 {
+		t.Fatalf("Outcome = %+v, want 125 issued / 100 succeeded", rec.Outcome)
+	}
+	if rec.SuccessRate != 0.8 {
+		t.Fatalf("SuccessRate = %v, want 0.8", rec.SuccessRate)
+	}
+}

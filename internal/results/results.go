@@ -35,6 +35,15 @@ type RunRecord struct {
 	Errors int `json:"errors"`
 	// BilledGBSeconds is the run's total bill.
 	BilledGBSeconds float64 `json:"billed_gb_seconds,omitempty"`
+	// Outcome carries request-level success/retry counters for runs made
+	// under fault injection (nil for records saved before that existed).
+	Outcome *stats.Outcome `json:"outcome,omitempty"`
+	// SuccessRate and GoodputRPS are the derived headline numbers, stored
+	// so saved records stay comparable without re-deriving context (the
+	// goodput denominator is the run's virtual time, which the raw
+	// latencies alone do not determine).
+	SuccessRate float64 `json:"success_rate,omitempty"`
+	GoodputRPS  float64 `json:"goodput_rps,omitempty"`
 }
 
 // FromRunResult converts a client run into a persistable record.
@@ -55,6 +64,30 @@ func FromRunResult(name string, res *core.RunResult) *RunRecord {
 		for _, v := range trans {
 			rec.TransfersNS = append(rec.TransfersNS, int64(v))
 		}
+	}
+	rec.Outcome = &stats.Outcome{
+		Issued:    uint64(len(lats) + res.Errors),
+		Succeeded: uint64(len(lats)),
+	}
+	rec.SuccessRate = rec.Outcome.SuccessRate()
+	return rec
+}
+
+// FromFaultRun builds a record for a run made under fault injection: the
+// successful-request latencies plus the outcome counters, with goodput
+// computed against the run's virtual duration.
+func FromFaultRun(name string, lats *stats.Sample, out stats.Outcome, virtual time.Duration) *RunRecord {
+	rec := &RunRecord{
+		Name:        name,
+		Errors:      int(out.Failed()),
+		Outcome:     &out,
+		SuccessRate: out.SuccessRate(),
+		GoodputRPS:  out.Goodput(virtual),
+	}
+	vals := lats.Values()
+	rec.LatenciesNS = make([]int64, 0, len(vals))
+	for _, v := range vals {
+		rec.LatenciesNS = append(rec.LatenciesNS, int64(v))
 	}
 	return rec
 }

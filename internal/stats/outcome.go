@@ -1,0 +1,55 @@
+package stats
+
+import "time"
+
+// Outcome counts request-level results of a run under transient failures.
+// Latency percentiles describe the requests that completed; Outcome
+// describes what fraction completed at all and at what retry cost — the
+// axes the fault-injection experiments sweep.
+type Outcome struct {
+	// Issued counts logical client requests (one per resilient call,
+	// however many attempts it spawned).
+	Issued uint64 `json:"issued"`
+	// Succeeded counts requests whose resilient call returned success.
+	Succeeded uint64 `json:"succeeded"`
+	// Retries counts retry rounds across all requests.
+	Retries uint64 `json:"retries"`
+	// Hedges counts launched hedge attempts across all requests.
+	Hedges uint64 `json:"hedges,omitempty"`
+}
+
+// Failed counts requests that exhausted their retry budget.
+func (o Outcome) Failed() uint64 { return o.Issued - o.Succeeded }
+
+// SuccessRate is Succeeded/Issued; vacuously 1 for an empty outcome.
+func (o Outcome) SuccessRate() float64 {
+	if o.Issued == 0 {
+		return 1
+	}
+	return float64(o.Succeeded) / float64(o.Issued)
+}
+
+// RetriesPerRequest is the mean retry count per issued request.
+func (o Outcome) RetriesPerRequest() float64 {
+	if o.Issued == 0 {
+		return 0
+	}
+	return float64(o.Retries) / float64(o.Issued)
+}
+
+// Goodput is the successful-request throughput over the given (virtual)
+// duration, in requests per second.
+func (o Outcome) Goodput(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(o.Succeeded) / elapsed.Seconds()
+}
+
+// Merge folds another outcome into this one (shard aggregation).
+func (o *Outcome) Merge(other Outcome) {
+	o.Issued += other.Issued
+	o.Succeeded += other.Succeeded
+	o.Retries += other.Retries
+	o.Hedges += other.Hedges
+}

@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOutcomeMath(t *testing.T) {
+	out := Outcome{Issued: 10, Succeeded: 7, Retries: 5, Hedges: 2}
+	if got := out.Failed(); got != 3 {
+		t.Errorf("Failed() = %d, want 3", got)
+	}
+	if got := out.SuccessRate(); got != 0.7 {
+		t.Errorf("SuccessRate() = %v, want 0.7", got)
+	}
+	if got := out.RetriesPerRequest(); got != 0.5 {
+		t.Errorf("RetriesPerRequest() = %v, want 0.5", got)
+	}
+	if got := out.Goodput(7 * time.Second); got != 1 {
+		t.Errorf("Goodput(7s) = %v, want 1", got)
+	}
+}
+
+func TestOutcomeZeroValues(t *testing.T) {
+	var out Outcome
+	// Vacuous success: nothing issued means nothing failed.
+	if out.SuccessRate() != 1 {
+		t.Errorf("empty SuccessRate() = %v, want 1", out.SuccessRate())
+	}
+	if out.RetriesPerRequest() != 0 {
+		t.Errorf("empty RetriesPerRequest() = %v, want 0", out.RetriesPerRequest())
+	}
+	if out.Failed() != 0 {
+		t.Errorf("empty Failed() = %d, want 0", out.Failed())
+	}
+	full := Outcome{Issued: 5, Succeeded: 5}
+	if full.Goodput(0) != 0 {
+		t.Errorf("Goodput over zero elapsed = %v, want 0", full.Goodput(0))
+	}
+}
+
+func TestOutcomeMerge(t *testing.T) {
+	a := Outcome{Issued: 10, Succeeded: 8, Retries: 3, Hedges: 1}
+	b := Outcome{Issued: 5, Succeeded: 2, Retries: 7, Hedges: 0}
+	a.Merge(b)
+	want := Outcome{Issued: 15, Succeeded: 10, Retries: 10, Hedges: 1}
+	if a != want {
+		t.Fatalf("merged = %+v, want %+v", a, want)
+	}
+	if b != (Outcome{Issued: 5, Succeeded: 2, Retries: 7}) {
+		t.Fatalf("Merge mutated its argument: %+v", b)
+	}
+}
