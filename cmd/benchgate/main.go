@@ -1,0 +1,72 @@
+// Command benchgate compares two `go test -bench` output files and fails on
+// regression: a >N% geometric-mean ns/op slowdown across the matched
+// benchmarks (medians over repeated -count runs), or any allocation on a
+// path whose baseline is zero allocs/op.
+//
+// Usage:
+//
+//	benchgate -old BENCH_BASELINE.txt -new bench.txt [-max-regress 15] [-allocs-only]
+//
+// Exit status 0 when all gates pass, 1 on regression or error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/stellar-repro/stellar/internal/benchcmp"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline benchmark output file")
+	newPath := flag.String("new", "", "candidate benchmark output file")
+	maxRegress := flag.Float64("max-regress", 15, "allowed geomean ns/op slowdown in percent")
+	allocsOnly := flag.Bool("allocs-only", false,
+		"only enforce the zero-alloc gate (for baselines recorded on different hardware)")
+	flag.Parse()
+	if err := run(*oldPath, *newPath, *maxRegress, *allocsOnly); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(oldPath, newPath string, maxRegress float64, allocsOnly bool) error {
+	if oldPath == "" || newPath == "" {
+		return fmt.Errorf("-old and -new are both required")
+	}
+	old, err := parseFile(oldPath)
+	if err != nil {
+		return err
+	}
+	new, err := parseFile(newPath)
+	if err != nil {
+		return err
+	}
+	cmp, err := benchcmp.Compare(old, new)
+	if err != nil {
+		return err
+	}
+	cmp.Write(os.Stdout)
+	if allocsOnly {
+		maxRegress = -1
+	}
+	if err := cmp.Gate(maxRegress); err != nil {
+		return err
+	}
+	fmt.Println("benchgate: all gates passed")
+	return nil
+}
+
+func parseFile(path string) (map[string]benchcmp.Bench, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	set, err := benchcmp.ParseMedians(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return set, nil
+}

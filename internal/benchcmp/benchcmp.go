@@ -1,0 +1,214 @@
+// Package benchcmp parses `go test -bench` output and gates benchmark
+// regressions: median-of-runs per benchmark, geometric-mean ns/op ratio
+// across the matched set, and a hard zero-allocation gate for paths whose
+// baseline allocates nothing. It is dependency-free by design so the gate
+// can run anywhere the repo builds (CI installs benchstat for display, but
+// the pass/fail decision is made here).
+package benchcmp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark's metrics, medianed across repeated -count runs.
+type Bench struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string
+	// Runs is how many samples the median was taken over.
+	Runs int
+	// NsPerOp is the median time per operation.
+	NsPerOp float64
+	// AllocsPerOp is the median allocations per operation; valid only when
+	// HasAllocs is set (the run used -benchmem).
+	AllocsPerOp float64
+	HasAllocs   bool
+}
+
+// ParseMedians reads `go test -bench` output (any number of interleaved
+// -count runs, non-benchmark lines ignored) and returns per-benchmark
+// medians keyed by name.
+func ParseMedians(r io.Reader) (map[string]Bench, error) {
+	type samples struct {
+		ns, allocs []float64
+	}
+	byName := make(map[string]*samples)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		s := byName[name]
+		if s == nil {
+			s = &samples{}
+			byName[name] = s
+		}
+		// After the iteration count, metrics come in value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchcmp: line %d: bad value %q: %w", line, fields[i], err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.ns = append(s.ns, v)
+			case "allocs/op":
+				s.allocs = append(s.allocs, v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchcmp: %w", err)
+	}
+	out := make(map[string]Bench, len(byName))
+	for name, s := range byName {
+		if len(s.ns) == 0 {
+			continue
+		}
+		b := Bench{Name: name, Runs: len(s.ns), NsPerOp: median(s.ns)}
+		if len(s.allocs) > 0 {
+			b.AllocsPerOp = median(s.allocs)
+			b.HasAllocs = true
+		}
+		out[name] = b
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchcmp: no benchmark lines found")
+	}
+	return out, nil
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Delta is one matched benchmark's old-vs-new movement.
+type Delta struct {
+	Name     string
+	Old, New Bench
+	// Ratio is New.NsPerOp / Old.NsPerOp (1.0 = unchanged).
+	Ratio float64
+	// AllocRegressed marks a zero-alloc path that now allocates: the old
+	// median was 0 allocs/op and the new one is not.
+	AllocRegressed bool
+}
+
+// Comparison is the full gate decision over two benchmark sets.
+type Comparison struct {
+	Deltas []Delta
+	// Geomean is the geometric mean of ns/op ratios across matched
+	// benchmarks — the headline "did the suite get slower" number.
+	Geomean float64
+	// OnlyOld and OnlyNew list benchmarks present in one set but not the
+	// other (renames and deletions are surfaced, never silently dropped).
+	OnlyOld, OnlyNew []string
+}
+
+// Compare matches the two sets by name and computes per-benchmark ratios
+// plus the geomean.
+func Compare(old, new map[string]Bench) (*Comparison, error) {
+	c := &Comparison{}
+	logSum, n := 0.0, 0
+	for name, o := range old {
+		nw, ok := new[name]
+		if !ok {
+			c.OnlyOld = append(c.OnlyOld, name)
+			continue
+		}
+		if o.NsPerOp <= 0 {
+			return nil, fmt.Errorf("benchcmp: %s: non-positive baseline ns/op %v", name, o.NsPerOp)
+		}
+		d := Delta{Name: name, Old: o, New: nw, Ratio: nw.NsPerOp / o.NsPerOp}
+		if o.HasAllocs && nw.HasAllocs && o.AllocsPerOp == 0 && nw.AllocsPerOp > 0 {
+			d.AllocRegressed = true
+		}
+		c.Deltas = append(c.Deltas, d)
+		logSum += math.Log(d.Ratio)
+		n++
+	}
+	for name := range new {
+		if _, ok := old[name]; !ok {
+			c.OnlyNew = append(c.OnlyNew, name)
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("benchcmp: no benchmarks in common")
+	}
+	sort.Slice(c.Deltas, func(i, j int) bool { return c.Deltas[i].Name < c.Deltas[j].Name })
+	sort.Strings(c.OnlyOld)
+	sort.Strings(c.OnlyNew)
+	c.Geomean = math.Exp(logSum / float64(n))
+	return c, nil
+}
+
+// Gate returns the regression verdict: an error describing every violated
+// gate, or nil when the comparison passes. maxRegressPct is the allowed
+// geomean ns/op slowdown in percent (15 = fail beyond +15%); a negative
+// value disables the time gate (alloc gates always apply).
+func (c *Comparison) Gate(maxRegressPct float64) error {
+	var fails []string
+	if maxRegressPct >= 0 {
+		limit := 1 + maxRegressPct/100
+		if c.Geomean > limit {
+			fails = append(fails, fmt.Sprintf(
+				"geomean ns/op ratio %.4f exceeds +%.0f%% limit (%.4f)",
+				c.Geomean, maxRegressPct, limit))
+		}
+	}
+	for _, d := range c.Deltas {
+		if d.AllocRegressed {
+			fails = append(fails, fmt.Sprintf(
+				"%s: zero-alloc path now allocates (%.1f -> %.1f allocs/op)",
+				d.Name, d.Old.AllocsPerOp, d.New.AllocsPerOp))
+		}
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("benchcmp: %d gate failure(s):\n  %s",
+			len(fails), strings.Join(fails, "\n  "))
+	}
+	return nil
+}
+
+// Write renders the comparison as a fixed-width table.
+func (c *Comparison) Write(w io.Writer) {
+	fmt.Fprintf(w, "%-28s %14s %14s %8s %16s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "allocs/op")
+	for _, d := range c.Deltas {
+		allocs := "-"
+		if d.Old.HasAllocs && d.New.HasAllocs {
+			allocs = fmt.Sprintf("%.0f -> %.0f", d.Old.AllocsPerOp, d.New.AllocsPerOp)
+			if d.AllocRegressed {
+				allocs += " !"
+			}
+		}
+		fmt.Fprintf(w, "%-28s %14.1f %14.1f %8.3f %16s\n",
+			d.Name, d.Old.NsPerOp, d.New.NsPerOp, d.Ratio, allocs)
+	}
+	fmt.Fprintf(w, "%-28s %14s %14s %8.4f\n", "geomean", "", "", c.Geomean)
+	for _, name := range c.OnlyOld {
+		fmt.Fprintf(w, "only in old: %s\n", name)
+	}
+	for _, name := range c.OnlyNew {
+		fmt.Fprintf(w, "only in new: %s\n", name)
+	}
+}

@@ -1,0 +1,174 @@
+package benchcmp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleOld = `goos: linux
+goarch: amd64
+pkg: example/p
+BenchmarkWarmInvoke-8     	  500000	      2000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkWarmInvoke-8     	  500000	      2200 ns/op	       0 B/op	       0 allocs/op
+BenchmarkWarmInvoke-8     	  500000	      2100 ns/op	       0 B/op	       0 allocs/op
+BenchmarkColdInvoke-8     	    1000	   1000000 ns/op	    4096 B/op	      12 allocs/op
+BenchmarkColdInvoke-8     	    1000	   1100000 ns/op	    4096 B/op	      12 allocs/op
+PASS
+`
+
+func TestParseMediansBasics(t *testing.T) {
+	got, err := ParseMedians(strings.NewReader(sampleOld))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := got["BenchmarkWarmInvoke"]
+	if warm.Runs != 3 || warm.NsPerOp != 2100 {
+		t.Fatalf("warm median: %+v", warm)
+	}
+	if !warm.HasAllocs || warm.AllocsPerOp != 0 {
+		t.Fatalf("warm allocs: %+v", warm)
+	}
+	cold := got["BenchmarkColdInvoke"]
+	if cold.Runs != 2 || cold.NsPerOp != 1050000 || cold.AllocsPerOp != 12 {
+		t.Fatalf("cold median: %+v", cold)
+	}
+}
+
+func TestParseMediansNoBenchmarks(t *testing.T) {
+	if _, err := ParseMedians(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Fatal("accepted output with no benchmark lines")
+	}
+}
+
+func TestParseMediansWithoutBenchmem(t *testing.T) {
+	got, err := ParseMedians(strings.NewReader("BenchmarkX-4  100  50 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := got["BenchmarkX"]; b.HasAllocs || b.NsPerOp != 50 {
+		t.Fatalf("parsed: %+v", b)
+	}
+}
+
+// synth renders bench output where every benchmark runs at the given ns/op.
+func synth(names []string, ns map[string]float64, allocs map[string]float64) string {
+	var sb strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&sb, "%s-8  1000  %.0f ns/op  0 B/op  %.0f allocs/op\n", n, ns[n], allocs[n])
+	}
+	return sb.String()
+}
+
+func mustParse(t *testing.T, s string) map[string]Bench {
+	t.Helper()
+	m, err := ParseMedians(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestGatePassesOnNoise: small, balanced movement stays under the 15% gate.
+func TestGatePassesOnNoise(t *testing.T) {
+	names := []string{"BenchmarkA", "BenchmarkB", "BenchmarkC"}
+	old := mustParse(t, synth(names,
+		map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200, "BenchmarkC": 300},
+		map[string]float64{}))
+	new := mustParse(t, synth(names,
+		map[string]float64{"BenchmarkA": 105, "BenchmarkB": 190, "BenchmarkC": 310},
+		map[string]float64{}))
+	c, err := Compare(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Gate(15); err != nil {
+		t.Fatalf("noise tripped the gate: %v", err)
+	}
+}
+
+// TestGateFailsOnSeededRegression: one benchmark made 2x slower pushes the
+// 3-benchmark geomean past +15% (2^(1/3) = 1.26) and must fail the gate —
+// the synthetic regression the CI job's logic is verified against.
+func TestGateFailsOnSeededRegression(t *testing.T) {
+	names := []string{"BenchmarkA", "BenchmarkB", "BenchmarkC"}
+	base := map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200, "BenchmarkC": 300}
+	old := mustParse(t, synth(names, base, map[string]float64{}))
+	regressed := map[string]float64{"BenchmarkA": 200, "BenchmarkB": 200, "BenchmarkC": 300}
+	new := mustParse(t, synth(names, regressed, map[string]float64{}))
+	c, err := Compare(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Pow(2, 1.0/3); math.Abs(c.Geomean-want) > 1e-9 {
+		t.Fatalf("geomean = %v, want %v", c.Geomean, want)
+	}
+	if err := c.Gate(15); err == nil || !strings.Contains(err.Error(), "geomean") {
+		t.Fatalf("seeded 2x regression passed the gate: %v", err)
+	}
+	// The same comparison passes a looser 30% gate.
+	if err := c.Gate(30); err != nil {
+		t.Fatalf("30%% gate: %v", err)
+	}
+}
+
+// TestGateFailsOnAllocRegression: a zero-alloc path that starts allocating
+// fails regardless of timing, even with the time gate disabled.
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	names := []string{"BenchmarkHot"}
+	old := mustParse(t, synth(names,
+		map[string]float64{"BenchmarkHot": 100}, map[string]float64{"BenchmarkHot": 0}))
+	new := mustParse(t, synth(names,
+		map[string]float64{"BenchmarkHot": 100}, map[string]float64{"BenchmarkHot": 1}))
+	c, err := Compare(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Gate(-1); err == nil || !strings.Contains(err.Error(), "zero-alloc") {
+		t.Fatalf("alloc regression passed: %v", err)
+	}
+	// An already-allocating path growing is NOT the zero-alloc gate's job.
+	old2 := mustParse(t, synth(names,
+		map[string]float64{"BenchmarkHot": 100}, map[string]float64{"BenchmarkHot": 5}))
+	c2, err := Compare(old2, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Gate(-1); err != nil {
+		t.Fatalf("5->1 allocs tripped the zero-alloc gate: %v", err)
+	}
+}
+
+// TestCompareSurfacesUnmatched: renamed or deleted benchmarks are reported,
+// not silently dropped from the geomean.
+func TestCompareSurfacesUnmatched(t *testing.T) {
+	old := mustParse(t, "BenchmarkA-8  1  100 ns/op\nBenchmarkGone-8  1  100 ns/op\n")
+	new := mustParse(t, "BenchmarkA-8  1  100 ns/op\nBenchmarkNew-8  1  100 ns/op\n")
+	c, err := Compare(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.OnlyOld) != 1 || c.OnlyOld[0] != "BenchmarkGone" {
+		t.Fatalf("OnlyOld = %v", c.OnlyOld)
+	}
+	if len(c.OnlyNew) != 1 || c.OnlyNew[0] != "BenchmarkNew" {
+		t.Fatalf("OnlyNew = %v", c.OnlyNew)
+	}
+	var sb strings.Builder
+	c.Write(&sb)
+	for _, want := range []string{"geomean", "only in old: BenchmarkGone", "only in new: BenchmarkNew"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestCompareDisjointSetsError: nothing in common is an error, not a pass.
+func TestCompareDisjointSetsError(t *testing.T) {
+	old := mustParse(t, "BenchmarkA-8  1  100 ns/op\n")
+	new := mustParse(t, "BenchmarkB-8  1  100 ns/op\n")
+	if _, err := Compare(old, new); err == nil {
+		t.Fatal("disjoint sets compared successfully")
+	}
+}

@@ -38,6 +38,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		err = cmdCompare(args[1:], stdout)
 	case "trace":
 		err = cmdTrace(args[1:], stdout)
+	case "aztrace":
+		err = cmdAzTrace(args[1:], stdout)
 	case "scale":
 		err = cmdScale(args[1:], stdout)
 	case "faults":
@@ -67,7 +69,9 @@ commands:
   bench      one ad-hoc measurement against a simulated provider
   suite      run a multi-experiment campaign from a suite config file
   compare    A/B-compare two saved runs (bootstrap CIs + Mann-Whitney)
-  trace      generate/analyze Azure-style execution-time traces (Fig. 10)
+  trace      per-request span tracing: sample a simulated series, export
+             Chrome trace_event JSON and a per-stage tail-attribution report
+  aztrace    generate/analyze Azure-style execution-time traces (Fig. 10)
   scale      sustained multi-million-invocation series summarized by
              bounded-memory mergeable quantile sketches
   faults     fault-injection sweep: failure-rate x retry-policy grid with

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -330,16 +331,16 @@ func TestBenchTimelineFlag(t *testing.T) {
 	}
 }
 
-func TestTraceCommand(t *testing.T) {
+func TestAzTraceCommand(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "trace.csv")
-	code, stdout, errOut := run(t, "trace", "-generate", "500", "-out", out)
+	code, stdout, errOut := run(t, "aztrace", "-generate", "500", "-out", out)
 	if code != 0 {
 		t.Fatalf("generate: code=%d err=%q", code, errOut)
 	}
 	if !strings.Contains(stdout, "wrote 500 functions") {
 		t.Fatalf("generate output: %q", stdout)
 	}
-	code, stdout, errOut = run(t, "trace", "-analyze", out)
+	code, stdout, errOut = run(t, "aztrace", "-analyze", out)
 	if code != 0 {
 		t.Fatalf("analyze: code=%d err=%q", code, errOut)
 	}
@@ -349,18 +350,79 @@ func TestTraceCommand(t *testing.T) {
 		}
 	}
 	// Generate to stdout when no -out given.
-	code, stdout, _ = run(t, "trace", "-generate", "3")
+	code, stdout, _ = run(t, "aztrace", "-generate", "3")
 	if code != 0 || !strings.HasPrefix(stdout, "function,p25_ms") {
 		t.Fatalf("stdout generate: code=%d out=%q", code, stdout[:40])
 	}
 }
 
-func TestTraceCommandErrors(t *testing.T) {
-	code, _, errOut := run(t, "trace")
+func TestAzTraceCommandErrors(t *testing.T) {
+	code, _, errOut := run(t, "aztrace")
 	if code != 1 || !strings.Contains(errOut, "need -generate") {
 		t.Fatalf("code=%d err=%q", code, errOut)
 	}
-	code, _, _ = run(t, "trace", "-analyze", "/missing.csv")
+	code, _, _ = run(t, "aztrace", "-analyze", "/missing.csv")
+	if code != 1 {
+		t.Fatalf("code=%d", code)
+	}
+}
+
+func TestTraceCommand(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "trace.json")
+	save := filepath.Join(dir, "run.json")
+	code, stdout, errOut := run(t, "trace",
+		"-provider", "aws", "-n", "400", "-shards", "4", "-workers", "1",
+		"-iat", "50ms", "-burst", "4", "-sample", "1", "-slowest", "8",
+		"-out", out, "-save", save, "-name", "traced")
+	if code != 0 {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+	for _, want := range []string{
+		"trace series: provider=aws invocations=400 shards=4",
+		"traces: retained=",
+		"tail attribution",
+		"queue-wait share",
+		"wrote", "run saved to",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("trace output missing %q in %q", want, stdout)
+		}
+	}
+	// The exported file must be valid Chrome trace_event JSON.
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("trace.json: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("trace.json has no events")
+	}
+	// The saved run must round-trip through results.Load (which re-validates
+	// every trace's tiling invariant).
+	rec, err := results.Load(save)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Name != "traced" || len(rec.Traces) == 0 || len(rec.LatenciesNS) == 0 {
+		t.Fatalf("saved record: name=%q traces=%d lats=%d",
+			rec.Name, len(rec.Traces), len(rec.LatenciesNS))
+	}
+}
+
+func TestTraceCommandErrors(t *testing.T) {
+	// Sampler fully disabled.
+	code, _, errOut := run(t, "trace", "-n", "10", "-shards", "1", "-sample", "0", "-slowest", "0")
+	if code != 1 || !strings.Contains(errOut, "sampler disabled") {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+	// Unknown provider.
+	code, _, _ = run(t, "trace", "-provider", "nope", "-n", "10", "-shards", "1")
 	if code != 1 {
 		t.Fatalf("code=%d", code)
 	}

@@ -4,82 +4,105 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
+	"time"
 
-	"github.com/stellar-repro/stellar/internal/azuretrace"
-	"github.com/stellar-repro/stellar/internal/plot"
+	"github.com/stellar-repro/stellar/internal/experiments"
+	"github.com/stellar-repro/stellar/internal/providers"
+	"github.com/stellar-repro/stellar/internal/results"
+	"github.com/stellar-repro/stellar/internal/trace"
 )
 
-// cmdTrace generates and analyzes Azure-Functions-style execution-time
-// traces (the Fig. 10 pipeline): -generate synthesizes a trace calibrated
-// to the published statistics; -analyze runs the TMR analysis over any
-// trace in the CSV schema, including projections of the real public trace.
-func cmdTrace(args []string, stdout io.Writer) error {
+// cmdTrace runs a traced series against one simulated provider: sampled
+// requests are recorded as per-stage span traces with virtual timestamps,
+// exported as Chrome trace_event JSON (loadable in Perfetto or
+// chrome://tracing) and summarized as a per-stage tail-attribution report.
+func cmdTrace(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
 	fs.SetOutput(stdout)
-	generate := fs.Int("generate", 0, "synthesize a trace with this many functions")
-	out := fs.String("out", "", "output CSV path for -generate")
-	analyze := fs.String("analyze", "", "trace CSV to analyze (function,p25_ms,...,p99_ms)")
-	seed := fs.Int64("seed", 1, "synthesis seed")
+	prof := addProfileFlags(fs)
+	provider := fs.String("provider", "aws", "provider profile")
+	providerFile := fs.String("provider-file", "", "JSON provider profile to load and use")
+	invocations := fs.Uint64("n", 10_000, "total invocations across all shards")
+	shards := fs.Int("shards", 8, "independent simulation shards")
+	workers := fs.Int("workers", 0, "concurrent shards (0 = all CPUs, 1 = serial)")
+	iat := fs.Duration("iat", 100*time.Millisecond, "inter-arrival time between bursts within a shard")
+	burst := fs.Int("burst", 1, "requests per arrival step")
+	exec := fs.Duration("exec", 0, "function busy-spin time")
+	sample := fs.Float64("sample", 0.01, "head-sampling rate in [0,1]")
+	slowest := fs.Int("slowest", 64, "always retain the K slowest requests per shard (0 = off)")
+	ring := fs.Int("ring", 0, "per-shard trace ring capacity (0 = default 8192)")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "write retained traces as Chrome trace_event JSON")
+	attrib := fs.Bool("attrib", true, "print the per-stage tail-attribution report")
+	savePath := fs.String("save", "", "save the run (latencies + traces) as a results file")
+	name := fs.String("name", "trace", "run name used in saved results")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	switch {
-	case *generate > 0:
-		records := azuretrace.Generate(*generate, rand.New(rand.NewSource(*seed)))
-		var w io.Writer = stdout
-		if *out != "" {
-			f, err := os.Create(*out)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			w = f
-		}
-		if err := azuretrace.WriteCSV(w, records); err != nil {
-			return err
-		}
-		if *out != "" {
-			fmt.Fprintf(stdout, "wrote %d functions to %s\n", len(records), *out)
-		}
-		return nil
-	case *analyze != "":
-		f, err := os.Open(*analyze)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		records, err := azuretrace.ReadCSV(f)
-		if err != nil {
-			return err
-		}
-		return writeTraceAnalysis(stdout, records)
-	default:
-		return fmt.Errorf("trace: need -generate N or -analyze FILE")
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
 	}
-}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+	if *providerFile != "" {
+		loaded, err := providers.RegisterFile(*providerFile)
+		if err != nil {
+			return err
+		}
+		*provider = loaded
+	}
 
-// writeTraceAnalysis prints the Fig. 10 analysis for a trace.
-func writeTraceAnalysis(w io.Writer, records []azuretrace.Record) error {
-	fmt.Fprintf(w, "trace: %d functions\n\n", len(records))
-	fmt.Fprintf(w, "%-10s %10s %14s\n", "class", "share", "P(TMR<10)")
-	classes := []azuretrace.DurationClass{
-		azuretrace.ClassAll, azuretrace.ClassSubSec,
-		azuretrace.ClassMidRange, azuretrace.ClassLong,
+	res, err := experiments.RunTrace(experiments.TraceOptions{
+		Provider:    *provider,
+		Invocations: *invocations,
+		Shards:      *shards,
+		Workers:     *workers,
+		Seed:        *seed,
+		IAT:         *iat,
+		Burst:       *burst,
+		ExecTime:    *exec,
+		Trace: trace.Config{
+			SampleRate:   *sample,
+			SlowestK:     *slowest,
+			RingCapacity: *ring,
+		},
+	})
+	if err != nil {
+		return err
 	}
-	var series []plot.Series
-	for _, class := range classes {
-		share := 1.0
-		if class != azuretrace.ClassAll {
-			share = azuretrace.ClassShare(records, class)
-		}
-		fmt.Fprintf(w, "%-10s %9.0f%% %14.2f\n", class, share*100,
-			azuretrace.FracBelowTMR(records, class, 10))
-		if sample := azuretrace.TMRSample(records, class); sample.Len() > 0 {
-			series = append(series, plot.Series{Label: string(class), Sample: sample})
-		}
+	if *attrib {
+		experiments.WriteTraceReport(stdout, res)
+	} else {
+		fmt.Fprintf(stdout, "trace series: provider=%s invocations=%d traces=%d dropped=%d\n",
+			res.Provider, res.Invocations, len(res.Traces), res.Dropped)
 	}
-	fmt.Fprintln(w)
-	return plot.CDF(w, "TMR CDFs (axis = TMR*1000, dimensionless)", series, 72, 14)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteTraceEvents(f, res.Traces); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %d traces to %s (load in Perfetto or chrome://tracing)\n",
+			len(res.Traces), *out)
+	}
+	if *savePath != "" {
+		rec := results.FromTraceRun(*name, res.Latencies, res.Traces, int(res.Colds), int(res.Errors))
+		if err := rec.Save(*savePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "run saved to %s\n", *savePath)
+	}
+	return nil
 }

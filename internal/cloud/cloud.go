@@ -11,6 +11,7 @@ import (
 	"github.com/stellar-repro/stellar/internal/des"
 	"github.com/stellar-repro/stellar/internal/dist"
 	"github.com/stellar-repro/stellar/internal/faults"
+	"github.com/stellar-repro/stellar/internal/trace"
 )
 
 // maxChainDepth bounds function-chain recursion.
@@ -109,6 +110,13 @@ type Cloud struct {
 	// ARCHITECTURE.md). nil keeps the hot path untouched.
 	latRec LatencyRecorder
 
+	// tr, when set, records sampled per-request span traces of the pipeline
+	// (the tracer seam; see ARCHITECTURE.md). nil keeps the hot path at one
+	// pointer check per request and zero allocations.
+	tr *trace.Tracer
+	// reqSeq numbers external requests for trace identity.
+	reqSeq uint64
+
 	// Instance-seconds accounting: the integral of live instances over
 	// virtual time, the provider-side resource-cost counterpart of the
 	// keep-alive policy trade-off (Shahrad et al., cited in §VIII).
@@ -165,6 +173,11 @@ func (c *Cloud) Metrics() Metrics { return c.metrics }
 // mid-simulation is allowed; each completion records into the recorder
 // installed at its completion time.
 func (c *Cloud) SetLatencyRecorder(r LatencyRecorder) { c.latRec = r }
+
+// SetTracer installs (or, with nil, removes) the per-request span tracer.
+// Like the latency recorder, the tracer observes successful external
+// invocations; drain it via trace.Tracer.Drain after the run.
+func (c *Cloud) SetTracer(t *trace.Tracer) { c.tr = t }
 
 // ImageStore exposes the function-image store (for tests and experiments).
 func (c *Cloud) ImageStore() *blobstore.Store { return c.imageStore }
@@ -335,6 +348,16 @@ func (c *Cloud) Invoke(p *des.Proc, req *Request) (_ *Response, err error) {
 	} else {
 		c.metrics.Invocations++
 	}
+	// Tracer seam: external requests record spans when a tracer is installed
+	// and this request is sampled. tr stays nil otherwise; every Mark below
+	// no-ops on a nil receiver, keeping the disabled path allocation-free.
+	var tr *trace.Req
+	if c.tr != nil && !req.Internal {
+		c.reqSeq++
+		if tr = c.tr.Begin(c.reqSeq, req.Fn, p.Now()); tr != nil {
+			defer func() { c.tr.End(tr, p.Now(), err) }()
+		}
+	}
 	fn.inflight++
 	defer func() { fn.inflight-- }()
 
@@ -348,6 +371,7 @@ func (c *Cloud) Invoke(p *des.Proc, req *Request) (_ *Response, err error) {
 	} else {
 		bd.Propagation = c.cfg.PropagationRTT
 		p.Sleep(c.cfg.PropagationRTT / 2)
+		tr.Mark(trace.StagePropagation, c.cfg.PropagationRTT/2, p.Now())
 		// Injected in-flight drop: the request vanishes before admission
 		// and no response ever travels back — the caller only learns via
 		// its own timeout (see faults.Policy).
@@ -357,6 +381,7 @@ func (c *Cloud) Invoke(p *des.Proc, req *Request) (_ *Response, err error) {
 		}
 		bd.Frontend = c.cfg.FrontendDelay.Sample(c.rngIngress)
 		p.Sleep(bd.Frontend)
+		tr.Mark(trace.StageFrontend, bd.Frontend, p.Now())
 		// Injected throttling: the front end rejects requests beyond the
 		// fleet-wide admission window with a 429, which does travel back.
 		if c.inj != nil && !c.inj.Admit(c.eng.Now()) {
@@ -368,6 +393,7 @@ func (c *Cloud) Invoke(p *des.Proc, req *Request) (_ *Response, err error) {
 	if req.wireDelay > 0 {
 		bd.Wire = req.wireDelay
 		p.Sleep(req.wireDelay)
+		tr.Mark(trace.StageWire, req.wireDelay, p.Now())
 	}
 
 	// Ingestion congestion under concurrent load to the same function.
@@ -382,6 +408,7 @@ func (c *Cloud) Invoke(p *des.Proc, req *Request) (_ *Response, err error) {
 		}
 		bd.Congestion = extra
 		p.Sleep(extra)
+		tr.Mark(trace.StageCongestion, extra, p.Now())
 		prob := float64(q) * c.cfg.SlowPathProbPerInflight
 		if prob > c.cfg.SlowPathMaxProb {
 			prob = c.cfg.SlowPathMaxProb
@@ -389,6 +416,7 @@ func (c *Cloud) Invoke(p *des.Proc, req *Request) (_ *Response, err error) {
 		if prob > 0 && c.rngIngress.Float64() < prob {
 			bd.SlowPath = c.cfg.SlowPathDelay.Sample(c.rngIngress)
 			p.Sleep(bd.SlowPath)
+			tr.Mark(trace.StageSlowPath, bd.SlowPath, p.Now())
 			c.metrics.SlowPaths++
 		}
 	}
@@ -396,6 +424,7 @@ func (c *Cloud) Invoke(p *des.Proc, req *Request) (_ *Response, err error) {
 	// Load balancer routing (2).
 	bd.Routing = c.cfg.RoutingDelay.Sample(c.rngIngress)
 	p.Sleep(bd.Routing)
+	tr.Mark(trace.StageRouting, bd.Routing, p.Now())
 
 	// Instance acquisition and service, with front-end retries of crashed
 	// invocations. Each attempt records its own components; failed
@@ -405,6 +434,7 @@ func (c *Cloud) Invoke(p *des.Proc, req *Request) (_ *Response, err error) {
 	attempts := 0
 	for {
 		attempts++
+		tr.Attempt(attempts)
 		var abd Breakdown
 
 		// Idle warm instance, or buffer + scale (3)-(6).
@@ -434,19 +464,22 @@ func (c *Cloud) Invoke(p *des.Proc, req *Request) (_ *Response, err error) {
 			}
 			inst = pr.inst
 			abd.QueueWait = c.eng.Now() - pr.enqueued
+			tr.Mark(trace.StageQueueWait, abd.QueueWait, p.Now())
 			if pr.handoff {
 				abd.QueueHandoff = c.cfg.QueueHandoffDelay.Sample(c.rngInstance)
 				p.Sleep(abd.QueueHandoff)
+				tr.Mark(trace.StageQueueHandoff, abd.QueueHandoff, p.Now())
 			}
 		}
 
-		resp, err = c.serve(p, inst, req, fn, &abd)
+		resp, err = c.serve(p, inst, req, fn, &abd, tr)
 		if errors.Is(err, ErrInstanceCrash) {
 			fn.destroy(inst)
 			if attempts <= c.cfg.Faults.Retries {
 				c.metrics.Retries++
 				backoff := c.cfg.Faults.RetryBackoff.Sample(c.rngIngress)
 				p.Sleep(backoff)
+				tr.Mark(trace.StageRetryBackoff, backoff, p.Now())
 				bd.Retried += attemptSum(abd) + backoff
 				continue
 			}
@@ -458,10 +491,13 @@ func (c *Cloud) Invoke(p *des.Proc, req *Request) (_ *Response, err error) {
 	}
 
 	// Egress: response path + propagation back to the client.
+	tr.Attempt(0)
 	if !req.Internal {
 		bd.ResponsePath = c.cfg.ResponseDelay.Sample(c.rngIngress)
 		p.Sleep(bd.ResponsePath)
+		tr.Mark(trace.StageResponse, bd.ResponsePath, p.Now())
 		p.Sleep(c.cfg.PropagationRTT / 2)
+		tr.Mark(trace.StagePropagation, c.cfg.PropagationRTT/2, p.Now())
 	}
 	resp.QueueWait = bd.QueueWait
 	resp.Attempts = attempts
@@ -491,12 +527,29 @@ func mergeAttempt(bd *Breakdown, a Breakdown) {
 // serve runs the instance-side invocation (7)-(8): per-invocation overhead,
 // payload retrieval, busy-spin execution (CPU-throttled for low-memory
 // instances), chained downstream calls, and billing.
-func (c *Cloud) serve(p *des.Proc, inst *Instance, req *Request, fn *Function, bd *Breakdown) (*Response, error) {
+func (c *Cloud) serve(p *des.Proc, inst *Instance, req *Request, fn *Function, bd *Breakdown, tr *trace.Req) (*Response, error) {
 	cold := inst.served == 0
 	inst.served++
+	tr.SetCold(cold)
 	if cold {
 		c.metrics.ColdServed++
 		bd.ColdStart = inst.coldBreakdown
+		if tr != nil {
+			// Reconstruct the spawn pipeline as detail spans laid out
+			// back-to-back against the instance's creation instant; they
+			// nest inside (and may predate) this request's queue wait.
+			cb := inst.coldBreakdown
+			tr.ColdSpans(inst.createdAt,
+				trace.Phase{Stage: trace.StageColdSchedulerQueue, Dur: cb.SchedulerQueue},
+				trace.Phase{Stage: trace.StageColdPlacement, Dur: cb.Placement},
+				trace.Phase{Stage: trace.StageColdSandboxBoot, Dur: cb.SandboxBoot},
+				trace.Phase{Stage: trace.StageColdImageFetch, Dur: cb.ImageFetch},
+				trace.Phase{Stage: trace.StageColdChunkReads, Dur: cb.ChunkReads},
+				trace.Phase{Stage: trace.StageColdRuntimeInit, Dur: cb.RuntimeInit},
+				trace.Phase{Stage: trace.StageColdSnapshotRestore, Dur: cb.SnapshotRestore},
+				trace.Phase{Stage: trace.StageColdSnapshotCapture, Dur: cb.SnapshotCapture},
+			)
+		}
 	} else {
 		c.metrics.WarmServed++
 	}
@@ -515,6 +568,7 @@ func (c *Cloud) serve(p *des.Proc, inst *Instance, req *Request, fn *Function, b
 
 	bd.Overhead = c.cfg.WarmOverhead.Sample(c.rngInstance)
 	p.Sleep(bd.Overhead)
+	tr.Mark(trace.StageOverhead, bd.Overhead, p.Now())
 
 	// Retrieve a storage-based payload before the handler body runs.
 	if req.storageKey != "" {
@@ -535,6 +589,7 @@ func (c *Cloud) serve(p *des.Proc, inst *Instance, req *Request, fn *Function, b
 			return resp, err
 		}
 		bd.PayloadFetch = lat
+		tr.Mark(trace.StagePayloadFetch, lat, p.Now())
 	}
 	resp.Timestamps[fn.spec.Name+".recv"] = p.Now()
 
@@ -547,6 +602,7 @@ func (c *Cloud) serve(p *des.Proc, inst *Instance, req *Request, fn *Function, b
 		exec = time.Duration(float64(exec) * c.cfg.throttleFactor(fn.spec.MemoryMB))
 		bd.Exec = exec
 		p.Sleep(exec)
+		tr.Mark(trace.StageExec, exec, p.Now())
 	}
 
 	// Injected instance crash: the sandbox dies after executing.
@@ -580,11 +636,13 @@ func (c *Cloud) serve(p *des.Proc, inst *Instance, req *Request, fn *Function, b
 			c.payloadSeq++
 			key := fmt.Sprintf("payload/%s/%d", fn.spec.Name, c.payloadSeq)
 			bd.PayloadStore = c.payloadStore.Put(p, key, payload)
+			tr.Mark(trace.StagePayloadStore, bd.PayloadStore, p.Now())
 			next.storageKey = key
 		}
 		downstreamStart := p.Now()
 		nresps, err := c.invokeDownstream(p, next, ch.Fanout)
 		bd.Downstream = p.Now() - downstreamStart
+		tr.Mark(trace.StageDownstream, bd.Downstream, p.Now())
 		for _, nresp := range nresps {
 			for k, v := range nresp.Timestamps {
 				resp.Timestamps[k] = v

@@ -1,0 +1,191 @@
+package cloud
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/des"
+	"github.com/stellar-repro/stellar/internal/dist"
+	"github.com/stellar-repro/stellar/internal/trace"
+)
+
+func newTestTracer(cfg trace.Config) *trace.Tracer {
+	return trace.New(cfg, rand.New(rand.NewSource(9)))
+}
+
+// TestTraceSingleInvokeMatchesLatency pins the tracer's ground truth on one
+// cold invocation: the trace's total equals the client-observed latency, the
+// spans tile it exactly, and the cold-start pipeline appears as detail spans.
+func TestTraceSingleInvokeMatchesLatency(t *testing.T) {
+	eng, c := newTestCloud(t, testConfig())
+	deploy(t, c, FunctionSpec{Name: "f", ExecTime: 30 * time.Millisecond})
+	tr := newTestTracer(trace.Config{SampleRate: 1})
+	c.SetTracer(tr)
+
+	r := invokeAt(eng, c, 0, &Request{Fn: "f"})
+	eng.Run(0)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	recs := tr.Drain()
+	if len(recs) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(recs))
+	}
+	rec := recs[0]
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	if rec.Total() != r.lat {
+		t.Fatalf("trace total %v != client-observed latency %v", rec.Total(), r.lat)
+	}
+	if !rec.Cold {
+		t.Fatalf("first invocation not marked cold: %+v", rec)
+	}
+	var detail int
+	stages := map[string]bool{}
+	for _, sp := range rec.Spans {
+		if sp.Detail {
+			detail++
+		}
+		stages[sp.Stage] = true
+	}
+	if detail == 0 {
+		t.Fatalf("cold invocation has no cold detail spans: %+v", rec.Spans)
+	}
+	for _, want := range []string{"propagation", "frontend", "routing", "queue-wait", "overhead", "exec", "response"} {
+		if !stages[want] {
+			t.Fatalf("trace missing %q stage: %+v", want, rec.Spans)
+		}
+	}
+}
+
+// TestTraceTilingInvariantUnderChaos drives a bursty workload with cold
+// starts, queue waits, crashes/retries, and a storage-transfer chain, and
+// requires every retained trace to satisfy the tiling invariant: top-level
+// spans sum exactly to the observed latency.
+func TestTraceTilingInvariantUnderChaos(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueHandoffDelay = dist.Constant(2 * time.Millisecond)
+	cfg.CongestionThreshold = 4
+	cfg.CongestionUnit = time.Millisecond
+	cfg.Faults.CrashProb = 0.15
+	cfg.Faults.Retries = 4
+	cfg.Faults.RetryBackoff = dist.Constant(5 * time.Millisecond)
+	eng, c := newTestCloud(t, cfg)
+	deploy(t, c, FunctionSpec{Name: "producer", ExecTime: 10 * time.Millisecond,
+		Chain: &ChainSpec{Next: "consumer", Transfer: TransferStorage, PayloadBytes: 1 << 20}})
+	deploy(t, c, FunctionSpec{Name: "consumer", ExecTime: 5 * time.Millisecond})
+	tr := newTestTracer(trace.Config{SampleRate: 1, SlowestK: 8})
+	c.SetTracer(tr)
+
+	const n = 60
+	results := make([]*result, n)
+	for i := range results {
+		// Three tight bursts force buffering, scale-out, and handoffs.
+		at := time.Duration(i/20) * 5 * time.Second
+		results[i] = invokeAt(eng, c, at, &Request{Fn: "producer"})
+	}
+	eng.Run(0)
+
+	succeeded := 0
+	for _, r := range results {
+		if r.err == nil {
+			succeeded++
+		}
+	}
+	recs := tr.Drain()
+	if len(recs) != succeeded {
+		t.Fatalf("retained %d traces for %d successful invocations (dropped %d)",
+			len(recs), succeeded, tr.Dropped())
+	}
+	var cold, retried int
+	for i := range recs {
+		if err := recs[i].Validate(); err != nil {
+			t.Errorf("trace %d violates tiling: %v\nspans: %+v", recs[i].ID, err, recs[i].Spans)
+		}
+		if recs[i].Cold {
+			cold++
+		}
+		if recs[i].Attempts > 1 {
+			retried++
+		}
+	}
+	if cold == 0 {
+		t.Error("burst workload produced no cold traces")
+	}
+	if retried == 0 {
+		t.Error("15% crash rate over 60 requests produced no retried traces")
+	}
+}
+
+// TestTraceQueueTimeoutDiscarded: requests abandoned in the gateway queue
+// error out and must not leave committed traces behind.
+func TestTraceQueueTimeoutDiscarded(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueTimeout = time.Millisecond
+	eng, c := newTestCloud(t, cfg)
+	deploy(t, c, FunctionSpec{Name: "f", ExecTime: 10 * time.Millisecond})
+	tr := newTestTracer(trace.Config{SampleRate: 1})
+	c.SetTracer(tr)
+	r := invokeAt(eng, c, 0, &Request{Fn: "f"})
+	eng.Run(0)
+	if r.err == nil {
+		// Cold start takes ~100ms, far beyond the 1ms queue timeout.
+		t.Fatal("expected queue timeout")
+	}
+	if got := tr.Retained(); got != 0 {
+		t.Fatalf("timed-out request left %d committed traces", got)
+	}
+}
+
+// warmInvokeAllocsTraced mirrors warmInvokeAllocs with a tracer installed.
+func warmInvokeAllocsTraced(t *testing.T, cfg Config, tcfg trace.Config) float64 {
+	t.Helper()
+	eng := des.NewEngine()
+	t.Cleanup(eng.Close)
+	c, err := New(eng, cfg, dist.NewStreams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetTracer(newTestTracer(tcfg))
+	if err := c.Deploy(FunctionSpec{Name: "f", Runtime: RuntimePython, Method: DeployZIP}); err != nil {
+		t.Fatal(err)
+	}
+	req := &Request{Fn: "f"}
+	run := func() {
+		eng.Spawn("req", func(p *des.Proc) {
+			for i := 0; i < 16; i++ {
+				if _, err := c.Invoke(p, req); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+		eng.Run(0)
+	}
+	run()
+	return testing.AllocsPerRun(50, run)
+}
+
+// TestWarmInvokeAllocParityWithTracer is the tracer's alloc gate. A tracer
+// that is installed but samples nothing must add zero allocations per warm
+// invocation — the Begin fast path draws one random number and returns nil.
+// (The fully disabled path — no SetTracer call — is byte-identical to the
+// seed's and is covered by TestWarmInvokeAllocParityWithInjector.)
+func TestWarmInvokeAllocParityWithTracer(t *testing.T) {
+	baseline := warmInvokeAllocs(t, testConfig())
+
+	idle := warmInvokeAllocsTraced(t, testConfig(), trace.Config{SampleRate: 0, SlowestK: 0})
+	if idle > baseline {
+		t.Fatalf("non-sampling tracer adds %.2f allocs per 16 warm invokes (%.2f -> %.2f); the seam must be free",
+			idle-baseline, baseline, idle)
+	}
+
+	// Sampling steady state: pooled records and a full ring recycle every
+	// buffer, so the only per-invoke cost is the End defer closure.
+	sampling := warmInvokeAllocsTraced(t, testConfig(), trace.Config{SampleRate: 1, SlowestK: 4, RingCapacity: 8})
+	if perOp := (sampling - baseline) / 16; perOp > 1 {
+		t.Fatalf("sampling tracer adds %.2f allocs per warm invoke in steady state, want <= 1", perOp)
+	}
+}

@@ -1,0 +1,12 @@
+package des
+
+// Virtual-time unit conversions for observability layers. Trace viewers
+// (Chrome trace_event, Perfetto) take microsecond timestamps; Time is
+// nanosecond-resolution, so the conversions keep sub-microsecond precision
+// by returning floats.
+
+// Micros converts a virtual timestamp to fractional microseconds.
+func Micros(t Time) float64 { return float64(t) / 1e3 }
+
+// Millis converts a virtual timestamp to fractional milliseconds.
+func Millis(t Time) float64 { return float64(t) / 1e6 }

@@ -1,0 +1,28 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockConversions(t *testing.T) {
+	cases := []struct {
+		t      Time
+		micros float64
+		millis float64
+	}{
+		{0, 0, 0},
+		{Time(time.Microsecond), 1, 0.001},
+		{Time(time.Millisecond), 1000, 1},
+		{Time(1500 * time.Nanosecond), 1.5, 0.0015},
+		{Time(2 * time.Second), 2e6, 2000},
+	}
+	for _, c := range cases {
+		if got := Micros(c.t); got != c.micros {
+			t.Errorf("Micros(%v) = %v, want %v", c.t, got, c.micros)
+		}
+		if got := Millis(c.t); got != c.millis {
+			t.Errorf("Millis(%v) = %v, want %v", c.t, got, c.millis)
+		}
+	}
+}

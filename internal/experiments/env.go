@@ -129,6 +129,14 @@ func Report(w io.Writer, id string, opts Options) error {
 			WriteSnapshotReport(w, res)
 			return nil
 		}},
+		{"trace", func() error {
+			res, err := TraceStudy(opts)
+			if err != nil {
+				return err
+			}
+			WriteTraceStudyReport(w, res)
+			return nil
+		}},
 		{"observations", func() error {
 			obs, err := Observations(opts)
 			if err != nil {

@@ -107,8 +107,8 @@ func TestScaleExactAgreesWithSketch(t *testing.T) {
 // TestScaleOptionValidation: nonsense configurations fail fast.
 func TestScaleOptionValidation(t *testing.T) {
 	for _, opts := range []ScaleOptions{
-		{Invocations: 100},                              // no provider
-		{Provider: "aws"},                               // no invocations
+		{Invocations: 100}, // no provider
+		{Provider: "aws"},  // no invocations
 		{Provider: "aws", Invocations: 2, Shards: 4},    // more shards than work
 		{Provider: "no-such-cloud", Invocations: 1_000}, // unknown profile
 	} {

@@ -16,6 +16,7 @@ import (
 	"github.com/stellar-repro/stellar/internal/core"
 	"github.com/stellar-repro/stellar/internal/stats"
 	"github.com/stellar-repro/stellar/internal/stats/sketch"
+	"github.com/stellar-repro/stellar/internal/trace"
 )
 
 // RunRecord is a serialized measurement run. Small runs carry their raw
@@ -44,6 +45,10 @@ type RunRecord struct {
 	// latencies alone do not determine).
 	SuccessRate float64 `json:"success_rate,omitempty"`
 	GoodputRPS  float64 `json:"goodput_rps,omitempty"`
+	// Traces are sampled per-request span traces, when the run was made
+	// with the tracer enabled (stellar trace). Each trace's top-level spans
+	// sum exactly to its observed latency; Load re-validates this.
+	Traces []trace.RequestRecord `json:"traces,omitempty"`
 }
 
 // FromRunResult converts a client run into a persistable record.
@@ -83,6 +88,23 @@ func FromFaultRun(name string, lats *stats.Sample, out stats.Outcome, virtual ti
 		Outcome:     &out,
 		SuccessRate: out.SuccessRate(),
 		GoodputRPS:  out.Goodput(virtual),
+	}
+	vals := lats.Values()
+	rec.LatenciesNS = make([]int64, 0, len(vals))
+	for _, v := range vals {
+		rec.LatenciesNS = append(rec.LatenciesNS, int64(v))
+	}
+	return rec
+}
+
+// FromTraceRun builds a record for a traced series: every successful
+// request's latency plus the retained span traces.
+func FromTraceRun(name string, lats *stats.Sample, traces []trace.RequestRecord, colds, errors int) *RunRecord {
+	rec := &RunRecord{
+		Name:   name,
+		Colds:  colds,
+		Errors: errors,
+		Traces: traces,
 	}
 	vals := lats.Values()
 	rec.LatenciesNS = make([]int64, 0, len(vals))
@@ -155,6 +177,13 @@ func Load(path string) (*RunRecord, error) {
 		// Validate the sketch payload eagerly so corrupt files fail at
 		// load time, not mid-analysis.
 		if _, err := sketch.FromRecord(rec.Sketch); err != nil {
+			return nil, fmt.Errorf("results: %s: %w", path, err)
+		}
+	}
+	// Same for trace payloads: a trace whose spans don't tile its latency
+	// is corrupt, and attribution built on it would lie.
+	for i := range rec.Traces {
+		if err := rec.Traces[i].Validate(); err != nil {
 			return nil, fmt.Errorf("results: %s: %w", path, err)
 		}
 	}

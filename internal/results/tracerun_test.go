@@ -1,0 +1,70 @@
+package results
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/stats"
+	"github.com/stellar-repro/stellar/internal/trace"
+)
+
+// tilingTrace builds one valid record whose two spans exactly tile the
+// request window.
+func tilingTrace(id uint64) trace.RequestRecord {
+	start := int64(time.Second)
+	mid := start + int64(4*time.Millisecond)
+	end := mid + int64(6*time.Millisecond)
+	return trace.RequestRecord{
+		ID: id, Fn: "f", StartNS: start, EndNS: end,
+		Spans: []trace.SpanRecord{
+			{Stage: "frontend", StartNS: start, DurNS: mid - start},
+			{Stage: "exec", StartNS: mid, DurNS: end - mid},
+		},
+	}
+}
+
+func TestFromTraceRunRoundTrip(t *testing.T) {
+	lats := stats.NewSample(2)
+	lats.Add(10 * time.Millisecond)
+	lats.Add(25 * time.Millisecond)
+	traces := []trace.RequestRecord{tilingTrace(1), tilingTrace(2)}
+	rec := FromTraceRun("traced", lats, traces, 3, 1)
+
+	if rec.Colds != 3 || rec.Errors != 1 {
+		t.Fatalf("counters mangled: %+v", rec)
+	}
+	path := filepath.Join(t.TempDir(), "traced.json")
+	if err := rec.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Traces) != 2 || loaded.Traces[0].ID != 1 {
+		t.Fatalf("traces mangled: %+v", loaded.Traces)
+	}
+	if loaded.Latencies().Len() != 2 {
+		t.Fatalf("latency sample mangled: %d values", loaded.Latencies().Len())
+	}
+}
+
+// TestLoadRejectsCorruptTrace: a persisted trace whose spans no longer tile
+// its latency fails at load time, not mid-analysis.
+func TestLoadRejectsCorruptTrace(t *testing.T) {
+	lats := stats.NewSample(1)
+	lats.Add(10 * time.Millisecond)
+	bad := tilingTrace(1)
+	bad.Spans[1].DurNS += int64(time.Millisecond) // spans now overrun the window
+	rec := FromTraceRun("corrupt", lats, []trace.RequestRecord{bad}, 0, 0)
+
+	path := filepath.Join(t.TempDir(), "corrupt.json")
+	if err := rec.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "trace") {
+		t.Fatalf("Load accepted a corrupt trace (err=%v)", err)
+	}
+}

@@ -102,7 +102,7 @@ func TestQuantileMatchesExactWithinAlpha(t *testing.T) {
 	exact := stats.NewSample(10000)
 	rng := rand.New(rand.NewSource(42))
 	for i := 0; i < 10000; i++ {
-		v := time.Duration(math.Exp(rng.NormFloat64()*1.2+17)) // lognormal around ~24ms
+		v := time.Duration(math.Exp(rng.NormFloat64()*1.2 + 17)) // lognormal around ~24ms
 		s.Add(v)
 		exact.Add(v)
 	}

@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// attribRetried is the attribution bucket that absorbs failed service
+// attempts and retry backoffs, mirroring cloud.Breakdown.Retried.
+const attribRetried = "retried"
+
+// DefaultQuantiles are the attribution report's latency percentiles: the
+// paper's headline median plus the tail levels tail-latency work cares
+// about.
+var DefaultQuantiles = []float64{0.50, 0.99, 0.999}
+
+// queueStages are the stages counted as queueing (as opposed to service)
+// time in the queue-wait vs service-time split: time spent waiting for
+// capacity rather than being actively processed.
+var queueStages = map[string]bool{
+	StageQueueWait.String():    true,
+	StageQueueHandoff.String(): true,
+	StageCongestion.String():   true,
+	StageSlowPath.String():     true,
+}
+
+// StageShare is one stage's contribution at each report quantile.
+type StageShare struct {
+	// Stage is the stage wire name, or "retried" for folded failed attempts.
+	Stage string
+	// Mean is the stage's mean duration among requests near each quantile.
+	Mean []time.Duration
+	// Share is Mean divided by the mean total latency near that quantile.
+	Share []float64
+}
+
+// Attribution is the per-stage tail-attribution report: for requests around
+// each latency quantile, where the time went.
+type Attribution struct {
+	// Quantiles are the report's latency quantiles (e.g. 0.50, 0.99, 0.999).
+	Quantiles []float64
+	// Requests is the number of traces attributed.
+	Requests int
+	// Totals are the quantile latencies of the attributed traces.
+	Totals []time.Duration
+	// Window is the number of traces averaged per quantile.
+	Window []int
+	// Stages lists contributions in pipeline order (zero-contribution
+	// stages omitted), with retried last.
+	Stages []StageShare
+	// QueueShare and ServiceShare split each quantile's latency into
+	// queueing (queue-wait, handoff, congestion, slow-path) vs service time.
+	QueueShare   []float64
+	ServiceShare []float64
+}
+
+// attribStage maps a span to its attribution bucket: spans from failed
+// attempts and retry backoffs fold into the retried bucket, so buckets
+// match cloud.Breakdown semantics and still sum to the observed latency.
+func attribStage(sp SpanRecord, attempts int) string {
+	if sp.Stage == StageRetryBackoff.String() {
+		return attribRetried
+	}
+	if sp.Attempt != 0 && sp.Attempt != attempts {
+		return attribRetried
+	}
+	return sp.Stage
+}
+
+// quantileWindow returns the [lo, hi) index window of ±2% of the sample
+// (at least ±1) centered on quantile q of an n-element sorted slice, plus
+// the center index.
+func quantileWindow(n int, q float64) (lo, hi, center int) {
+	center = int(q*float64(n-1) + 0.5)
+	w := n / 50
+	if w < 1 {
+		w = 1
+	}
+	lo, hi = center-w, center+w+1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi, center
+}
+
+// Attribute computes the per-stage attribution of the given traces at the
+// given quantiles (DefaultQuantiles when nil). For each quantile it averages
+// stage durations over a window of traces centered on that quantile of the
+// total-latency distribution, so "which stage inflates p99" is answered
+// from the requests that actually sit at p99. Returns nil when recs is
+// empty.
+func Attribute(recs []RequestRecord, quantiles []float64) *Attribution {
+	if len(recs) == 0 {
+		return nil
+	}
+	if quantiles == nil {
+		quantiles = DefaultQuantiles
+	}
+	sorted := make([]*RequestRecord, len(recs))
+	for i := range recs {
+		sorted[i] = &recs[i]
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		ti, tj := sorted[i].Total(), sorted[j].Total()
+		if ti != tj {
+			return ti < tj
+		}
+		if sorted[i].Shard != sorted[j].Shard {
+			return sorted[i].Shard < sorted[j].Shard
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	n := len(sorted)
+	nq := len(quantiles)
+	a := &Attribution{
+		Quantiles:    quantiles,
+		Requests:     n,
+		Totals:       make([]time.Duration, nq),
+		Window:       make([]int, nq),
+		QueueShare:   make([]float64, nq),
+		ServiceShare: make([]float64, nq),
+	}
+	stageMeans := make(map[string][]time.Duration)
+	meanTotals := make([]time.Duration, nq)
+	for qi, q := range quantiles {
+		lo, hi, center := quantileWindow(n, q)
+		a.Totals[qi] = sorted[center].Total()
+		a.Window[qi] = hi - lo
+
+		var totalSum, queueSum time.Duration
+		stageSums := make(map[string]time.Duration)
+		for _, r := range sorted[lo:hi] {
+			totalSum += r.Total()
+			for _, sp := range r.Spans {
+				if sp.Detail {
+					continue
+				}
+				bucket := attribStage(sp, r.Attempts)
+				stageSums[bucket] += time.Duration(sp.DurNS)
+				if queueStages[bucket] {
+					queueSum += time.Duration(sp.DurNS)
+				}
+			}
+		}
+		count := time.Duration(hi - lo)
+		meanTotals[qi] = totalSum / count
+		for bucket, sum := range stageSums {
+			if stageMeans[bucket] == nil {
+				stageMeans[bucket] = make([]time.Duration, nq)
+			}
+			stageMeans[bucket][qi] = sum / count
+		}
+		if totalSum > 0 {
+			a.QueueShare[qi] = float64(queueSum) / float64(totalSum)
+			a.ServiceShare[qi] = 1 - a.QueueShare[qi]
+		}
+	}
+	// Emit rows in pipeline order, with the retried bucket last.
+	for s := Stage(0); s < StageColdSchedulerQueue; s++ {
+		if means, ok := stageMeans[s.String()]; ok {
+			a.Stages = append(a.Stages, buildRow(s.String(), means, meanTotals))
+		}
+	}
+	if means, ok := stageMeans[attribRetried]; ok {
+		a.Stages = append(a.Stages, buildRow(attribRetried, means, meanTotals))
+	}
+	return a
+}
+
+func buildRow(bucket string, means, meanTotals []time.Duration) StageShare {
+	row := StageShare{Stage: bucket, Mean: means, Share: make([]float64, len(means))}
+	for qi, m := range means {
+		if meanTotals[qi] > 0 {
+			row.Share[qi] = float64(m) / float64(meanTotals[qi])
+		}
+	}
+	return row
+}
+
+// Write renders the attribution as a fixed-width table.
+func (a *Attribution) Write(w io.Writer) {
+	fmt.Fprintf(w, "tail attribution (%d sampled requests)\n", a.Requests)
+	fmt.Fprintf(w, "%-17s", "stage")
+	for qi, q := range a.Quantiles {
+		fmt.Fprintf(w, " %19s", fmt.Sprintf("p%g (%v)", q*100, a.Totals[qi].Round(time.Millisecond)))
+	}
+	fmt.Fprintln(w)
+	for _, row := range a.Stages {
+		fmt.Fprintf(w, "%-17s", row.Stage)
+		for qi := range a.Quantiles {
+			fmt.Fprintf(w, " %11v %6.1f%%", row.Mean[qi].Round(10*time.Microsecond), row.Share[qi]*100)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-17s", "queue-wait share")
+	for qi := range a.Quantiles {
+		fmt.Fprintf(w, " %18.1f%%", a.QueueShare[qi]*100)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-17s", "service share")
+	for qi := range a.Quantiles {
+		fmt.Fprintf(w, " %18.1f%%", a.ServiceShare[qi]*100)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// attribFixture builds n tiling traces with frontend, queue-wait, exec, and
+// response stages; queue-wait grows with rank so the tail is queue-dominated.
+func attribFixture(n int) []RequestRecord {
+	rng := rand.New(rand.NewSource(11))
+	recs := make([]RequestRecord, 0, n)
+	for i := 0; i < n; i++ {
+		queue := time.Duration(rng.Intn(i+1)) * time.Millisecond
+		recs = append(recs, buildRec(uint64(i), i%4, time.Duration(i)*time.Second,
+			stageDur{StageFrontend, time.Millisecond, 0},
+			stageDur{StageQueueWait, queue + time.Microsecond, 1},
+			stageDur{StageExec, 20 * time.Millisecond, 1},
+			stageDur{StageResponse, time.Millisecond, 0},
+		))
+	}
+	return recs
+}
+
+func TestAttributeSharesSumToOne(t *testing.T) {
+	recs := attribFixture(500)
+	a := Attribute(recs, nil)
+	if a == nil || a.Requests != 500 {
+		t.Fatalf("Attribute returned %+v", a)
+	}
+	if len(a.Quantiles) != len(DefaultQuantiles) {
+		t.Fatalf("quantiles = %v", a.Quantiles)
+	}
+	for qi := range a.Quantiles {
+		var sum float64
+		var meanSum time.Duration
+		for _, row := range a.Stages {
+			sum += row.Share[qi]
+			meanSum += row.Mean[qi]
+		}
+		// Stage means are integer-truncated per bucket; allow 1ns per bucket.
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("q=%v: stage shares sum to %v, want 1", a.Quantiles[qi], sum)
+		}
+		if qs := a.QueueShare[qi] + a.ServiceShare[qi]; math.Abs(qs-1) > 1e-9 {
+			t.Errorf("q=%v: queue+service share = %v, want 1", a.Quantiles[qi], qs)
+		}
+		if a.Window[qi] < 1 {
+			t.Errorf("q=%v: empty window", a.Quantiles[qi])
+		}
+	}
+	// Quantile totals must be non-decreasing (p50 <= p99 <= p99.9).
+	for qi := 1; qi < len(a.Totals); qi++ {
+		if a.Totals[qi] < a.Totals[qi-1] {
+			t.Fatalf("totals not monotone: %v", a.Totals)
+		}
+	}
+	// The fixture's tail is queue-dominated: queue share must grow with q.
+	if a.QueueShare[len(a.QueueShare)-1] <= a.QueueShare[0] {
+		t.Fatalf("queue share did not grow toward the tail: %v", a.QueueShare)
+	}
+}
+
+func TestAttributeStageOrderPipeline(t *testing.T) {
+	a := Attribute(attribFixture(100), []float64{0.5})
+	order := map[string]int{}
+	for i, row := range a.Stages {
+		order[row.Stage] = i
+	}
+	for _, pair := range [][2]string{{"frontend", "queue-wait"}, {"queue-wait", "exec"}, {"exec", "response"}} {
+		if order[pair[0]] >= order[pair[1]] {
+			t.Fatalf("stage %q not before %q in %v", pair[0], pair[1], a.Stages)
+		}
+	}
+}
+
+func TestAttributeFoldsRetriedAttempts(t *testing.T) {
+	rec := buildRec(1, 0, 0,
+		stageDur{StageFrontend, time.Millisecond, 0},
+		stageDur{StageQueueWait, 2 * time.Millisecond, 1},
+		stageDur{StageExec, 3 * time.Millisecond, 1}, // failed attempt
+		stageDur{StageRetryBackoff, 4 * time.Millisecond, 0},
+		stageDur{StageQueueWait, 5 * time.Millisecond, 2},
+		stageDur{StageExec, 6 * time.Millisecond, 2}, // final attempt
+	)
+	a := Attribute([]RequestRecord{rec}, []float64{0.5})
+	byStage := map[string]time.Duration{}
+	for _, row := range a.Stages {
+		byStage[row.Stage] = row.Mean[0]
+	}
+	// Attempt-1 spans (2+3ms) and the backoff (4ms) fold into retried; the
+	// final attempt keeps its own stages.
+	if got := byStage[attribRetried]; got != 9*time.Millisecond {
+		t.Fatalf("retried bucket = %v, want 9ms", got)
+	}
+	if got := byStage["exec"]; got != 6*time.Millisecond {
+		t.Fatalf("exec bucket = %v, want 6ms (final attempt only)", got)
+	}
+	if got := byStage["queue-wait"]; got != 5*time.Millisecond {
+		t.Fatalf("queue-wait bucket = %v, want 5ms (final attempt only)", got)
+	}
+	if a.Stages[len(a.Stages)-1].Stage != attribRetried {
+		t.Fatalf("retried bucket not last: %v", a.Stages)
+	}
+}
+
+func TestAttributeIgnoresColdDetail(t *testing.T) {
+	rec := buildRec(1, 0, 0,
+		stageDur{StageQueueWait, 10 * time.Millisecond, 1},
+		stageDur{StageExec, 10 * time.Millisecond, 1},
+	)
+	rec.Spans = append(rec.Spans, SpanRecord{
+		Stage: StageColdSandboxBoot.String(), StartNS: 0, DurNS: int64(9 * time.Millisecond), Detail: true,
+	})
+	a := Attribute([]RequestRecord{rec}, []float64{0.5})
+	var sum float64
+	for _, row := range a.Stages {
+		sum += row.Share[0]
+		if strings.HasPrefix(row.Stage, "cold/") {
+			t.Fatalf("cold detail leaked into attribution: %v", row)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %v with detail spans present, want 1", sum)
+	}
+}
+
+func TestAttributeEmpty(t *testing.T) {
+	if a := Attribute(nil, nil); a != nil {
+		t.Fatalf("Attribute(nil) = %+v, want nil", a)
+	}
+}
+
+func TestAttributionWrite(t *testing.T) {
+	var buf bytes.Buffer
+	Attribute(attribFixture(200), nil).Write(&buf)
+	out := buf.String()
+	for _, want := range []string{"tail attribution", "p99", "queue-wait share", "service share", "exec"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

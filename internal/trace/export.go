@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// traceEvent is one Chrome trace_event entry. Field order is fixed by the
+// struct, and args maps marshal with sorted keys, so output is byte-stable
+// for identical inputs.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the trace_event JSON object format, which both
+// chrome://tracing and Perfetto load directly.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTraceEvents exports traces as Chrome trace_event JSON. Each shard
+// becomes a process, each request a thread-named track carrying one
+// request-level slice with its stage spans nested inside it; cold-start
+// detail spans nest inside the queue-wait span on the same track.
+func WriteTraceEvents(w io.Writer, recs []RequestRecord) error {
+	f := traceFile{DisplayTimeUnit: "ms", TraceEvents: make([]traceEvent, 0, 2*len(recs)+8)}
+	seenShard := make(map[int]bool)
+	for i := range recs {
+		r := &recs[i]
+		pid := r.Shard + 1
+		if !seenShard[pid] {
+			seenShard[pid] = true
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]any{"name": fmt.Sprintf("shard %d", r.Shard)},
+			})
+		}
+		label := fmt.Sprintf("req %d %s", r.ID, r.Fn)
+		if r.Cold {
+			label += " (cold)"
+		}
+		if r.Slow {
+			label += " [slow]"
+		}
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: r.ID,
+			Args: map[string]any{"name": label},
+		})
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: r.Fn, Ph: "X", Ts: microsNS(r.StartNS), Dur: microsNS(r.EndNS - r.StartNS),
+			Pid: pid, Tid: r.ID, Cat: "request",
+			Args: map[string]any{"attempts": r.Attempts, "cold": r.Cold, "slow": r.Slow},
+		})
+		for _, sp := range r.Spans {
+			ev := traceEvent{
+				Name: sp.Stage, Ph: "X", Ts: microsNS(sp.StartNS), Dur: microsNS(sp.DurNS),
+				Pid: pid, Tid: r.ID, Cat: "stage",
+			}
+			if sp.Detail {
+				ev.Cat = "cold"
+			}
+			if sp.Attempt > 0 {
+				ev.Args = map[string]any{"attempt": sp.Attempt}
+			}
+			f.TraceEvents = append(f.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}

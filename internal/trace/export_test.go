@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func exportFixture() []RequestRecord {
+	warm := buildRec(1, 0, time.Second,
+		stageDur{StagePropagation, 5 * time.Millisecond, 0},
+		stageDur{StageExec, 50 * time.Millisecond, 1},
+		stageDur{StageResponse, 5 * time.Millisecond, 0},
+	)
+	cold := buildRec(2, 1, 2*time.Second,
+		stageDur{StageQueueWait, 300 * time.Millisecond, 1},
+		stageDur{StageExec, 50 * time.Millisecond, 1},
+	)
+	cold.Cold = true
+	cold.Slow = true
+	cold.Spans = append(cold.Spans, SpanRecord{
+		Stage: StageColdSandboxBoot.String(), StartNS: cold.StartNS,
+		DurNS: int64(250 * time.Millisecond), Detail: true,
+	})
+	return []RequestRecord{warm, cold}
+}
+
+func TestWriteTraceEventsStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, exportFixture()); err != nil {
+		t.Fatalf("WriteTraceEvents: %v", err)
+	}
+	var got struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  uint64         `json:"tid"`
+			Cat  string         `json:"cat"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if got.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", got.DisplayTimeUnit)
+	}
+	counts := map[string]int{}
+	for _, ev := range got.TraceEvents {
+		switch {
+		case ev.Ph == "M":
+			counts[ev.Name]++
+		case ev.Ph == "X":
+			counts["X/"+ev.Cat]++
+			if ev.Dur <= 0 {
+				t.Errorf("event %q has non-positive dur %v", ev.Name, ev.Dur)
+			}
+		default:
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+		// Shard 0 must map to pid 1: pid 0 is invalid in trace viewers.
+		if ev.Pid < 1 {
+			t.Errorf("event %q has pid %d, want >= 1", ev.Name, ev.Pid)
+		}
+	}
+	// Two shards, two request threads, two request slices, five stage spans
+	// (one of them cold detail).
+	if counts["process_name"] != 2 || counts["thread_name"] != 2 {
+		t.Fatalf("metadata events = %v", counts)
+	}
+	if counts["X/request"] != 2 || counts["X/stage"] != 5 || counts["X/cold"] != 1 {
+		t.Fatalf("slice events = %v", counts)
+	}
+	// Timestamps are microseconds: the warm request starts at 1s = 1e6us.
+	for _, ev := range got.TraceEvents {
+		if ev.Ph == "X" && ev.Cat == "request" && ev.Tid == 1 {
+			if ev.Ts != 1e6 {
+				t.Fatalf("request 1 ts = %v us, want 1e6", ev.Ts)
+			}
+		}
+	}
+}
+
+func TestWriteTraceEventsDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	recs := exportFixture()
+	if err := WriteTraceEvents(&a, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceEvents(&b, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("export not byte-stable across identical inputs")
+	}
+}
+
+func TestWriteTraceEventsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, nil); err != nil {
+		t.Fatalf("WriteTraceEvents(nil): %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("empty export is not valid JSON: %q", buf.String())
+	}
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/des"
+)
+
+// FuzzTraceExport feeds arbitrary JSON-decoded trace records through the
+// validator, the trace_event exporter, and the attribution pipeline: none of
+// them may panic, and the exporter must always emit valid JSON.
+func FuzzTraceExport(f *testing.F) {
+	seed, err := json.Marshal(exportFixture())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"id":1,"fn":"f","attempts":1,"start_ns":0,"end_ns":-5,"spans":[{"stage":"exec","start_ns":0,"dur_ns":-5}]}]`))
+	f.Add([]byte(`[{"id":18446744073709551615,"shard":-3,"fn":"\\u0000","attempts":900,"start_ns":9223372036854775807,"end_ns":1,"spans":[{"stage":"cold/chunk-reads","attempt":-1,"start_ns":1,"dur_ns":1,"detail":true}]}]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var recs []RequestRecord
+		if err := json.Unmarshal(data, &recs); err != nil {
+			t.Skip()
+		}
+		for i := range recs {
+			_ = recs[i].Validate() // must not panic on hostile input
+		}
+		var buf bytes.Buffer
+		if err := WriteTraceEvents(&buf, recs); err != nil {
+			t.Fatalf("WriteTraceEvents: %v", err)
+		}
+		if !json.Valid(buf.Bytes()) {
+			t.Fatalf("export produced invalid JSON for %q", data)
+		}
+		if a := Attribute(recs, nil); a != nil {
+			var out bytes.Buffer
+			a.Write(&out)
+		}
+		_ = Attribute(recs, []float64{0, 1})
+	})
+}
+
+// FuzzConfigValidate checks the sampler config validator never panics and
+// that New rejects nothing Validate accepted.
+func FuzzConfigValidate(f *testing.F) {
+	f.Add(0.5, 10, 64)
+	f.Add(-1.0, -1, -1)
+	f.Fuzz(func(t *testing.T, rate float64, slowK, ring int) {
+		cfg := Config{SampleRate: rate, SlowestK: slowK, RingCapacity: ring}
+		if err := cfg.Validate(); err != nil {
+			return
+		}
+		if ring > 1<<20 {
+			t.Skip() // avoid huge allocations; capacity is unbounded by design
+		}
+		tr := newTestTracer(cfg, 1)
+		r := tr.Begin(1, "fn", 0)
+		end := des.Time(time.Millisecond)
+		r.Mark(StageExec, time.Millisecond, end)
+		tr.End(r, end, nil)
+		_ = tr.Drain()
+	})
+}

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/des"
+)
+
+// SpanRecord is one span in serialized form (JSON-stable stage names,
+// nanosecond virtual timestamps).
+type SpanRecord struct {
+	// Stage is the stage's wire name (Stage.String).
+	Stage string `json:"stage"`
+	// Attempt is the service attempt (1-based), 0 outside the retry loop.
+	Attempt int `json:"attempt,omitempty"`
+	// StartNS is the span's virtual start time in nanoseconds.
+	StartNS int64 `json:"start_ns"`
+	// DurNS is the span's duration in nanoseconds.
+	DurNS int64 `json:"dur_ns"`
+	// Detail marks cold-start detail spans, which nest inside queue-wait
+	// and are excluded from the tiling invariant.
+	Detail bool `json:"detail,omitempty"`
+}
+
+// RequestRecord is one request's full trace in serialized form: the unit of
+// export, persistence (results.RunRecord.Traces), and attribution.
+type RequestRecord struct {
+	// ID is the request's per-shard sequence number.
+	ID uint64 `json:"id"`
+	// Shard is the simulation shard that produced the trace.
+	Shard int `json:"shard"`
+	// Fn is the invoked function.
+	Fn string `json:"fn"`
+	// Cold reports whether the final serving instance was cold.
+	Cold bool `json:"cold,omitempty"`
+	// Slow marks traces retained via the slowest-K path (as opposed to, or
+	// in addition to, head sampling).
+	Slow bool `json:"slow,omitempty"`
+	// Attempts counts service attempts (1 = no retries).
+	Attempts int `json:"attempts"`
+	// StartNS and EndNS bound the request in virtual nanoseconds.
+	StartNS int64 `json:"start_ns"`
+	EndNS   int64 `json:"end_ns"`
+	// Spans are the recorded stage intervals, in recording order.
+	Spans []SpanRecord `json:"spans"`
+}
+
+// Total returns the request's client-observed latency.
+func (r *RequestRecord) Total() time.Duration {
+	return time.Duration(r.EndNS - r.StartNS)
+}
+
+// Validate checks the record's structural invariants: known stage names,
+// spans inside the request window, and — the property the attribution
+// report rests on — top-level spans tiling [start, end] exactly, so
+// per-stage durations sum to the observed latency.
+func (r *RequestRecord) Validate() error {
+	if r.EndNS < r.StartNS {
+		return fmt.Errorf("trace %d: end %d before start %d", r.ID, r.EndNS, r.StartNS)
+	}
+	var sum int64
+	prevEnd := r.StartNS
+	for i, sp := range r.Spans {
+		st, ok := stageByName[sp.Stage]
+		if !ok {
+			return fmt.Errorf("trace %d: span %d has unknown stage %q", r.ID, i, sp.Stage)
+		}
+		if st.Detail() != sp.Detail {
+			return fmt.Errorf("trace %d: span %d stage %q detail flag mismatch", r.ID, i, sp.Stage)
+		}
+		if sp.DurNS <= 0 {
+			return fmt.Errorf("trace %d: span %d (%s) has non-positive duration %d", r.ID, i, sp.Stage, sp.DurNS)
+		}
+		if sp.Detail {
+			// Cold detail may start before the traced request arrived (a
+			// spawn triggered by an earlier request can be granted to this
+			// one), but it cannot outlive the request.
+			if sp.StartNS+sp.DurNS > r.EndNS {
+				return fmt.Errorf("trace %d: span %d (%s) outlives the request", r.ID, i, sp.Stage)
+			}
+			continue
+		}
+		if sp.StartNS < r.StartNS || sp.StartNS+sp.DurNS > r.EndNS {
+			return fmt.Errorf("trace %d: span %d (%s) outside request window", r.ID, i, sp.Stage)
+		}
+		if sp.StartNS != prevEnd {
+			return fmt.Errorf("trace %d: span %d (%s) starts at %d, want %d (top-level spans must tile)",
+				r.ID, i, sp.Stage, sp.StartNS, prevEnd)
+		}
+		prevEnd = sp.StartNS + sp.DurNS
+		sum += sp.DurNS
+	}
+	if sum != r.EndNS-r.StartNS {
+		return fmt.Errorf("trace %d: top-level spans sum to %dns, observed latency %dns",
+			r.ID, sum, r.EndNS-r.StartNS)
+	}
+	return nil
+}
+
+// record converts a committed Req into its serialized form.
+func (r *Req) record(slow bool) RequestRecord {
+	rec := RequestRecord{
+		ID:       r.id,
+		Fn:       r.fn,
+		Cold:     r.cold,
+		Slow:     slow,
+		Attempts: int(r.attempts),
+		StartNS:  int64(r.start),
+		EndNS:    int64(r.end),
+		Spans:    make([]SpanRecord, 0, len(r.spans)),
+	}
+	if rec.Attempts == 0 {
+		rec.Attempts = 1
+	}
+	for _, sp := range r.spans {
+		rec.Spans = append(rec.Spans, SpanRecord{
+			Stage:   sp.Stage.String(),
+			Attempt: int(sp.Attempt),
+			StartNS: int64(sp.Start),
+			DurNS:   int64(sp.Dur),
+			Detail:  sp.Stage.Detail(),
+		})
+	}
+	return rec
+}
+
+// Drain converts every retained trace to its serialized record, recycles
+// the buffers, and resets the tracer for further use. Records are sorted by
+// (start, id), so output is deterministic for a deterministic simulation.
+func (t *Tracer) Drain() []RequestRecord {
+	if t == nil {
+		return nil
+	}
+	recs := make([]RequestRecord, 0, t.n+len(t.slow))
+	for _, r := range t.slow {
+		recs = append(recs, r.record(true))
+		t.recycle(r)
+	}
+	t.slow = t.slow[:0]
+	for i := 0; i < t.n; i++ {
+		r := t.ring[(t.head+i)%len(t.ring)]
+		recs = append(recs, r.record(false))
+		t.recycle(r)
+	}
+	for i := range t.ring {
+		t.ring[i] = nil
+	}
+	t.head, t.n = 0, 0
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].StartNS != recs[j].StartNS {
+			return recs[i].StartNS < recs[j].StartNS
+		}
+		return recs[i].ID < recs[j].ID
+	})
+	return recs
+}
+
+// Micros converts a virtual-nanosecond timestamp to the microsecond unit
+// used by trace viewers.
+func microsNS(ns int64) float64 { return des.Micros(time.Duration(ns)) }

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/des"
+)
+
+// stageDur builds tiling span sequences for record tests.
+type stageDur struct {
+	st  Stage
+	d   time.Duration
+	att int
+}
+
+func buildRec(id uint64, shard int, start time.Duration, parts ...stageDur) RequestRecord {
+	r := RequestRecord{ID: id, Shard: shard, Fn: "f", Attempts: 1, StartNS: int64(start)}
+	at := int64(start)
+	for _, p := range parts {
+		r.Spans = append(r.Spans, SpanRecord{
+			Stage: p.st.String(), Attempt: p.att, StartNS: at, DurNS: int64(p.d), Detail: p.st.Detail(),
+		})
+		at += int64(p.d)
+		if p.att > r.Attempts {
+			r.Attempts = p.att
+		}
+	}
+	r.EndNS = at
+	return r
+}
+
+func TestValidateAcceptsTilingSpans(t *testing.T) {
+	r := buildRec(1, 0, time.Second,
+		stageDur{StagePropagation, 5 * time.Millisecond, 0},
+		stageDur{StageQueueWait, 20 * time.Millisecond, 1},
+		stageDur{StageExec, 100 * time.Millisecond, 1},
+		stageDur{StageResponse, 5 * time.Millisecond, 0},
+	)
+	if err := r.Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+}
+
+func TestValidateAcceptsNestedColdDetail(t *testing.T) {
+	r := buildRec(1, 0, time.Second,
+		stageDur{StageQueueWait, 200 * time.Millisecond, 1},
+		stageDur{StageExec, 100 * time.Millisecond, 1},
+	)
+	// Cold detail nests inside queue-wait and may even start before the
+	// request did (spawn triggered by an earlier request).
+	r.Spans = append(r.Spans, SpanRecord{
+		Stage: StageColdSandboxBoot.String(), StartNS: int64(900 * time.Millisecond),
+		DurNS: int64(250 * time.Millisecond), Detail: true,
+	})
+	if err := r.Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil for nested cold detail", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := func() RequestRecord {
+		return buildRec(7, 0, 0,
+			stageDur{StageFrontend, time.Millisecond, 0},
+			stageDur{StageExec, 2 * time.Millisecond, 1},
+		)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*RequestRecord)
+		wantSub string
+	}{
+		{"end before start", func(r *RequestRecord) { r.EndNS = r.StartNS - 1 }, "before start"},
+		{"unknown stage", func(r *RequestRecord) { r.Spans[0].Stage = "warp-drive" }, "unknown stage"},
+		{"detail flag mismatch", func(r *RequestRecord) { r.Spans[0].Detail = true }, "detail flag mismatch"},
+		{"zero duration", func(r *RequestRecord) { r.Spans[0].DurNS = 0 }, "non-positive duration"},
+		{"overlapping spans", func(r *RequestRecord) { r.Spans[1].StartNS-- }, "must tile"},
+		{"span outside window", func(r *RequestRecord) { r.Spans[1].DurNS += 5 }, "outside request window"},
+		{"sum mismatch", func(r *RequestRecord) { r.EndNS += 5 }, "spans sum"},
+		{"cold detail outlives request", func(r *RequestRecord) {
+			r.Spans = append(r.Spans, SpanRecord{
+				Stage: StageColdSandboxBoot.String(), StartNS: r.EndNS - 1, DurNS: 10, Detail: true,
+			})
+		}, "outlives"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := base()
+			tc.mutate(&r)
+			err := r.Validate()
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error containing %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("Validate() = %q, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestColdSpansLayout(t *testing.T) {
+	tr := newTestTracer(Config{SampleRate: 1}, 1)
+	r := tr.Begin(1, "fn", 0)
+	r.Attempt(1)
+	end := des.Time(500 * time.Millisecond)
+	r.ColdSpans(end,
+		Phase{StageColdPlacement, 10 * time.Millisecond},
+		Phase{StageColdImageFetch, 0}, // zero phases are skipped
+		Phase{StageColdSandboxBoot, 90 * time.Millisecond},
+	)
+	if len(r.spans) != 2 {
+		t.Fatalf("recorded %d cold spans, want 2 (zero phase skipped)", len(r.spans))
+	}
+	if got := r.spans[0]; got.Stage != StageColdPlacement || got.Start != end-des.Time(100*time.Millisecond) {
+		t.Fatalf("first cold span = %+v, want placement starting 100ms before end", got)
+	}
+	if got := r.spans[1]; got.Stage != StageColdSandboxBoot || got.Start+des.Time(got.Dur) != end {
+		t.Fatalf("last cold span = %+v, want sandbox-boot ending at %v", got, end)
+	}
+}
+
+func TestRecordConversion(t *testing.T) {
+	tr := newTestTracer(Config{SampleRate: 1}, 1)
+	start := des.Time(time.Second)
+	r := tr.Begin(41, "hello-py", start)
+	r.Mark(StageFrontend, 2*time.Millisecond, start+des.Time(2*time.Millisecond))
+	r.Attempt(1)
+	r.SetCold(true)
+	r.Mark(StageExec, 8*time.Millisecond, start+des.Time(10*time.Millisecond))
+	r.Attempt(0)
+	tr.End(r, start+des.Time(10*time.Millisecond), nil)
+
+	recs := tr.Drain()
+	if len(recs) != 1 {
+		t.Fatalf("drained %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.ID != 41 || rec.Fn != "hello-py" || !rec.Cold || rec.Slow {
+		t.Fatalf("record header = %+v", rec)
+	}
+	if rec.Attempts != 1 {
+		t.Fatalf("Attempts = %d, want 1", rec.Attempts)
+	}
+	if rec.Total() != 10*time.Millisecond {
+		t.Fatalf("Total() = %v, want 10ms", rec.Total())
+	}
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("converted record invalid: %v", err)
+	}
+	if rec.Spans[0].Stage != "frontend" || rec.Spans[0].Attempt != 0 {
+		t.Fatalf("span 0 = %+v", rec.Spans[0])
+	}
+	if rec.Spans[1].Stage != "exec" || rec.Spans[1].Attempt != 1 {
+		t.Fatalf("span 1 = %+v", rec.Spans[1])
+	}
+}
+
+func TestDrainSortedByStartThenID(t *testing.T) {
+	tr := newTestTracer(Config{SampleRate: 1}, 1)
+	// Insert out of start order.
+	for _, id := range []uint64{3, 1, 2} {
+		runReq(tr, id, des.Time(id)*des.Time(time.Second), time.Millisecond)
+	}
+	recs := tr.Drain()
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].StartNS > recs[i].StartNS {
+			t.Fatalf("drain not sorted by start: %+v", recs)
+		}
+	}
+}
+
+func TestStageNamesRoundTrip(t *testing.T) {
+	for s := Stage(0); s < numStages; s++ {
+		name := s.String()
+		if strings.HasPrefix(name, "stage(") {
+			t.Fatalf("stage %d has no name", s)
+		}
+		if got, ok := stageByName[name]; !ok || got != s {
+			t.Fatalf("stageByName[%q] = %v, %v; want %v", name, got, ok, s)
+		}
+		if want := strings.HasPrefix(name, "cold/"); s.Detail() != want {
+			t.Fatalf("stage %q Detail() = %v, want %v", name, s.Detail(), want)
+		}
+	}
+	if Stage(200).String() != "stage(200)" {
+		t.Fatalf("out-of-range stage String() = %q", Stage(200).String())
+	}
+}
