@@ -30,6 +30,7 @@ func cmdScale(args []string, stdout io.Writer) (err error) {
 	exec := fs.Duration("exec", 0, "function busy-spin time")
 	alpha := fs.Float64("alpha", 0, "sketch relative-accuracy target (0 = default 0.5%)")
 	exact := fs.Bool("exact", false, "record exact per-sample latencies (O(n) memory; small n only)")
+	engine := addEngineFlag(fs)
 	seed := fs.Int64("seed", 1, "random seed")
 	csvPath := fs.String("csv", "", "write the latency CDF as CSV")
 	savePath := fs.String("save", "", "save the merged sketch as a results file")
@@ -53,6 +54,10 @@ func cmdScale(args []string, stdout io.Writer) (err error) {
 		}
 		*provider = loaded
 	}
+	mode, err := engine.mode()
+	if err != nil {
+		return err
+	}
 
 	res, err := experiments.RunScale(experiments.ScaleOptions{
 		Provider:    *provider,
@@ -65,6 +70,7 @@ func cmdScale(args []string, stdout io.Writer) (err error) {
 		ExecTime:    *exec,
 		Alpha:       *alpha,
 		Exact:       *exact,
+		Engine:      mode,
 	})
 	if err != nil {
 		return err

@@ -32,6 +32,7 @@ func cmdTrace(args []string, stdout io.Writer) (err error) {
 	sample := fs.Float64("sample", 0.01, "head-sampling rate in [0,1]")
 	slowest := fs.Int("slowest", 64, "always retain the K slowest requests per shard (0 = off)")
 	ring := fs.Int("ring", 0, "per-shard trace ring capacity (0 = default 8192)")
+	engine := addEngineFlag(fs)
 	seed := fs.Int64("seed", 1, "random seed")
 	out := fs.String("out", "", "write retained traces as Chrome trace_event JSON")
 	attrib := fs.Bool("attrib", true, "print the per-stage tail-attribution report")
@@ -56,6 +57,10 @@ func cmdTrace(args []string, stdout io.Writer) (err error) {
 		}
 		*provider = loaded
 	}
+	mode, err := engine.mode()
+	if err != nil {
+		return err
+	}
 
 	res, err := experiments.RunTrace(experiments.TraceOptions{
 		Provider:    *provider,
@@ -71,6 +76,7 @@ func cmdTrace(args []string, stdout io.Writer) (err error) {
 			SlowestK:     *slowest,
 			RingCapacity: *ring,
 		},
+		Engine: mode,
 	})
 	if err != nil {
 		return err

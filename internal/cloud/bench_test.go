@@ -109,3 +109,46 @@ func BenchmarkBurst100(b *testing.B) {
 		eng.Close()
 	}
 }
+
+// BenchmarkWarmInvokeCallback measures the callback fast path per warm
+// invocation: the straight-line Call chain with zero goroutine switches
+// and, in steady state, zero allocations.
+func BenchmarkWarmInvokeCallback(b *testing.B) {
+	eng := des.NewEngine()
+	defer eng.Close()
+	c, err := New(eng, testConfig(), dist.NewStreams(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Deploy(FunctionSpec{Name: "f", Runtime: RuntimePython, Method: DeployZIP}); err != nil {
+		b.Fatal(err)
+	}
+	c.SetEngineMode(EngineCallback)
+	req := &Request{Fn: "f"}
+	remaining := b.N
+	var done func(*Response, error)
+	done = func(_ *Response, err error) {
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		remaining--
+		if remaining > 0 {
+			c.InvokeAsync(req, done)
+		}
+	}
+	// Warm-up outside the timer: pay the cold start and prime the pools.
+	warm := make(chan struct{})
+	c.InvokeAsync(req, func(_ *Response, err error) {
+		if err != nil {
+			b.Error(err)
+		}
+		close(warm)
+	})
+	eng.Run(0)
+	<-warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	c.InvokeAsync(req, done)
+	eng.Run(0)
+}

@@ -105,6 +105,12 @@ type Cloud struct {
 	instanceSeq int
 	payloadSeq  int
 
+	// mode selects InvokeAsync's execution form (see engine_mode.go);
+	// wcFree is the callback-record free list behind its zero-alloc fast
+	// path (see asyncinvoke.go).
+	mode   EngineMode
+	wcFree *warmCall
+
 	// latRec, when set, receives every successful external invocation's
 	// client-observed latency as it completes (the Recorder seam; see
 	// ARCHITECTURE.md). nil keeps the hot path untouched.

@@ -23,6 +23,9 @@ type Instance struct {
 	keepAlive     des.Timer
 	createdAt     des.Time
 	coldBreakdown ColdBreakdown
+	// expireFn is the keep-alive expiry closure, bound once at creation so
+	// parking an instance idle never allocates.
+	expireFn func()
 }
 
 // ID returns the instance's unique identifier.
@@ -31,12 +34,27 @@ func (i *Instance) ID() int { return i.id }
 // Served returns the number of invocations this instance has processed.
 func (i *Instance) Served() uint64 { return i.served }
 
-// pendingReq is a buffered invocation waiting for an instance grant.
+// pendingReq is a buffered invocation waiting for an instance grant. The
+// waiting party is either a parked proc (sig) or a callback-form record
+// (wc); exactly one is set.
 type pendingReq struct {
 	sig      *des.Signal
+	wc       *warmCall
 	inst     *Instance
 	handoff  bool // granted a recycled instance (queue dispatch)
 	enqueued des.Time
+}
+
+// notify wakes the buffered request's owner after a grant: the callback
+// record when the request came in through the fast path, the waiting proc
+// otherwise. Both schedule exactly one resume event at the present
+// instant, so the two forms stay schedule-identical.
+func (pr *pendingReq) notify() {
+	if pr.wc != nil {
+		pr.wc.grantNotify()
+		return
+	}
+	pr.sig.Fire()
 }
 
 // Function is the load balancer's and scheduler's view of one deployed
@@ -123,7 +141,7 @@ func (fn *Function) grant(inst *Instance, handoff bool) {
 	inst.state = stateBusy
 	pr.inst = inst
 	pr.handoff = handoff
-	pr.sig.Fire()
+	pr.notify()
 }
 
 // dropBuffered removes a timed-out request from the buffer. A no-op when
@@ -145,7 +163,7 @@ func (fn *Function) parkIdle(inst *Instance) {
 	if life <= 0 {
 		life = fn.c.cfg.KeepAlive.Dist.Sample(fn.c.rngSched)
 	}
-	inst.keepAlive = fn.c.eng.After(life, func() { fn.expire(inst) })
+	inst.keepAlive = fn.c.eng.After(life, inst.expireFn)
 }
 
 // destroy removes a crashed instance immediately.
@@ -354,6 +372,7 @@ func (fn *Function) spawnOne() {
 			createdAt:     p.Now(),
 			coldBreakdown: cb,
 		}
+		inst.expireFn = func() { fn.expire(inst) }
 		fn.live[inst.id] = inst
 		w.Spawned++
 		c.noteInstanceDelta(1)

@@ -149,3 +149,26 @@ func BenchmarkResourceContention(b *testing.B) {
 	b.ResetTimer()
 	e.Run(0)
 }
+
+// BenchmarkCallbackChain measures a self-rescheduling callback chain — the
+// execution form of the warm-invoke fast path: one reused callback value,
+// no timer handle, no process switch, front-cache hit on every hop.
+func BenchmarkCallbackChain(b *testing.B) {
+	e := NewEngine()
+	defer e.Close()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			e.CallAfter(time.Microsecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Call(tick)
+	e.Run(0)
+	if count != b.N {
+		b.Fatalf("fired %d of %d", count, b.N)
+	}
+}

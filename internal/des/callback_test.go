@@ -1,0 +1,446 @@
+package des
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCallOrdering pins the callback API's contract: Call runs at the
+// current instant after already scheduled same-instant events, CallAt clamps
+// past timestamps to now, and CallAfter clamps negative delays.
+func TestCallOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	log := func(s string) func() { return func() { order = append(order, s) } }
+	e.CallAt(2*time.Millisecond, func() {
+		order = append(order, "t2")
+		e.Call(log("t2/call"))
+		e.CallAt(time.Millisecond, log("t2/past")) // clamped to now
+		e.CallAfter(-time.Second, log("t2/neg"))   // clamped to now
+		e.CallAfter(time.Millisecond, log("t3"))   // strictly later
+		e.Call(log("t2/call2"))                    // after the clamped ones
+	})
+	e.Call(log("t0"))
+	e.Run(0)
+	want := "t0,t2,t2/call,t2/past,t2/neg,t2/call2,t3"
+	if got := strings.Join(order, ","); got != want {
+		t.Fatalf("order = %s, want %s", got, want)
+	}
+	if e.Now() != 3*time.Millisecond {
+		t.Fatalf("clock = %v, want 3ms", e.Now())
+	}
+}
+
+// TestSameInstantSeqStability is the heap tie-break satellite: events tied
+// on a timestamp drain strictly in sequence-number order, and sequence
+// numbers are drawn at well-defined points — callbacks and timers at their
+// scheduling call, process resumes at the Sleep that parks them. The
+// callback-form invoke pipeline's byte-identical-output guarantee rests on
+// exactly this assignment discipline.
+func TestSameInstantSeqStability(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	var order []int
+	at := 5 * time.Millisecond
+	for i := 0; i < 30; i++ {
+		i := i
+		switch i % 3 {
+		case 0:
+			e.CallAt(at, func() { order = append(order, i) })
+		case 1:
+			e.At(at, func() { order = append(order, i) })
+		case 2:
+			e.Spawn("tie", func(p *Proc) {
+				p.Sleep(at - e.Now())
+				order = append(order, i)
+			})
+		}
+	}
+	e.Run(0)
+	// Callbacks and timers drew their seq at the loop above (time 0, before
+	// any spawn body ran); each proc drew its resume seq at its Sleep call,
+	// which happened later — at time 0 in spawn order. So the tied instant
+	// drains the callback/timer ids in schedule order, then the proc ids in
+	// spawn order.
+	var want []int
+	for i := 0; i < 30; i++ {
+		if i%3 != 2 {
+			want = append(want, i)
+		}
+	}
+	for i := 2; i < 30; i += 3 {
+		want = append(want, i)
+	}
+	if len(order) != len(want) {
+		t.Fatalf("fired %d of %d", len(order), len(want))
+	}
+	for i, v := range order {
+		if v != want[i] {
+			t.Fatalf("same-instant mixed events out of seq order:\ngot  %v\nwant %v", order, want)
+		}
+	}
+}
+
+// TestFrontCacheEvictionByTimer covers the enqueue invariant: a chain-
+// scheduled callback parks in the front cache, and a cancelable timer
+// scheduled earlier must evict it back to the heap — and still be
+// cancelable afterwards.
+func TestFrontCacheEvictionByTimer(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	var timer Timer
+	e.Call(func() {
+		// Successor 10ms out: parks in the front cache (heap empty).
+		e.CallAfter(10*time.Millisecond, func() { order = append(order, "chain") })
+		if e.PendingEvents() != 1 {
+			t.Fatalf("PendingEvents = %d, want 1 (cached)", e.PendingEvents())
+		}
+		// Earlier cancelable timer: evicts the cached event into the heap.
+		timer = e.After(5*time.Millisecond, func() { order = append(order, "timer") })
+		if !timer.Pending() {
+			t.Fatal("timer not pending after arming")
+		}
+	})
+	e.Run(0)
+	if got := strings.Join(order, ","); got != "timer,chain" {
+		t.Fatalf("order = %s, want timer,chain", got)
+	}
+	if timer.Cancel() {
+		t.Fatal("Cancel of a fired timer reported true")
+	}
+
+	// Same shape, but the timer is canceled before it fires: only the
+	// (evicted, re-heaped) chain event must run.
+	e2 := NewEngine()
+	order = nil
+	e2.Call(func() {
+		e2.CallAfter(10*time.Millisecond, func() { order = append(order, "chain") })
+		tm := e2.After(5*time.Millisecond, func() { order = append(order, "timer") })
+		e2.Call(func() {
+			if !tm.Cancel() {
+				t.Error("Cancel of a pending evicting timer reported false")
+			}
+		})
+	})
+	e2.Run(0)
+	if got := strings.Join(order, ","); got != "chain" {
+		t.Fatalf("order after cancel = %s, want chain", got)
+	}
+}
+
+// TestTimerCancelRacesSameInstantFire covers the cancel-vs-fire race at one
+// instant: a timer's callback canceling a second timer scheduled for the
+// same instant must win (the second never fires), while canceling a timer
+// that already fired this instant must report false — the exact race the
+// queue-timeout grant path depends on.
+func TestTimerCancelRacesSameInstantFire(t *testing.T) {
+	e := NewEngine()
+	at := 3 * time.Millisecond
+	fired := make([]bool, 2)
+	var second Timer
+	e.At(at, func() {
+		fired[0] = true
+		if !second.Cancel() {
+			t.Error("cancel of same-instant later timer reported false")
+		}
+		if second.Pending() {
+			t.Error("canceled timer still pending")
+		}
+	})
+	second = e.At(at, func() { fired[1] = true })
+	e.Run(0)
+	if !fired[0] || fired[1] {
+		t.Fatalf("fired = %v, want [true false]", fired)
+	}
+
+	// Reverse race: the later timer tries to cancel the earlier one, which
+	// fired at this same instant already.
+	e2 := NewEngine()
+	var first Timer
+	firstFired := false
+	first = e2.At(at, func() { firstFired = true })
+	e2.At(at, func() {
+		if first.Cancel() {
+			t.Error("cancel of an already fired same-instant timer reported true")
+		}
+	})
+	e2.Run(0)
+	if !firstFired {
+		t.Fatal("first timer did not fire")
+	}
+}
+
+// TestRingWraparoundAtCapacity covers the FIFO ring at its capacity
+// boundaries: wrapped head, growth while wrapped, removal across the wrap
+// seam, and reuse after clear.
+func TestRingWraparoundAtCapacity(t *testing.T) {
+	var r ring[int]
+	// Fill to the initial capacity of 8.
+	for i := 0; i < 8; i++ {
+		r.push(i)
+	}
+	if len(r.buf) != 8 || r.len() != 8 {
+		t.Fatalf("cap=%d len=%d after 8 pushes, want 8/8", len(r.buf), r.len())
+	}
+	// Drain three, refill three: head wraps, no growth.
+	for i := 0; i < 3; i++ {
+		if got := r.popFront(); got != i {
+			t.Fatalf("popFront = %d, want %d", got, i)
+		}
+	}
+	for i := 8; i < 11; i++ {
+		r.push(i)
+	}
+	if len(r.buf) != 8 {
+		t.Fatalf("ring grew to %d while wrapping at capacity", len(r.buf))
+	}
+	if got := r.at(0); got != 3 {
+		t.Fatalf("at(0) = %d after wrap, want 3", got)
+	}
+	// removeFunc across the wrap seam (element 9 lives in a wrapped slot).
+	if !r.removeFunc(func(v int) bool { return v == 9 }) {
+		t.Fatal("removeFunc missed an element across the wrap seam")
+	}
+	if r.removeFunc(func(v int) bool { return v == 99 }) {
+		t.Fatal("removeFunc removed a non-existent element")
+	}
+	// Push past capacity while wrapped: grow must re-linearize FIFO order.
+	for i := 11; i < 16; i++ {
+		r.push(i)
+	}
+	if len(r.buf) != 16 {
+		t.Fatalf("cap=%d after growth, want 16", len(r.buf))
+	}
+	want := []int{3, 4, 5, 6, 7, 8, 10, 11, 12, 13, 14, 15}
+	for _, w := range want {
+		if got := r.popFront(); got != w {
+			t.Fatalf("popFront = %d, want %d (FIFO broken across grow)", got, w)
+		}
+	}
+	if r.len() != 0 {
+		t.Fatalf("len = %d after drain, want 0", r.len())
+	}
+	// clear and reuse.
+	r.push(42)
+	r.clear()
+	if r.len() != 0 || r.head != 0 {
+		t.Fatalf("len=%d head=%d after clear, want 0/0", r.len(), r.head)
+	}
+	r.push(7)
+	if got := r.popFront(); got != 7 {
+		t.Fatalf("popFront = %d after clear/reuse, want 7", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("popFront on empty ring did not panic")
+		}
+	}()
+	r.popFront()
+}
+
+// TestAllocFreeCallChain verifies the callback API's allocation contract:
+// a chain of reused callback values schedules and dispatches with zero
+// allocations — the property the warm-invoke fast path is built on.
+func TestAllocFreeCallChain(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count%4 == 0 {
+			return
+		}
+		e.CallAfter(time.Microsecond, tick)
+	}
+	e.Call(tick)
+	e.Run(0) // warm the heap and cache
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Call(tick)
+		e.Run(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("callback chain allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestSyncAccessors pins the small observability surface the cloud model
+// reads: Signal.Fired, Resource.TotalAcquires, Queue.Len/MaxLen/TryGet.
+func TestSyncAccessors(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	s := NewSignal(e)
+	r := NewResource(e, 1)
+	q := NewQueue[int](e)
+	if s.Fired() {
+		t.Fatal("new signal reports fired")
+	}
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue reported ok")
+	}
+	e.Spawn("acc", func(p *Proc) {
+		p.Acquire(r)
+		q.Put(1)
+		q.Put(2)
+		if q.Len() != 2 || q.MaxLen() != 2 {
+			t.Errorf("Len=%d MaxLen=%d, want 2/2", q.Len(), q.MaxLen())
+		}
+		if v, ok := q.TryGet(); !ok || v != 1 {
+			t.Errorf("TryGet = %d,%v, want 1,true", v, ok)
+		}
+		s.Fire()
+		r.Release()
+	})
+	e.Run(0)
+	if !s.Fired() {
+		t.Fatal("signal not fired")
+	}
+	if r.TotalAcquires() != 1 {
+		t.Fatalf("TotalAcquires = %d, want 1", r.TotalAcquires())
+	}
+	if q.MaxLen() != 2 {
+		t.Fatalf("MaxLen = %d after drain, want 2", q.MaxLen())
+	}
+}
+
+// TestRealTimeRunPacesWallClock covers the test-mode real-time Run path
+// (waitWall): with an aggressive time scale the run completes quickly but
+// must still deliver events in order with the clock advanced.
+func TestRealTimeRunPacesWallClock(t *testing.T) {
+	e := NewRealTimeEngine(1e6) // 1µs wall per virtual second
+	defer e.Close()
+	var order []int
+	e.At(time.Second, func() { order = append(order, 1) })
+	e.At(2*time.Second, func() { order = append(order, 2) })
+	e.Run(0)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("real-time order = %v", order)
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("clock = %v, want 2s", e.Now())
+	}
+}
+
+// --- differential fuzz: proc form vs callback form ---------------------------
+
+// fuzzChain is one request-shaped schedule unit: a start offset, a sequence
+// of stage delays, and an optional cancelable timer armed at the first stage
+// and canceled at the last (the keep-alive/queue-timeout pattern).
+type fuzzChain struct {
+	steps []Time
+	timer Time // 0 = no timer
+}
+
+// parseFuzzChains decodes fuzz bytes into a bounded schedule: up to 12
+// chains of up to 5 stages, with delays quantized to 50µs so zero-delay ties
+// are common — ties are where ordering bugs live.
+func parseFuzzChains(data []byte) []fuzzChain {
+	var chains []fuzzChain
+	for len(data) >= 2 && len(chains) < 12 {
+		n := 1 + int(data[0]%5)
+		var c fuzzChain
+		if data[1]%3 == 0 {
+			c.timer = Time(1+data[1]%7) * 50 * time.Microsecond
+		}
+		data = data[2:]
+		for i := 0; i < n && len(data) > 0; i++ {
+			c.steps = append(c.steps, Time(data[0]%8)*50*time.Microsecond)
+			data = data[1:]
+		}
+		if len(c.steps) > 0 {
+			chains = append(chains, c)
+		}
+	}
+	return chains
+}
+
+// runFuzzProcForm executes the schedule with one goroutine process per
+// chain: Spawn consumes one sequence number for the first resume, each
+// Sleep one more — the exact budget of the callback form below.
+func runFuzzProcForm(chains []fuzzChain) []string {
+	e := NewEngine()
+	defer e.Close()
+	var log []string
+	for i, c := range chains {
+		i, c := i, c
+		e.Spawn("chain", func(p *Proc) {
+			var tm Timer
+			if c.timer > 0 {
+				tm = e.After(c.timer, func() {
+					log = append(log, fmt.Sprintf("c%d timer @%v", i, e.Now()))
+				})
+			}
+			for k, d := range c.steps {
+				p.Sleep(d)
+				log = append(log, fmt.Sprintf("c%d s%d @%v", i, k, e.Now()))
+			}
+			tm.Cancel()
+		})
+	}
+	e.Run(0)
+	return log
+}
+
+// runFuzzCallbackForm executes the same schedule as straight-line callback
+// chains: Call consumes the Spawn-resume's sequence number, each CallAfter a
+// Sleep's. If the two forms ever consume sequence numbers differently, tied
+// timestamps drain in a different order and the logs diverge.
+func runFuzzCallbackForm(chains []fuzzChain) []string {
+	e := NewEngine()
+	defer e.Close()
+	var log []string
+	for i, c := range chains {
+		i, c := i, c
+		var tm Timer
+		var step func(k int)
+		step = func(k int) {
+			log = append(log, fmt.Sprintf("c%d s%d @%v", i, k, e.Now()))
+			if k+1 < len(c.steps) {
+				e.CallAfter(c.steps[k+1], func() { step(k + 1) })
+			} else {
+				tm.Cancel()
+			}
+		}
+		e.Call(func() {
+			if c.timer > 0 {
+				tm = e.After(c.timer, func() {
+					log = append(log, fmt.Sprintf("c%d timer @%v", i, e.Now()))
+				})
+			}
+			e.CallAfter(c.steps[0], func() { step(0) })
+		})
+	}
+	e.Run(0)
+	return log
+}
+
+// FuzzCallbackSchedule is the engine-level differential harness behind the
+// two-execution-forms contract: any schedule expressed as both goroutine
+// processes and callback chains must produce the identical global execution
+// order, including timer fire/cancel races at tied instants.
+func FuzzCallbackSchedule(f *testing.F) {
+	f.Add([]byte{1, 0, 0})                                  // single zero-delay step
+	f.Add([]byte{4, 3, 0, 0, 0, 0, 4, 3, 0, 0, 0, 0})       // two tied chains with timers
+	f.Add([]byte{2, 1, 3, 5, 3, 0, 1, 2, 7, 2, 6, 1, 4, 2}) // mixed delays
+	f.Add([]byte{5, 6, 1, 1, 1, 1, 1, 1, 6, 2, 2, 3})       // timer racing mid-chain
+	f.Add([]byte{3, 0, 7, 7, 7, 3, 0, 7, 7, 7, 3, 0, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		chains := parseFuzzChains(data)
+		if len(chains) == 0 {
+			t.Skip()
+		}
+		proc := runFuzzProcForm(chains)
+		cb := runFuzzCallbackForm(chains)
+		if len(proc) != len(cb) {
+			t.Fatalf("forms fired different event counts: proc=%d callback=%d\nproc: %v\ncallback: %v",
+				len(proc), len(cb), proc, cb)
+		}
+		for i := range proc {
+			if proc[i] != cb[i] {
+				t.Fatalf("execution order diverged at %d:\nproc:     %v\ncallback: %v", i, proc, cb)
+			}
+		}
+	})
+}

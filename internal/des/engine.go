@@ -118,6 +118,19 @@ type Engine struct {
 	handles     []timerHandle
 	freeHandles []int32
 
+	// next is a one-event front cache: when a virtual-time event schedules
+	// its successor and that successor precedes everything in the heap, it
+	// parks here and the dispatch loop takes it back without any heap
+	// traffic. Straight-line event chains — a callback-form warm invocation,
+	// a process sleeping through consecutive pipeline stages — are exactly
+	// this pattern, so the cache removes a push/sift/pop/sift round per
+	// chain hop. Invariant: when hasNext is set, next precedes every heap
+	// event in (at, seq) order. Only uncancelable events are cached (timer
+	// handles track heap indices); real-time mode bypasses the cache
+	// because its run loop peeks the heap root for wall pacing.
+	next    event
+	hasNext bool
+
 	// mainWake returns the control token to the run loop (Run, RunRealTime,
 	// or Close) when a process exits, is killed, or parks at the horizon.
 	mainWake chan struct{}
@@ -283,13 +296,63 @@ func (e *Engine) removeAt(i int) {
 
 // --- scheduling -------------------------------------------------------------
 
+// eventBefore orders two events by (at, seq).
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// enqueue places a freshly sequenced event into the schedule: the front
+// cache when it precedes everything pending, the heap otherwise. Cancelable
+// timers always live in the heap (their handles track heap indices), which
+// may require evicting a cached event that no longer holds the minimum.
+func (e *Engine) enqueue(ev event) {
+	if e.realTime || ev.hid >= 0 {
+		if e.hasNext && eventBefore(&ev, &e.next) {
+			e.push(e.next)
+			e.next = event{}
+			e.hasNext = false
+		}
+		e.push(ev)
+		return
+	}
+	if !e.hasNext {
+		if len(e.events) == 0 || eventBefore(&ev, &e.events[0]) {
+			e.next, e.hasNext = ev, true
+		} else {
+			e.push(ev)
+		}
+		return
+	}
+	if eventBefore(&ev, &e.next) {
+		e.push(e.next)
+		e.next = ev
+	} else {
+		e.push(ev)
+	}
+}
+
+// popNext removes and returns the minimum pending event: the front cache
+// when occupied (the invariant makes it the minimum), else the heap root.
+func (e *Engine) popNext() event {
+	if e.hasNext {
+		ev := e.next
+		e.next = event{}
+		e.hasNext = false
+		return ev
+	}
+	return e.pop()
+}
+
 // schedule registers fn to run at time at (>= now).
 func (e *Engine) schedule(at Time, fn func()) {
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
-	e.push(event{at: at, seq: e.seq, fn: fn, hid: -1})
+	e.enqueue(event{at: at, seq: e.seq, fn: fn, hid: -1})
 }
 
 // scheduleProc registers a process resume at time at (>= now). This is the
@@ -299,7 +362,7 @@ func (e *Engine) scheduleProc(at Time, p *Proc) {
 		at = e.now
 	}
 	e.seq++
-	e.push(event{at: at, seq: e.seq, proc: p, hid: -1})
+	e.enqueue(event{at: at, seq: e.seq, proc: p, hid: -1})
 }
 
 // scheduleTimer registers a cancelable callback, drawing a handle slot from
@@ -317,8 +380,8 @@ func (e *Engine) scheduleTimer(at Time, fn func()) Timer {
 		e.handles = append(e.handles, timerHandle{})
 	}
 	e.seq++
-	e.push(event{at: at, seq: e.seq, fn: fn, hid: id})
-	// push recorded the heap index via noteIdx.
+	e.enqueue(event{at: at, seq: e.seq, fn: fn, hid: id})
+	// enqueue placed the timer in the heap and recorded its index via noteIdx.
 	return Timer{eng: e, id: id, gen: e.handles[id].gen}
 }
 
@@ -333,12 +396,36 @@ func (e *Engine) After(d time.Duration, fn func()) Timer {
 	return e.scheduleTimer(e.now+d, fn)
 }
 
+// Call schedules fn to run at the current virtual instant, after events
+// already scheduled for this instant. It is the uncancelable, zero-
+// bookkeeping counterpart of After(0, fn): no timer handle is drawn, and a
+// reused fn value (a stored method value or pre-built closure) makes the
+// call allocation-free. Callback events share the engine's sequence counter
+// with process resumes, so a callback chain and a process performing the
+// same schedule drain in the identical order, including at timestamp ties.
+// Must be called from simulation context.
+func (e *Engine) Call(fn func()) { e.schedule(e.now, fn) }
+
+// CallAt schedules fn as an uncancelable callback at the given virtual
+// time (clamped to now). See Call for the ordering and allocation contract.
+func (e *Engine) CallAt(at Time, fn func()) { e.schedule(at, fn) }
+
+// CallAfter schedules fn as an uncancelable callback d from now. Negative
+// durations are treated as zero. See Call for the ordering and allocation
+// contract; this is the primitive behind the callback-form warm-invoke
+// fast path, where each pipeline stage schedules its successor.
+func (e *Engine) CallAfter(d time.Duration, fn func()) { e.schedule(e.now+d, fn) }
+
 // errKilled is the sentinel used to unwind killed processes.
 var errKilled = errors.New("des: process killed")
 
 // atHorizon reports whether dispatch must stop: no events remain, or the
-// next event lies beyond the active run's bound.
+// next event lies beyond the active run's bound. The front cache, when
+// occupied, holds the minimum pending event, so it alone decides.
 func (e *Engine) atHorizon() bool {
+	if e.hasNext {
+		return e.until != 0 && e.next.at > e.until
+	}
 	return len(e.events) == 0 || (e.until != 0 && e.events[0].at > e.until)
 }
 
@@ -354,7 +441,7 @@ func (e *Engine) atHorizon() bool {
 func (e *Engine) Run(until Time) {
 	e.until = until
 	for !e.atHorizon() {
-		ev := e.pop()
+		ev := e.popNext()
 		if e.realTime {
 			e.waitWall(ev.at)
 			e.drainInjected()
@@ -383,7 +470,7 @@ func (e *Engine) dispatchFrom(p *Proc) bool {
 			e.mainWake <- struct{}{}
 			return false
 		}
-		ev := e.pop()
+		ev := e.popNext()
 		e.now = ev.at
 		if ev.proc == nil {
 			ev.fn()
@@ -410,7 +497,7 @@ func (e *Engine) dispatchOnExit(exited *Proc) bool {
 			e.mainWake <- struct{}{}
 			return false
 		}
-		ev := e.pop()
+		ev := e.popNext()
 		e.now = ev.at
 		if ev.proc == nil {
 			ev.fn()
@@ -570,11 +657,20 @@ func (e *Engine) Close() {
 	}
 	e.pool = nil
 	e.events = nil
+	e.next = event{}
+	e.hasNext = false
 	e.handles = nil
 	e.freeHandles = nil
 }
 
-// PendingEvents reports the number of scheduled events. Canceled timers are
-// removed from the schedule immediately, so this count stays bounded under
-// timer churn (WaitTimeout cancel/fire cycles).
-func (e *Engine) PendingEvents() int { return len(e.events) }
+// PendingEvents reports the number of scheduled events (including the
+// front-cached one). Canceled timers are removed from the schedule
+// immediately, so this count stays bounded under timer churn (WaitTimeout
+// cancel/fire cycles).
+func (e *Engine) PendingEvents() int {
+	n := len(e.events)
+	if e.hasNext {
+		n++
+	}
+	return n
+}

@@ -49,6 +49,11 @@ type FaultsOptions struct {
 	// faults.Config.Scaled). The zero value defaults to full-strength
 	// drops plus half-strength spawn failures.
 	Modes faults.Config
+	// Engine selects the invocation execution form. The resilient-client
+	// sweep always drives invocations from retry/hedge procs, so both
+	// settings run the proc pipeline and outputs are byte-identical; the
+	// knob exists so differential runs can assert exactly that.
+	Engine cloud.EngineMode
 }
 
 func (o FaultsOptions) normalized() FaultsOptions {
@@ -267,6 +272,7 @@ func runFaultsShard(opts FaultsOptions, rate float64, pol faults.Policy, shardId
 	}
 	defer e.close()
 	c := e.cloud
+	c.SetEngineMode(opts.Engine)
 	if err := c.Deploy(cloud.FunctionSpec{
 		Name:     "faults",
 		Runtime:  cloud.RuntimePython,

@@ -44,6 +44,11 @@ type ScaleOptions struct {
 	// sketches: O(n) memory, for debugging and accuracy cross-checks at
 	// small n.
 	Exact bool
+	// Engine selects the invocation execution form. The default (auto)
+	// runs arrivals and warm invocations as engine callbacks — the series'
+	// throughput mode — while proc forces the goroutine-per-request form.
+	// Results are byte-identical either way (TestEngineFormsEquivalent).
+	Engine cloud.EngineMode
 }
 
 func (o ScaleOptions) normalized() ScaleOptions {
@@ -199,30 +204,61 @@ func runScaleShard(opts ScaleOptions, sh runner.Shard) (*scaleShard, error) {
 		return nil, fmt.Errorf("scale shard %d: %w", sh.Index, err)
 	}
 	c.SetLatencyRecorder(out.rec)
+	c.SetEngineMode(opts.Engine)
 
 	req := &cloud.Request{Fn: "scale"}
-	invoke := func(p *des.Proc) {
-		if _, err := c.Invoke(p, req); err != nil {
-			out.errors++
-		}
-	}
 	eng := e.eng
-	eng.Spawn("scale/arrivals", func(p *des.Proc) {
+	if opts.Engine == cloud.EngineProc {
+		// Proc form: one goroutine process per request, one for arrivals.
+		invoke := func(p *des.Proc) {
+			if _, err := c.Invoke(p, req); err != nil {
+				out.errors++
+			}
+		}
+		eng.Spawn("scale/arrivals", func(p *des.Proc) {
+			remaining := n
+			for remaining > 0 {
+				burst := uint64(opts.Burst)
+				if burst > remaining {
+					burst = remaining
+				}
+				for j := uint64(0); j < burst; j++ {
+					eng.Spawn("scale/req", invoke)
+				}
+				remaining -= burst
+				if remaining > 0 {
+					p.Sleep(opts.IAT)
+				}
+			}
+		})
+	} else {
+		// Callback form: the arrival loop is a self-rescheduling event
+		// callback and each request a callback chain — zero goroutine
+		// switches on the warm path. Event-for-event equivalent to the
+		// proc loop above: one event per arrival tick, one per request
+		// start, in the same scheduling sequence order.
+		done := func(_ *cloud.Response, err error) {
+			if err != nil {
+				out.errors++
+			}
+		}
 		remaining := n
-		for remaining > 0 {
+		var arrive func()
+		arrive = func() {
 			burst := uint64(opts.Burst)
 			if burst > remaining {
 				burst = remaining
 			}
 			for j := uint64(0); j < burst; j++ {
-				eng.Spawn("scale/req", invoke)
+				c.InvokeAsync(req, done)
 			}
 			remaining -= burst
 			if remaining > 0 {
-				p.Sleep(opts.IAT)
+				eng.CallAfter(opts.IAT, arrive)
 			}
 		}
-	})
+		eng.Call(arrive)
+	}
 	eng.Run(0)
 
 	out.colds = c.Metrics().ColdServed

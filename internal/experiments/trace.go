@@ -40,6 +40,11 @@ type TraceOptions struct {
 	ExecTime time.Duration
 	// Trace configures the per-shard sampler (rate, slowest-K, ring bound).
 	Trace trace.Config
+	// Engine selects the invocation execution form. With a tracer
+	// installed every request falls back to the proc form regardless, so
+	// this knob only swaps the arrival loop's shape; outputs are
+	// byte-identical (TestEngineFormsEquivalent).
+	Engine cloud.EngineMode
 }
 
 func (o TraceOptions) normalized() TraceOptions {
@@ -189,29 +194,57 @@ func runTraceShard(opts TraceOptions, sh runner.Shard) (*traceShard, error) {
 	tr := trace.New(opts.Trace, dist.NewStreams(sh.Seed).Stream(opts.Provider+"/trace"))
 	c.SetTracer(tr)
 
+	c.SetEngineMode(opts.Engine)
 	req := &cloud.Request{Fn: "trace"}
-	invoke := func(p *des.Proc) {
-		if _, err := c.Invoke(p, req); err != nil {
-			out.errors++
-		}
-	}
 	eng := e.eng
-	eng.Spawn("trace/arrivals", func(p *des.Proc) {
+	if opts.Engine == cloud.EngineProc {
+		invoke := func(p *des.Proc) {
+			if _, err := c.Invoke(p, req); err != nil {
+				out.errors++
+			}
+		}
+		eng.Spawn("trace/arrivals", func(p *des.Proc) {
+			remaining := n
+			for remaining > 0 {
+				burst := uint64(opts.Burst)
+				if burst > remaining {
+					burst = remaining
+				}
+				for j := uint64(0); j < burst; j++ {
+					eng.Spawn("trace/req", invoke)
+				}
+				remaining -= burst
+				if remaining > 0 {
+					p.Sleep(opts.IAT)
+				}
+			}
+		})
+	} else {
+		// Callback-form arrivals; the installed tracer makes InvokeAsync
+		// fall back to a proc per request, exercising exactly the
+		// fallback seam the two-forms contract depends on.
+		done := func(_ *cloud.Response, err error) {
+			if err != nil {
+				out.errors++
+			}
+		}
 		remaining := n
-		for remaining > 0 {
+		var arrive func()
+		arrive = func() {
 			burst := uint64(opts.Burst)
 			if burst > remaining {
 				burst = remaining
 			}
 			for j := uint64(0); j < burst; j++ {
-				eng.Spawn("trace/req", invoke)
+				c.InvokeAsync(req, done)
 			}
 			remaining -= burst
 			if remaining > 0 {
-				p.Sleep(opts.IAT)
+				eng.CallAfter(opts.IAT, arrive)
 			}
 		}
-	})
+		eng.Call(arrive)
+	}
 	eng.Run(0)
 
 	out.colds = c.Metrics().ColdServed
