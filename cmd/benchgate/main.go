@@ -6,6 +6,11 @@
 // Usage:
 //
 //	benchgate -old BENCH_BASELINE.txt -new bench.txt [-max-regress 15] [-allocs-only]
+//	          [-alloc-budget BenchmarkStressClient=2 ...]
+//
+// -alloc-budget is repeatable and enforces an absolute allocs/op ceiling on
+// the candidate run, independent of the baseline: a budgeted benchmark that
+// is missing, lacks -benchmem data, or exceeds its ceiling fails the gate.
 //
 // Exit status 0 when all gates pass, 1 on regression or error.
 package main
@@ -14,9 +19,35 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"github.com/stellar-repro/stellar/internal/benchcmp"
 )
+
+// budgetFlag collects repeatable Name=N allocation budgets.
+type budgetFlag map[string]float64
+
+func (b budgetFlag) String() string {
+	parts := make([]string, 0, len(b))
+	for name, v := range b {
+		parts = append(parts, fmt.Sprintf("%s=%g", name, v))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (b budgetFlag) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want Name=N, got %q", s)
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil || v < 0 {
+		return fmt.Errorf("bad budget %q: want a non-negative number", val)
+	}
+	b[name] = v
+	return nil
+}
 
 func main() {
 	oldPath := flag.String("old", "", "baseline benchmark output file")
@@ -24,14 +55,17 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 15, "allowed geomean ns/op slowdown in percent")
 	allocsOnly := flag.Bool("allocs-only", false,
 		"only enforce the zero-alloc gate (for baselines recorded on different hardware)")
+	budgets := budgetFlag{}
+	flag.Var(budgets, "alloc-budget",
+		"absolute allocs/op ceiling as Name=N, repeatable (checked against -new)")
 	flag.Parse()
-	if err := run(*oldPath, *newPath, *maxRegress, *allocsOnly); err != nil {
+	if err := run(*oldPath, *newPath, *maxRegress, *allocsOnly, budgets); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(oldPath, newPath string, maxRegress float64, allocsOnly bool) error {
+func run(oldPath, newPath string, maxRegress float64, allocsOnly bool, budgets map[string]float64) error {
 	if oldPath == "" || newPath == "" {
 		return fmt.Errorf("-old and -new are both required")
 	}
@@ -53,6 +87,11 @@ func run(oldPath, newPath string, maxRegress float64, allocsOnly bool) error {
 	}
 	if err := cmp.Gate(maxRegress); err != nil {
 		return err
+	}
+	if len(budgets) > 0 {
+		if err := benchcmp.GateBudgets(new, budgets); err != nil {
+			return err
+		}
 	}
 	fmt.Println("benchgate: all gates passed")
 	return nil

@@ -190,6 +190,39 @@ func (c *Comparison) Gate(maxRegressPct float64) error {
 	return nil
 }
 
+// GateBudgets enforces absolute allocation budgets on a benchmark set:
+// budgets maps a benchmark name to its maximum allowed allocs/op. Unlike
+// the zero-alloc regression gate (which compares against a baseline), a
+// budget is a hard contract on the candidate run alone — a benchmark that
+// is missing from the set, lacks -benchmem data, or exceeds its budget all
+// fail, so a renamed or silently-dropped benchmark cannot green-light the
+// gate.
+func GateBudgets(set map[string]Bench, budgets map[string]float64) error {
+	names := make([]string, 0, len(budgets))
+	for name := range budgets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var fails []string
+	for _, name := range names {
+		b, ok := set[name]
+		switch {
+		case !ok:
+			fails = append(fails, fmt.Sprintf("%s: not present in the benchmark output", name))
+		case !b.HasAllocs:
+			fails = append(fails, fmt.Sprintf("%s: no allocs/op data (run with -benchmem)", name))
+		case b.AllocsPerOp > budgets[name]:
+			fails = append(fails, fmt.Sprintf("%s: %.1f allocs/op exceeds budget of %.0f",
+				name, b.AllocsPerOp, budgets[name]))
+		}
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("benchcmp: %d alloc-budget failure(s):\n  %s",
+			len(fails), strings.Join(fails, "\n  "))
+	}
+	return nil
+}
+
 // Write renders the comparison as a fixed-width table.
 func (c *Comparison) Write(w io.Writer) {
 	fmt.Fprintf(w, "%-28s %14s %14s %8s %16s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "allocs/op")

@@ -172,3 +172,41 @@ func TestCompareDisjointSetsError(t *testing.T) {
 		t.Fatal("disjoint sets compared successfully")
 	}
 }
+
+// TestGateBudgets: absolute allocs/op ceilings checked against one set —
+// missing benchmarks and missing -benchmem data fail, never silently pass.
+func TestGateBudgets(t *testing.T) {
+	set := mustParse(t,
+		"BenchmarkStressClient-8  300  6900 ns/op  0 B/op  0 allocs/op\n"+
+			"BenchmarkChatty-8  300  100 ns/op  512 B/op  9 allocs/op\n"+
+			"BenchmarkNoMem-8  300  100 ns/op\n")
+
+	if err := GateBudgets(set, map[string]float64{"BenchmarkStressClient": 2}); err != nil {
+		t.Fatalf("0 allocs/op failed a budget of 2: %v", err)
+	}
+	if err := GateBudgets(set, map[string]float64{"BenchmarkChatty": 2}); err == nil {
+		t.Fatal("9 allocs/op passed a budget of 2")
+	} else if !strings.Contains(err.Error(), "exceeds budget") {
+		t.Fatalf("wrong failure: %v", err)
+	}
+	if err := GateBudgets(set, map[string]float64{"BenchmarkVanished": 2}); err == nil {
+		t.Fatal("missing benchmark passed its budget gate")
+	} else if !strings.Contains(err.Error(), "not present") {
+		t.Fatalf("wrong failure: %v", err)
+	}
+	if err := GateBudgets(set, map[string]float64{"BenchmarkNoMem": 2}); err == nil {
+		t.Fatal("benchmark without -benchmem data passed its budget gate")
+	} else if !strings.Contains(err.Error(), "benchmem") {
+		t.Fatalf("wrong failure: %v", err)
+	}
+	// Multiple budgets: every violation is reported, sorted by name.
+	err := GateBudgets(set, map[string]float64{
+		"BenchmarkChatty": 2, "BenchmarkVanished": 2, "BenchmarkStressClient": 2,
+	})
+	if err == nil {
+		t.Fatal("mixed budgets passed")
+	}
+	if !strings.Contains(err.Error(), "2 alloc-budget failure(s)") {
+		t.Fatalf("want both failures counted: %v", err)
+	}
+}

@@ -42,6 +42,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		err = cmdAzTrace(args[1:], stdout)
 	case "scale":
 		err = cmdScale(args[1:], stdout)
+	case "stress":
+		err = cmdStress(args[1:], stdout)
 	case "faults":
 		err = cmdFaults(args[1:], stdout)
 	case "experiment":
@@ -74,6 +76,9 @@ commands:
   aztrace    generate/analyze Azure-style execution-time traces (Fig. 10)
   scale      sustained multi-million-invocation series summarized by
              bounded-memory mergeable quantile sketches
+  stress     open-loop coordinated-omission-safe load generator over real
+             sockets against an in-process httpfaas server, with a
+             same-seed DES tail comparison
   faults     fault-injection sweep: failure-rate x retry-policy grid with
              success-rate / retry-cost / goodput / tail-latency reporting
   experiment regenerate a paper table/figure or extension study

@@ -1,0 +1,173 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/core"
+	"github.com/stellar-repro/stellar/internal/httpfaas"
+	"github.com/stellar-repro/stellar/internal/providers"
+	"github.com/stellar-repro/stellar/internal/results"
+	"github.com/stellar-repro/stellar/internal/stress"
+)
+
+// cmdStress drives the open-loop, coordinated-omission-safe load generator
+// over real sockets. By default it boots an in-process httpfaas server for
+// the chosen provider profile, fires the schedule at it, and closes with a
+// DES-vs-real tail comparison: the same profile, seed, and arrival schedule
+// replayed in pure virtual time.
+func cmdStress(args []string, stdout io.Writer) (err error) {
+	fs := flag.NewFlagSet("stress", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	prof := addProfileFlags(fs)
+	provider := fs.String("provider", "aws", "provider profile for the in-process server and DES twin")
+	providerFile := fs.String("provider-file", "", "JSON provider profile to load and use")
+	url := fs.String("url", "", "external endpoint to load instead of an in-process server (skips the DES twin)")
+	arrival := fs.String("arrival", "poisson", "arrival process: fixed, poisson, or trace")
+	rate := fs.Float64("rate", 100000, "aggregate arrival rate in requests/second (fixed, poisson)")
+	duration := fs.Duration("duration", 0, "schedule horizon in wall time (0 = bounded by -n or the trace)")
+	n := fs.Uint64("n", 0, "total request cap across workers (0 = unbounded)")
+	workers := fs.Int("workers", 0, "client fleet size (0 = all CPUs)")
+	conns := fs.Int("conns", 2, "idle connections per worker (std client)")
+	client := fs.String("client", "raw", "HTTP client: raw (allocation-lean) or std (net/http)")
+	payload := fs.Int64("payload", 0, "request payload bytes forwarded to the function")
+	exec := fs.Duration("exec", 0, "function busy-spin time forwarded to the function")
+	traceFile := fs.String("trace", "", "per-interval arrival-count file (switches -arrival to trace)")
+	traceInterval := fs.Duration("trace-interval", time.Second, "trace interval length")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
+	scale := fs.Float64("scale", 1000, "httpfaas time compression (in-process server only)")
+	seed := fs.Int64("seed", 1, "random seed shared by the schedule, server, and DES twin")
+	alpha := fs.Float64("alpha", 0, "sketch relative-accuracy target (0 = default 0.5%)")
+	closed := fs.Bool("closed", false, "closed-loop control: measure from actual sends (coordinated-omission-prone; for comparison only)")
+	noTwin := fs.Bool("no-twin", false, "skip the same-seed DES comparison run")
+	savePath := fs.String("save", "", "save the intended/service/send-lag sketches as a results file")
+	csvPath := fs.String("csv", "", "write the latency CDFs as CSV")
+	name := fs.String("name", "stress", "run name used in saved results")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+
+	kind, err := stress.ParseArrivalKind(*arrival)
+	if err != nil {
+		return err
+	}
+	clientKind, err := stress.ParseClientKind(*client)
+	if err != nil {
+		return err
+	}
+	opts := stress.Options{
+		Arrival:      kind,
+		Rate:         *rate,
+		Duration:     *duration,
+		Workers:      *workers,
+		Conns:        *conns,
+		Client:       clientKind,
+		Seed:         *seed,
+		MaxRequests:  *n,
+		PayloadBytes: *payload,
+		ExecTime:     *exec,
+		Timeout:      *timeout,
+		Alpha:        *alpha,
+		ClosedLoop:   *closed,
+	}
+	if *traceFile != "" {
+		counts, err := stress.LoadTraceCounts(*traceFile)
+		if err != nil {
+			return err
+		}
+		opts.Arrival = stress.ArrivalTrace
+		opts.TraceCounts = counts
+		opts.TraceInterval = *traceInterval
+	}
+
+	if *providerFile != "" {
+		loaded, err := providers.RegisterFile(*providerFile)
+		if err != nil {
+			return err
+		}
+		*provider = loaded
+	}
+
+	timeScale := 1.0
+	var twin *stress.DESResult
+	var res *stress.Result
+	if *url != "" {
+		opts.URL = *url
+		if planned, err := stress.PlannedArrivals(opts); err != nil {
+			return err
+		} else if planned > 0 {
+			fmt.Fprintf(stdout, "planned arrivals: %d\n", planned)
+		}
+		res, err = stress.Run(opts)
+		if err != nil {
+			return err
+		}
+	} else {
+		cfg, err := providers.Get(*provider)
+		if err != nil {
+			return err
+		}
+		srv, err := httpfaas.NewServer(cfg, *seed, *scale)
+		if err != nil {
+			return err
+		}
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			return err
+		}
+		defer srv.Stop()
+		fc := core.FunctionConfig{Name: "stress", Runtime: "go1.x", Method: "zip"}
+		eps, err := srv.Deploy(fc)
+		if err != nil {
+			return err
+		}
+		opts.URL = eps[0].URL
+		timeScale = *scale
+		if planned, err := stress.PlannedArrivals(opts); err != nil {
+			return err
+		} else if planned > 0 {
+			fmt.Fprintf(stdout, "planned arrivals: %d\n", planned)
+		}
+		res, err = stress.Run(opts)
+		if err != nil {
+			return err
+		}
+		if !*noTwin {
+			twin, err = stress.RunDES(opts, cfg, fc)
+			if err != nil {
+				return fmt.Errorf("stress: DES twin: %w", err)
+			}
+		}
+	}
+
+	stress.WriteReport(stdout, opts, res, twin, timeScale)
+
+	if *savePath != "" {
+		rec := results.FromStressRun(*name, res.Intended, res.Service, res.SendLag,
+			int(res.Colds), int(res.Errors))
+		if err := rec.Save(*savePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "sketches saved to %s\n", *savePath)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return stress.WriteCDF(f, res)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/stellar-repro/stellar/internal/results"
+)
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// TestStressCommand runs a short fixed-rate stress run against the
+// in-process server, with the DES twin and save/csv outputs enabled.
+func TestStressCommand(t *testing.T) {
+	dir := t.TempDir()
+	savePath := filepath.Join(dir, "stress.json")
+	csvPath := filepath.Join(dir, "stress.csv")
+	code, out, errOut := run(t, "stress",
+		"-provider", "google", "-arrival", "fixed", "-rate", "2000",
+		"-n", "400", "-workers", "2", "-scale", "100000", "-seed", "7",
+		"-save", savePath, "-csv", csvPath)
+	if code != 0 {
+		t.Fatalf("code=%d err=%q out=%q", code, errOut, out)
+	}
+	for _, want := range []string{
+		"planned arrivals: 400",
+		"open-loop (CO-safe)",
+		"latency (intended-time):",
+		"DES twin",
+		"sketches saved to",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stress output missing %q:\n%s", want, out)
+		}
+	}
+
+	rec, err := results.Load(savePath)
+	if err != nil {
+		t.Fatalf("load saved record: %v", err)
+	}
+	if rec.Sketch == nil || rec.ServiceSketch == nil || rec.SendLagSketch == nil {
+		t.Errorf("saved record missing sketches: %+v", rec)
+	}
+	if rec.Name != "stress" {
+		t.Errorf("saved name = %q, want stress", rec.Name)
+	}
+
+	csv := readFile(t, csvPath)
+	if !strings.HasPrefix(csv, "series,latency_ns,cdf") {
+		t.Errorf("csv header wrong: %q", firstLine(csv))
+	}
+	if !strings.Contains(csv, "intended,") || !strings.Contains(csv, "service,") {
+		t.Errorf("csv missing series:\n%s", firstLine(csv))
+	}
+}
+
+// TestStressCommandNoTwin skips the DES comparison.
+func TestStressCommandNoTwin(t *testing.T) {
+	code, out, errOut := run(t, "stress",
+		"-provider", "google", "-arrival", "fixed", "-rate", "2000",
+		"-n", "200", "-workers", "2", "-scale", "100000", "-no-twin")
+	if code != 0 {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+	if strings.Contains(out, "DES twin") {
+		t.Errorf("no-twin output still has the DES block:\n%s", out)
+	}
+}
+
+// TestStressCommandBadFlags exercises the validation paths.
+func TestStressCommandBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"stress", "-arrival", "uniform", "-n", "10"},
+		{"stress", "-client", "quic", "-n", "10"},
+		{"stress", "-rate", "0", "-n", "10"},
+		{"stress", "-provider", "nope", "-n", "10"},
+		{"stress", "-url", "https://example.com/fn/f", "-n", "10"},
+	}
+	for _, args := range cases {
+		code, _, errOut := run(t, args...)
+		if code == 0 {
+			t.Errorf("stress %v succeeded, want error", args[1:])
+		}
+		if errOut == "" {
+			t.Errorf("stress %v produced no error output", args[1:])
+		}
+	}
+}

@@ -40,8 +40,10 @@ package des
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -140,12 +142,13 @@ type Engine struct {
 	stopped bool
 
 	// Real-time mode.
-	realTime  bool
-	timeScale float64 // virtual seconds per wall second multiplier (1 = real time)
-	injectMu  sync.Mutex
-	injected  []func()
-	injectCh  chan struct{} // signaled when something is injected
-	started   time.Time
+	realTime      bool
+	timeScale     float64 // virtual seconds per wall second multiplier (1 = real time)
+	injectMu      sync.Mutex
+	injected      []func()
+	injectCh      chan struct{} // signaled when something is injected
+	injectPending atomic.Bool   // fast-path check before taking injectMu
+	started       time.Time
 }
 
 // NewEngine returns an engine with the virtual clock at zero.
@@ -159,9 +162,11 @@ func NewEngine() *Engine {
 
 // NewRealTimeEngine returns an engine that, when run, paces event delivery on
 // the wall clock. timeScale compresses virtual time: with timeScale 10, ten
-// virtual seconds elapse per wall-clock second. timeScale <= 0 panics.
+// virtual seconds elapse per wall-clock second. A time scale that is NaN,
+// infinite, or <= 0 panics (callers with user-supplied scales validate
+// first, e.g. httpfaas.NewServer).
 func NewRealTimeEngine(timeScale float64) *Engine {
-	if timeScale <= 0 {
+	if math.IsNaN(timeScale) || math.IsInf(timeScale, 0) || timeScale <= 0 {
 		panic(fmt.Sprintf("des: invalid time scale %v", timeScale))
 	}
 	e := NewEngine()
@@ -578,10 +583,25 @@ func (e *Engine) syncVirtualClock() {
 // being amplified by the time scale, the final stretch before the deadline
 // is spin-waited: OS timers overshoot by around a millisecond, which a 10x
 // time scale would turn into 10ms of virtual error per event.
+//
+// The spin window shrinks as the time scale grows. At high compression the
+// virtual-time error from timer overshoot dwarfs what spinning can recover
+// (at 1000x even a perfectly timed wake-up is ~100 virtual milliseconds
+// coarse), while a fixed 2ms of busy-waiting per far-future event starves
+// the serve path of CPU — at scale the engine fires thousands of lifecycle
+// events per second, each of which would otherwise spin.
 func (e *Engine) sleepUntil(at Time, stop <-chan struct{}) bool {
 	const spinWindow = 2 * time.Millisecond
+	const minSpinWindow = 100 * time.Microsecond
+	spin := spinWindow
+	if e.timeScale > 1 {
+		spin = time.Duration(float64(spinWindow) / e.timeScale)
+		if spin < minSpinWindow {
+			spin = minSpinWindow
+		}
+	}
 	wall := e.wallDeadline(at)
-	if d := time.Until(wall) - spinWindow; d > 0 {
+	if d := time.Until(wall) - spin; d > 0 {
 		t := time.NewTimer(d)
 		defer t.Stop()
 		select {
@@ -627,6 +647,7 @@ func (e *Engine) Inject(fn func()) {
 	e.injectMu.Lock()
 	e.injected = append(e.injected, fn)
 	e.injectMu.Unlock()
+	e.injectPending.Store(true)
 	select {
 	case e.injectCh <- struct{}{}:
 	default:
@@ -634,6 +655,13 @@ func (e *Engine) Inject(fn func()) {
 }
 
 func (e *Engine) drainInjected() {
+	// The run loop calls this on every event; skip the mutex when nothing
+	// arrived. An Inject racing the Swap is not lost: its append
+	// happens-before its Store, so either this drain's critical section
+	// sees the item or the flag stays set for the next pass.
+	if !e.injectPending.Swap(false) {
+		return
+	}
 	e.injectMu.Lock()
 	pending := e.injected
 	e.injected = nil

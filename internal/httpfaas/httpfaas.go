@@ -3,11 +3,22 @@
 // compressed time), so STeLLAR's HTTP client path — goroutine per request,
 // real sockets, wall-clock latency measurement — can be exercised
 // end-to-end against the modeled providers without any cloud account.
+//
+// The serve path is allocation-lean so the server side never becomes the
+// bottleneck a stress run measures: invocation state (request, reply,
+// completion channel, encode buffer, timeout timer, and the two engine
+// closures) lives in a sync.Pool, routing is a prefix check instead of a
+// ServeMux walk, query parsing touches no maps, invocations ride the
+// callback fast path (cloud.InvokeAsync), and replies are encoded by an
+// append-style encoder byte-identical to encoding/json for the flat reply
+// shape.
 package httpfaas
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"strconv"
@@ -33,6 +44,12 @@ type InvokeReply struct {
 	Timestamps   map[string]int64 `json:"timestamps,omitempty"`
 }
 
+// invokeTimeout bounds one invocation end-to-end.
+const invokeTimeout = 5 * time.Minute
+
+// DefaultDrain is how long Stop waits for in-flight requests to complete.
+const DefaultDrain = 10 * time.Second
+
 // Server hosts one simulated cloud behind an HTTP listener.
 type Server struct {
 	eng       *des.Engine
@@ -40,30 +57,38 @@ type Server struct {
 	sim       *core.SimProvider
 	timeScale float64
 
+	states sync.Pool // *invState
+
 	mu       sync.Mutex
 	listener net.Listener
 	httpSrv  *http.Server
 	stop     chan struct{}
-	running  bool
+	started  bool // Start succeeded
+	stopped  bool // engine loop halted (terminal)
 	baseURL  string
 }
 
 // NewServer builds a server for the given provider profile. timeScale
 // compresses virtual time (10 = ten virtual seconds per wall second);
-// 1 serves in real time.
+// 1 serves in real time. It must be a positive finite number.
 func NewServer(cfg cloud.Config, seed int64, timeScale float64) (*Server, error) {
+	if math.IsNaN(timeScale) || math.IsInf(timeScale, 0) || timeScale <= 0 {
+		return nil, fmt.Errorf("httpfaas: time scale must be a positive finite number, got %v", timeScale)
+	}
 	eng := des.NewRealTimeEngine(timeScale)
 	cl, err := cloud.New(eng, cfg, dist.NewStreams(seed))
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		eng:       eng,
 		cloud:     cl,
 		sim:       &core.SimProvider{Cloud: cl},
 		timeScale: timeScale,
 		stop:      make(chan struct{}),
-	}, nil
+	}
+	s.states.New = func() any { return newInvState(s) }
+	return s, nil
 }
 
 // Cloud exposes the underlying simulated cloud. While the server is
@@ -71,15 +96,18 @@ func NewServer(cfg cloud.Config, seed int64, timeScale float64) (*Server, error)
 // Inject); use Metrics for a race-free counter snapshot.
 func (s *Server) Cloud() *cloud.Cloud { return s.cloud }
 
+// TimeScale reports the virtual-time compression factor.
+func (s *Server) TimeScale() float64 { return s.timeScale }
+
 // Metrics returns a snapshot of the cloud's counters. When the server is
 // running, the snapshot is taken inside the simulation loop so it cannot
 // race live event processing (keep-alive expiries mutate counters at any
 // wall-clock moment).
 func (s *Server) Metrics() cloud.Metrics {
 	s.mu.Lock()
-	running := s.running
+	live := s.started && !s.stopped
 	s.mu.Unlock()
-	if !running {
+	if !live {
 		return s.cloud.Metrics()
 	}
 	done := make(chan cloud.Metrics, 1)
@@ -105,37 +133,58 @@ func (s *Server) BaseURL() string {
 func (s *Server) Start(addr string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.running {
+	if s.started {
 		return fmt.Errorf("httpfaas: server already running")
+	}
+	if s.stopped {
+		return fmt.Errorf("httpfaas: server already stopped")
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("httpfaas: listen: %w", err)
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/fn/", s.handleInvoke)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
 	s.listener = ln
-	s.httpSrv = &http.Server{Handler: mux}
+	s.httpSrv = &http.Server{Handler: http.HandlerFunc(s.route)}
 	s.baseURL = "http://" + ln.Addr().String()
-	s.running = true
+	s.started = true
 	go s.eng.RunRealTime(s.stop)
 	go func() { _ = s.httpSrv.Serve(ln) }()
 	return nil
 }
 
-// Stop shuts the server down. Safe to call once.
-func (s *Server) Stop() {
+// Stop shuts the server down, draining in-flight requests for up to
+// DefaultDrain. Safe to call more than once.
+func (s *Server) Stop() { _ = s.Shutdown(DefaultDrain) }
+
+// Shutdown stops accepting new requests, waits up to drain for in-flight
+// requests to complete (the simulation keeps running so they finish
+// normally), then halts the engine. Requests still live when the deadline
+// expires are cut off. It returns the error from the HTTP layer's drain,
+// nil on a clean stop or when the server was never started.
+func (s *Server) Shutdown(drain time.Duration) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.running {
-		return
+	if !s.started || s.stopped {
+		s.mu.Unlock()
+		return nil
 	}
-	close(s.stop)
-	_ = s.httpSrv.Close()
-	s.running = false
+	srv := s.httpSrv
+	s.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := srv.Shutdown(ctx)
+	if err != nil {
+		_ = srv.Close() // deadline hit: drop whatever is still in flight
+	}
+
+	s.mu.Lock()
+	if !s.stopped {
+		s.stopped = true
+		s.started = false
+		close(s.stop)
+	}
+	s.mu.Unlock()
+	return err
 }
 
 // Deploy registers functions while the server is running; the deployment
@@ -186,71 +235,223 @@ func (p httpProvider) Teardown(base string) error {
 	}
 }
 
+// route dispatches without a ServeMux: one prefix check on the hot path.
+func (s *Server) route(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	if strings.HasPrefix(path, "/fn/") {
+		s.handleInvoke(w, r, path[len("/fn/"):])
+		return
+	}
+	if path == "/healthz" {
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	http.NotFound(w, r)
+}
+
+// invState is the pooled per-invocation carrier. The two engine closures
+// are bound once at creation, so a steady-state request schedules work into
+// the simulation without allocating.
+type invState struct {
+	srv   *Server
+	req   cloud.Request
+	reply InvokeReply
+	err   error
+	done  chan struct{}
+	t0    des.Time
+	buf   []byte
+	timer *time.Timer
+
+	injectFn func()
+	doneFn   func(*cloud.Response, error)
+}
+
+func newInvState(s *Server) *invState {
+	st := &invState{
+		srv:  s,
+		done: make(chan struct{}, 1),
+		buf:  make([]byte, 0, 256),
+	}
+	st.injectFn = func() {
+		st.t0 = s.eng.Now()
+		s.cloud.InvokeAsync(&st.req, st.doneFn)
+	}
+	st.doneFn = func(resp *cloud.Response, err error) {
+		if err != nil {
+			st.err = err
+		} else {
+			st.reply.Cold = resp.Cold
+			st.reply.InstanceID = resp.InstanceID
+			st.reply.QueueWaitNS = int64(resp.QueueWait)
+			st.reply.SimLatencyNS = int64(s.eng.Now() - st.t0)
+			if len(resp.Timestamps) > 0 {
+				st.reply.Timestamps = make(map[string]int64, len(resp.Timestamps))
+				for k, v := range resp.Timestamps {
+					st.reply.Timestamps[k] = int64(v)
+				}
+			}
+		}
+		st.done <- struct{}{}
+	}
+	return st
+}
+
+// reset prepares a pooled state for one request.
+func (st *invState) reset(name string) {
+	st.req = cloud.Request{Fn: name}
+	st.reply = InvokeReply{Function: name}
+	st.err = nil
+	select { // defensive: a pooled state's channel must be empty
+	case <-st.done:
+	default:
+	}
+}
+
 // handleInvoke services one function invocation over HTTP. Query
 // parameters: exec_ms overrides the busy-spin time, payload overrides the
 // chain payload bytes.
-func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
-	name := strings.TrimPrefix(r.URL.Path, "/fn/")
+func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request, name string) {
 	if name == "" {
 		http.Error(w, "missing function name", http.StatusBadRequest)
 		return
 	}
-	req := &cloud.Request{Fn: name}
-	if v := r.URL.Query().Get("exec_ms"); v != "" {
-		ms, err := strconv.ParseInt(v, 10, 64)
-		if err != nil || ms < 0 {
-			http.Error(w, "bad exec_ms", http.StatusBadRequest)
+	st := s.states.Get().(*invState)
+	st.reset(name)
+	if q := r.URL.RawQuery; q != "" {
+		if bad := parseInvokeQuery(q, &st.req); bad != "" {
+			s.states.Put(st) // never injected: safe to recycle
+			http.Error(w, "bad "+bad, http.StatusBadRequest)
 			return
 		}
-		req.ExecTime = time.Duration(ms) * time.Millisecond
-	}
-	if v := r.URL.Query().Get("payload"); v != "" {
-		b, err := strconv.ParseInt(v, 10, 64)
-		if err != nil || b < 0 {
-			http.Error(w, "bad payload", http.StatusBadRequest)
-			return
-		}
-		req.ChainPayloadBytes = b
 	}
 
-	type invResult struct {
-		resp *cloud.Response
-		lat  time.Duration
-		err  error
+	s.eng.Inject(st.injectFn)
+	if st.timer == nil {
+		st.timer = time.NewTimer(invokeTimeout)
+	} else {
+		st.timer.Reset(invokeTimeout)
 	}
-	done := make(chan invResult, 1)
-	s.eng.Inject(func() {
-		s.eng.Spawn("http/"+name, func(p *des.Proc) {
-			start := p.Now()
-			resp, err := s.cloud.Invoke(p, req)
-			done <- invResult{resp, p.Now() - start, err}
-		})
-	})
 
 	select {
-	case res := <-done:
-		if res.err != nil {
-			http.Error(w, res.err.Error(), http.StatusInternalServerError)
+	case <-st.done:
+		if !st.timer.Stop() {
+			<-st.timer.C
+		}
+		if st.err != nil {
+			http.Error(w, st.err.Error(), http.StatusInternalServerError)
+			s.states.Put(st)
 			return
 		}
-		reply := InvokeReply{
-			Function:     name,
-			Cold:         res.resp.Cold,
-			InstanceID:   res.resp.InstanceID,
-			QueueWaitNS:  int64(res.resp.QueueWait),
-			SimLatencyNS: int64(res.lat),
+		if body, ok := appendReply(st.buf[:0], &st.reply); ok {
+			st.buf = body[:0]
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(body)
+		} else {
+			// Timestamps or an exotic function name: the stock encoder.
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(st.reply)
 		}
-		if len(res.resp.Timestamps) > 0 {
-			reply.Timestamps = make(map[string]int64, len(res.resp.Timestamps))
-			for k, v := range res.resp.Timestamps {
-				reply.Timestamps[k] = int64(v)
-			}
-		}
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(reply)
+		s.states.Put(st)
 	case <-r.Context().Done():
+		// The done callback may still fire; abandon the state (its buffered
+		// channel absorbs the late send, the GC absorbs the state).
 		http.Error(w, "client gone", http.StatusRequestTimeout)
-	case <-time.After(5 * time.Minute):
+	case <-st.timer.C:
 		http.Error(w, "invocation timed out", http.StatusGatewayTimeout)
 	}
+}
+
+// parseInvokeQuery extracts exec_ms and payload from a raw query string
+// without building a url.Values map. It returns the offending parameter
+// name on a malformed value, "" on success. Matching the previous
+// url.Values-based behavior: unknown keys and empty values are ignored,
+// negative or non-numeric values are rejected.
+func parseInvokeQuery(q string, req *cloud.Request) (bad string) {
+	for len(q) > 0 {
+		var kv string
+		if i := strings.IndexByte(q, '&'); i >= 0 {
+			kv, q = q[:i], q[i+1:]
+		} else {
+			kv, q = q, ""
+		}
+		eq := strings.IndexByte(kv, '=')
+		if eq < 0 {
+			continue
+		}
+		key, val := kv[:eq], kv[eq+1:]
+		if val == "" {
+			continue
+		}
+		switch key {
+		case "exec_ms":
+			ms, ok := parseDecimal(val)
+			if !ok {
+				return "exec_ms"
+			}
+			req.ExecTime = time.Duration(ms) * time.Millisecond
+		case "payload":
+			b, ok := parseDecimal(val)
+			if !ok {
+				return "payload"
+			}
+			req.ChainPayloadBytes = b
+		}
+	}
+	return ""
+}
+
+// parseDecimal parses a non-negative decimal integer (the only shape the
+// invoke parameters accept).
+func parseDecimal(s string) (int64, bool) {
+	if len(s) == 0 || len(s) > 18 {
+		return 0, false
+	}
+	var n int64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+	}
+	return n, true
+}
+
+// appendReply encodes the flat reply shape byte-identically to
+// encoding/json (including the trailing newline json.Encoder emits). It
+// reports false when the reply needs the stock encoder: a timestamps map
+// (key order) or a function name requiring escaping.
+func appendReply(b []byte, r *InvokeReply) ([]byte, bool) {
+	if len(r.Timestamps) > 0 || !plainJSONString(r.Function) {
+		return nil, false
+	}
+	b = append(b, `{"function":"`...)
+	b = append(b, r.Function...)
+	b = append(b, `","cold":`...)
+	if r.Cold {
+		b = append(b, "true"...)
+	} else {
+		b = append(b, "false"...)
+	}
+	b = append(b, `,"instance_id":`...)
+	b = strconv.AppendInt(b, int64(r.InstanceID), 10)
+	b = append(b, `,"queue_wait_ns":`...)
+	b = strconv.AppendInt(b, r.QueueWaitNS, 10)
+	b = append(b, `,"sim_latency_ns":`...)
+	b = strconv.AppendInt(b, r.SimLatencyNS, 10)
+	b = append(b, '}', '\n')
+	return b, true
+}
+
+// plainJSONString reports whether s encodes as itself under encoding/json:
+// printable ASCII with nothing the encoder escapes (quotes, backslashes,
+// and the HTML-escaped <, >, &).
+func plainJSONString(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x7f || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,274 @@
+package httpfaas
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/cloud"
+	"github.com/stellar-repro/stellar/internal/core"
+)
+
+func TestTimeScaleValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		scale float64
+		ok    bool
+	}{
+		{"one", 1, true},
+		{"compressed", 1000, true},
+		{"fractional", 0.5, true},
+		{"zero", 0, false},
+		{"negative", -3, false},
+		{"nan", math.NaN(), false},
+		{"posinf", math.Inf(1), false},
+		{"neginf", math.Inf(-1), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, err := NewServer(fastConfig(), 1, tc.scale)
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("NewServer(scale=%v) = %v, want ok", tc.scale, err)
+				}
+				if srv.TimeScale() != tc.scale {
+					t.Fatalf("TimeScale() = %v, want %v", srv.TimeScale(), tc.scale)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("NewServer(scale=%v) succeeded, want error", tc.scale)
+			}
+			if !strings.Contains(err.Error(), "time scale") {
+				t.Fatalf("error %q does not mention the time scale", err)
+			}
+		})
+	}
+}
+
+// TestShutdownDrainsInflight is the graceful-shutdown regression: a stop
+// issued while a burst is mid-flight must let every accepted request finish
+// with a real response instead of dropping the connections.
+func TestShutdownDrainsInflight(t *testing.T) {
+	srv, err := NewServer(fastConfig(), 1, 1) // real time: requests stay in flight
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	eps, err := srv.Deploy(core.FunctionConfig{Name: "drain", Runtime: "go1.x", Method: "zip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 12
+	statuses := make([]int, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(eps[0].URL + "?exec_ms=500")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			_, _ = io.Copy(io.Discard, resp.Body)
+			statuses[i] = resp.StatusCode
+		}(i)
+	}
+
+	// Let every request reach its handler (execution alone takes 500ms of
+	// wall time at scale 1), then stop mid-burst.
+	time.Sleep(150 * time.Millisecond)
+	if err := srv.Shutdown(30 * time.Second); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Errorf("request %d dropped during shutdown: %v", i, errs[i])
+		} else if statuses[i] != http.StatusOK {
+			t.Errorf("request %d: status %d, want 200", i, statuses[i])
+		}
+	}
+
+	// The listener must be gone: new work is refused, not silently queued.
+	if _, err := http.Get(eps[0].URL); err == nil {
+		t.Error("request after Shutdown succeeded, want connection error")
+	}
+	srv.Stop() // idempotent after Shutdown
+}
+
+// TestAppendReplyMatchesEncodingJSON pins the manual encoder to the stock
+// one byte-for-byte on every shape it claims to handle, and checks it
+// refuses the shapes it cannot.
+func TestAppendReplyMatchesEncodingJSON(t *testing.T) {
+	replies := []InvokeReply{
+		{},
+		{Function: "hello", Cold: true, InstanceID: 7, QueueWaitNS: 1234, SimLatencyNS: 987654321},
+		{Function: "f-0_9.x", InstanceID: -1, QueueWaitNS: -5, SimLatencyNS: 0},
+		{Function: "chain2", Cold: false, InstanceID: 2147483647, QueueWaitNS: 9e15, SimLatencyNS: -9e15},
+	}
+	for _, r := range replies {
+		got, ok := appendReply(nil, &r)
+		if !ok {
+			t.Fatalf("appendReply refused plain reply %+v", r)
+		}
+		var want bytes.Buffer
+		if err := json.NewEncoder(&want).Encode(r); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Errorf("encoding mismatch for %+v:\n got %q\nwant %q", r, got, want.Bytes())
+		}
+	}
+
+	// Shapes the fast encoder must punt to encoding/json.
+	fallbacks := []InvokeReply{
+		{Function: `quo"te`},
+		{Function: "back\\slash"},
+		{Function: "html<&>"},
+		{Function: "ünïcode"},
+		{Function: "ctl\x01"},
+		{Function: "ts", Timestamps: map[string]int64{"f.recv": 1, "f.send": 2}},
+	}
+	for _, r := range fallbacks {
+		if _, ok := appendReply(nil, &r); ok {
+			t.Errorf("appendReply accepted %+v, want fallback to encoding/json", r)
+		}
+	}
+}
+
+func TestParseInvokeQuery(t *testing.T) {
+	cases := []struct {
+		query   string
+		bad     string
+		exec    time.Duration
+		payload int64
+	}{
+		{query: "exec_ms=5", exec: 5 * time.Millisecond},
+		{query: "payload=1024", payload: 1024},
+		{query: "exec_ms=3&payload=10", exec: 3 * time.Millisecond, payload: 10},
+		{query: "payload=10&exec_ms=3&other=zzz", exec: 3 * time.Millisecond, payload: 10},
+		{query: "exec_ms=", exec: 0}, // empty value ignored, like url.Values.Get
+		{query: "exec_ms", exec: 0},  // key without '=' ignored
+		{query: "unknown=42", exec: 0},
+		{query: "exec_ms=-1", bad: "exec_ms"},
+		{query: "exec_ms=soon", bad: "exec_ms"},
+		{query: "exec_ms=1e3", bad: "exec_ms"},
+		{query: "payload=-5", bad: "payload"},
+		{query: "payload=much", bad: "payload"},
+		{query: "payload=99999999999999999999", bad: "payload"}, // overflow-length
+	}
+	for _, tc := range cases {
+		var req cloud.Request
+		bad := parseInvokeQuery(tc.query, &req)
+		if bad != tc.bad {
+			t.Errorf("%q: bad = %q, want %q", tc.query, bad, tc.bad)
+			continue
+		}
+		if tc.bad != "" {
+			continue
+		}
+		if req.ExecTime != tc.exec || req.ChainPayloadBytes != tc.payload {
+			t.Errorf("%q: parsed exec=%v payload=%d, want exec=%v payload=%d",
+				tc.query, req.ExecTime, req.ChainPayloadBytes, tc.exec, tc.payload)
+		}
+	}
+}
+
+// TestQueryBehaviorOverHTTP pins the end-to-end effect of the manual query
+// parser: a request with parameters still round-trips and affects the sim.
+func TestQueryBehaviorOverHTTP(t *testing.T) {
+	srv := startServer(t)
+	eps, err := srv.Deploy(core.FunctionConfig{Name: "q", Runtime: "go1.x", Method: "zip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(q string) InvokeReply {
+		t.Helper()
+		resp, err := http.Get(eps[0].URL + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("%s: status %s: %s", q, resp.Status, body)
+		}
+		var reply InvokeReply
+		if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+			t.Fatal(err)
+		}
+		return reply
+	}
+	warm := get("") // absorb the cold start
+	if !warm.Cold {
+		t.Fatal("first call should be cold")
+	}
+	plain := get("")
+	slow := get("?exec_ms=2000") // 2 virtual seconds
+	if slow.SimLatencyNS-plain.SimLatencyNS < int64(time.Second) {
+		t.Errorf("exec_ms=2000 added %v over baseline %v, want ~2s of virtual latency",
+			time.Duration(slow.SimLatencyNS-plain.SimLatencyNS), time.Duration(plain.SimLatencyNS))
+	}
+}
+
+// BenchmarkHTTPInvoke measures the full server round trip — real socket,
+// engine injection, callback invoke, pooled encode — over one keep-alive
+// connection at high time compression.
+func BenchmarkHTTPInvoke(b *testing.B) {
+	srv, err := NewServer(fastConfig(), 1, 100000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Stop()
+	eps, err := srv.Deploy(core.FunctionConfig{Name: "bench", Runtime: "go1.x", Method: "zip"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := &http.Client{}
+	req, err := http.NewRequest(http.MethodGet, eps[0].URL, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	do := func() error {
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	if err := do(); err != nil { // cold start outside the timed region
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := do(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -28,7 +28,15 @@ type RunRecord struct {
 	// LatenciesNS are the measured response times in nanoseconds.
 	LatenciesNS []int64 `json:"latencies_ns,omitempty"`
 	// Sketch is the run's mergeable latency summary, if one was recorded.
+	// For stress runs this is the intended-time (coordinated-omission-safe)
+	// distribution.
 	Sketch *sketch.Record `json:"sketch,omitempty"`
+	// ServiceSketch is a stress run's service-time distribution (measured
+	// from the actual send instant rather than the intended one).
+	ServiceSketch *sketch.Record `json:"service_sketch,omitempty"`
+	// SendLagSketch is a stress run's generator-health distribution: how
+	// late each request left relative to its intended schedule instant.
+	SendLagSketch *sketch.Record `json:"send_lag_sketch,omitempty"`
 	// TransfersNS are instrumented transfer times, if any.
 	TransfersNS []int64 `json:"transfers_ns,omitempty"`
 	// Colds and Errors echo the run's outcome counts.
@@ -125,6 +133,25 @@ func FromScaleRun(name string, sk *sketch.Sketch, colds, errors int) *RunRecord 
 	}
 }
 
+// FromStressRun builds a record for an open-loop socket-level stress run:
+// the coordinated-omission-safe intended-time sketch as the primary
+// distribution, plus the service-time and send-lag companions.
+func FromStressRun(name string, intended, service, sendLag *sketch.Sketch, colds, errors int) *RunRecord {
+	rec := &RunRecord{
+		Name:   name,
+		Sketch: intended.Record(),
+		Colds:  colds,
+		Errors: errors,
+	}
+	if service != nil && service.Count() > 0 {
+		rec.ServiceSketch = service.Record()
+	}
+	if sendLag != nil && sendLag.Count() > 0 {
+		rec.SendLagSketch = sendLag.Record()
+	}
+	return rec
+}
+
 // Latencies rebuilds the latency sample. It requires raw samples; use
 // Recorder for records that may only carry a sketch.
 func (r *RunRecord) Latencies() *stats.Sample {
@@ -173,10 +200,13 @@ func Load(path string) (*RunRecord, error) {
 	if len(rec.LatenciesNS) == 0 && rec.Sketch == nil {
 		return nil, fmt.Errorf("results: %s has no latency samples", path)
 	}
-	if rec.Sketch != nil {
-		// Validate the sketch payload eagerly so corrupt files fail at
-		// load time, not mid-analysis.
-		if _, err := sketch.FromRecord(rec.Sketch); err != nil {
+	// Validate sketch payloads eagerly so corrupt files fail at load
+	// time, not mid-analysis.
+	for _, sk := range []*sketch.Record{rec.Sketch, rec.ServiceSketch, rec.SendLagSketch} {
+		if sk == nil {
+			continue
+		}
+		if _, err := sketch.FromRecord(sk); err != nil {
 			return nil, fmt.Errorf("results: %s: %w", path, err)
 		}
 	}

@@ -40,3 +40,17 @@ var (
 	_ Recorder = (*Sketch)(nil)
 	_ Recorder = (*stats.Sample)(nil)
 )
+
+// Quantiles evaluates a quantile ladder in one call — the shape every
+// report table needs. It returns an empty slice for an empty recorder
+// instead of panicking, so callers can render "no data" rows.
+func Quantiles(r Recorder, qs ...float64) []time.Duration {
+	if r.Count() == 0 {
+		return nil
+	}
+	out := make([]time.Duration, len(qs))
+	for i, q := range qs {
+		out[i] = r.Quantile(q)
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package stress
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRawClientSteadyStateAllocs gates the client hot path at <= 2 heap
+// allocations per request (target 0). The canned server is alloc-free too,
+// so the measurement — which counts mallocs from every goroutine — isolates
+// the client.
+func TestRawClientSteadyStateAllocs(t *testing.T) {
+	srv := newCannedServer(t, cannedBody(false, 4242))
+	target, err := NewTarget(srv.url(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newRawClient(target, 5*time.Second)
+	defer c.Close()
+
+	var r Reply
+	for i := 0; i < 32; i++ { // settle the connection, buffers, and poller
+		if err := c.Do(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(400, func() {
+		if err := c.Do(&r); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("raw client Do allocates %.1f/request, budget is 2", allocs)
+	}
+}
+
+// TestScheduleNextAllocs pins the arrival generator itself at zero.
+func TestScheduleNextAllocs(t *testing.T) {
+	p, err := newPlan(Options{Arrival: ArrivalPoisson, Rate: 1e6, Duration: time.Hour, Workers: 2, Seed: 9}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.workerSchedule(0)
+	allocs := testing.AllocsPerRun(10000, func() {
+		if _, ok := s.next(); !ok {
+			t.Fatal("schedule exhausted prematurely")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule.next allocates %.1f/arrival, want 0", allocs)
+	}
+}
+
+// TestParseReplyAllocs pins the reply scanner at zero.
+func TestParseReplyAllocs(t *testing.T) {
+	body := cannedBody(true, 123456)
+	var r Reply
+	allocs := testing.AllocsPerRun(10000, func() {
+		if !parseReply(body, &r) {
+			t.Fatal("parse failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("parseReply allocates %.1f, want 0", allocs)
+	}
+}

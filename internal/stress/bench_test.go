@@ -1,0 +1,62 @@
+package stress
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkStressClient is the benchgate-gated client hot path: one raw
+// request/response round trip over a live TCP connection against an
+// alloc-free canned server. The allocs/op column is held to <= 2 by the
+// benchgate alloc budget (and is 0 in steady state).
+func BenchmarkStressClient(b *testing.B) {
+	srv := newCannedServerB(b, cannedBody(false, 4242))
+	target, err := NewTarget(srv.url(), "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := newRawClient(target, 5*time.Second)
+	defer c.Close()
+
+	var r Reply
+	for i := 0; i < 16; i++ {
+		if err := c.Do(&r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Do(&r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStressScheduleNext measures the arrival generator (Poisson mode,
+// the most expensive family).
+func BenchmarkStressScheduleNext(b *testing.B) {
+	p, err := newPlan(Options{Arrival: ArrivalPoisson, Rate: 1e6, Duration: 24 * time.Hour, Workers: 4, Seed: 1}.withDefaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := p.workerSchedule(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.next(); !ok {
+			b.Fatal("schedule exhausted")
+		}
+	}
+}
+
+// newCannedServerB is the benchmark-flavored twin of newCannedServer.
+func newCannedServerB(b *testing.B, body []byte) *cannedServer {
+	b.Helper()
+	s, err := startCanned(body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.close)
+	return s
+}

@@ -1,0 +1,116 @@
+package stress
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// cannedServer is a hand-rolled HTTP/1.1 test server whose steady-state
+// request loop performs zero heap allocations: fixed read buffer, canned
+// response bytes, no net/http. That matters because Go benchmarks and
+// testing.AllocsPerRun count allocations from every goroutine, so the
+// client-side alloc gates need a server that contributes none.
+type cannedServer struct {
+	ln       net.Listener
+	response []byte // full serialized response, reused verbatim
+	served   atomic.Uint64
+	closed   atomic.Bool
+
+	// reqsPerConn closes the connection after that many responses
+	// (0 = unlimited), exercising the client's stale-keep-alive retry.
+	reqsPerConn int
+
+	// stall, when set, makes request number stallAt (1-based, global)
+	// sleep stallFor before responding — the coordinated-omission probe.
+	stallAt  uint64
+	stallFor time.Duration
+}
+
+// cannedBody is the flat InvokeReply shape the parser expects.
+func cannedBody(cold bool, simNS int64) []byte {
+	return []byte(fmt.Sprintf(
+		`{"function":"f","cold":%t,"instance_id":1,"queue_wait_ns":0,"sim_latency_ns":%d}`+"\n",
+		cold, simNS))
+}
+
+func newCannedServer(t *testing.T, body []byte) *cannedServer {
+	t.Helper()
+	s, err := startCanned(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.close)
+	return s
+}
+
+func startCanned(body []byte) (*cannedServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &cannedServer{ln: ln}
+	s.response = []byte("HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: " +
+		strconv.Itoa(len(body)) + "\r\n\r\n" + string(body))
+	go s.acceptLoop()
+	return s, nil
+}
+
+func (s *cannedServer) url() string { return "http://" + s.ln.Addr().String() + "/fn/f" }
+
+func (s *cannedServer) close() {
+	if s.closed.CompareAndSwap(false, true) {
+		_ = s.ln.Close()
+	}
+}
+
+func (s *cannedServer) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn handles one connection with a fixed buffer: scan for the blank
+// line ending a request, emit the canned response, repeat.
+func (s *cannedServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	buf := make([]byte, 8<<10)
+	have := 0
+	onThisConn := 0
+	for {
+		// Find one complete request head in the buffer.
+		for bytes.Index(buf[:have], []byte("\r\n\r\n")) < 0 {
+			if have == len(buf) {
+				return // oversized request: not something these tests send
+			}
+			n, err := conn.Read(buf[have:])
+			if err != nil {
+				return
+			}
+			have += n
+		}
+		end := bytes.Index(buf[:have], []byte("\r\n\r\n")) + 4
+		copy(buf, buf[end:have])
+		have -= end
+
+		n := s.served.Add(1)
+		if s.stallAt != 0 && n == s.stallAt {
+			time.Sleep(s.stallFor)
+		}
+		if _, err := conn.Write(s.response); err != nil {
+			return
+		}
+		onThisConn++
+		if s.reqsPerConn > 0 && onThisConn >= s.reqsPerConn {
+			return
+		}
+	}
+}

@@ -1,0 +1,546 @@
+package stress
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// ClientKind selects the HTTP client implementation a worker uses.
+type ClientKind string
+
+const (
+	// ClientRaw is the allocation-lean hand-rolled HTTP/1.1 client: one
+	// persistent TCP connection per worker, pooled request/response
+	// buffers, a keyed body scanner — zero steady-state allocations per
+	// request (gated by BenchmarkStressClient in benchgate).
+	ClientRaw ClientKind = "raw"
+	// ClientStd is the net/http client: a per-worker http.Transport with
+	// keep-alive connection reuse and a counting dialer. Slower and
+	// allocation-heavier, but exercises the exact client stack STeLLAR's
+	// measurement client uses.
+	ClientStd ClientKind = "std"
+)
+
+// ParseClientKind validates a flag spelling.
+func ParseClientKind(s string) (ClientKind, error) {
+	switch ClientKind(s) {
+	case ClientRaw, ClientStd:
+		return ClientKind(s), nil
+	}
+	return "", fmt.Errorf("stress: unknown client kind %q (want raw or std)", s)
+}
+
+// ConnStats counts a client's connection behavior: how many requests rode
+// an already-established connection versus paying a fresh TCP dial.
+type ConnStats struct {
+	// Dials counts new TCP connections established.
+	Dials uint64
+	// Reused counts requests served over a previously-used connection.
+	Reused uint64
+}
+
+// Client is one worker's HTTP client. Do is called sequentially by its
+// owning worker; implementations are not safe for concurrent use.
+type Client interface {
+	// Do performs one GET against the configured target, filling r.
+	// A non-nil error means the request never completed at the transport
+	// level; HTTP-level failures surface as r.Status.
+	Do(r *Reply) error
+	// Stats reports connection counters.
+	Stats() ConnStats
+	// Close releases the client's connections.
+	Close()
+}
+
+// Target is a preformatted request destination: the dial address plus the
+// exact GET request bytes, built once so the per-request write is a single
+// copy-free send.
+type Target struct {
+	scheme string
+	addr   string // host:port to dial
+	url    string // full URL (std client)
+	req    []byte // raw serialized GET request (raw client)
+}
+
+// NewTarget prepares a target from a function endpoint URL and an optional
+// raw query string ("exec_ms=5&payload=1024").
+func NewTarget(rawURL, query string) (*Target, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("stress: bad target URL: %w", err)
+	}
+	if u.Scheme != "http" {
+		return nil, fmt.Errorf("stress: target must be http://, got %q", rawURL)
+	}
+	if u.Host == "" || u.Path == "" {
+		return nil, fmt.Errorf("stress: target URL %q needs a host and path", rawURL)
+	}
+	addr := u.Host
+	if u.Port() == "" {
+		addr += ":80"
+	}
+	full := u.String()
+	pathQ := u.RequestURI()
+	if query != "" {
+		sep := "?"
+		if u.RawQuery != "" {
+			sep = "&"
+		}
+		full += sep + query
+		pathQ += sep + query
+	}
+	req := fmt.Sprintf("GET %s HTTP/1.1\r\nHost: %s\r\nUser-Agent: stellar-stress\r\nAccept: application/json\r\n\r\n",
+		pathQ, u.Host)
+	return &Target{scheme: u.Scheme, addr: addr, url: full, req: []byte(req)}, nil
+}
+
+// BuildQuery renders the stress knobs as the query string the httpfaas
+// invoke endpoint understands. Empty when both are zero.
+func BuildQuery(exec time.Duration, payloadBytes int64) string {
+	var parts []string
+	if exec > 0 {
+		parts = append(parts, fmt.Sprintf("exec_ms=%d", exec.Milliseconds()))
+	}
+	if payloadBytes > 0 {
+		parts = append(parts, fmt.Sprintf("payload=%d", payloadBytes))
+	}
+	return strings.Join(parts, "&")
+}
+
+// --- raw client --------------------------------------------------------------
+
+// rawClient is a hand-rolled HTTP/1.1 client over one persistent TCP
+// connection. Everything on the per-request path — the request write, the
+// header scan, the body read, the reply parse — reuses buffers owned by the
+// client, so a steady-state request performs zero heap allocations.
+type rawClient struct {
+	target  *Target
+	timeout time.Duration
+
+	conn net.Conn
+	br   *bufio.Reader
+	body []byte
+
+	stats ConnStats
+}
+
+// newRawClient builds a client; the connection is dialed lazily on first Do.
+func newRawClient(target *Target, timeout time.Duration) *rawClient {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &rawClient{
+		target:  target,
+		timeout: timeout,
+		br:      bufio.NewReaderSize(nil, 16<<10),
+		body:    make([]byte, 4<<10),
+	}
+}
+
+func (c *rawClient) Stats() ConnStats { return c.stats }
+
+func (c *rawClient) Close() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+}
+
+func (c *rawClient) dial() error {
+	conn, err := net.DialTimeout("tcp", c.target.addr, c.timeout)
+	if err != nil {
+		return err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	c.conn = conn
+	c.br.Reset(conn)
+	c.stats.Dials++
+	return nil
+}
+
+// Do performs one request. A request that fails on a reused connection is
+// retried once on a fresh one (the server may have dropped the idle
+// keep-alive between requests); a failure on a fresh connection is final.
+func (c *rawClient) Do(r *Reply) error {
+	reused := c.conn != nil
+	if !reused {
+		if err := c.dial(); err != nil {
+			return err
+		}
+	}
+	err := c.roundTrip(r)
+	if err == nil {
+		if reused {
+			c.stats.Reused++
+		}
+		return nil
+	}
+	c.Close()
+	if !reused {
+		return err
+	}
+	// Stale keep-alive connection: one retry on a fresh dial.
+	if err := c.dial(); err != nil {
+		return err
+	}
+	if err := c.roundTrip(r); err != nil {
+		c.Close()
+		return err
+	}
+	return nil
+}
+
+func (c *rawClient) roundTrip(r *Reply) error {
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return err
+	}
+	if _, err := c.conn.Write(c.target.req); err != nil {
+		return err
+	}
+
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	status, ok := parseStatusLine(line)
+	if !ok {
+		return fmt.Errorf("stress: malformed status line %q", line)
+	}
+	r.Status = status
+
+	contentLength := int64(-1)
+	chunked := false
+	closeAfter := false
+	for {
+		line, err = c.readLine()
+		if err != nil {
+			return err
+		}
+		if len(line) == 0 {
+			break
+		}
+		if v, ok := headerValue(line, "content-length"); ok {
+			n, ok := parseInt(v)
+			if !ok || n < 0 {
+				return fmt.Errorf("stress: bad Content-Length %q", v)
+			}
+			contentLength = n
+		} else if v, ok := headerValue(line, "transfer-encoding"); ok {
+			chunked = asciiEqualFold(v, "chunked")
+		} else if v, ok := headerValue(line, "connection"); ok {
+			closeAfter = asciiEqualFold(v, "close")
+		}
+	}
+
+	var body []byte
+	switch {
+	case chunked:
+		body, err = c.readChunked()
+	case contentLength >= 0:
+		body, err = c.readN(contentLength)
+	default:
+		// No framing: the server will close the connection to delimit.
+		body, err = c.readAll()
+		closeAfter = true
+	}
+	if err != nil {
+		return err
+	}
+	if closeAfter {
+		c.Close()
+	}
+	if r.Status == http.StatusOK && !parseReply(body, r) {
+		return fmt.Errorf("stress: response body missing instrumentation fields: %q", body)
+	}
+	return nil
+}
+
+// readLine returns the next CRLF-terminated line without its terminator.
+// The returned slice aliases the bufio buffer and is valid until the next
+// read — which is exactly how the header loop consumes it.
+func (c *rawClient) readLine() ([]byte, error) {
+	line, err := c.br.ReadSlice('\n')
+	if err != nil {
+		return nil, err
+	}
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+// readN reads exactly n body bytes into the client's reusable buffer.
+func (c *rawClient) readN(n int64) ([]byte, error) {
+	if int64(cap(c.body)) < n {
+		c.body = make([]byte, n)
+	}
+	buf := c.body[:n]
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// readChunked consumes a chunked body into the reusable buffer.
+func (c *rawClient) readChunked() ([]byte, error) {
+	total := 0
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		size, ok := parseHex(line)
+		if !ok {
+			return nil, fmt.Errorf("stress: bad chunk size %q", line)
+		}
+		if size == 0 {
+			// Trailer section: consume through the blank line.
+			for {
+				line, err := c.readLine()
+				if err != nil {
+					return nil, err
+				}
+				if len(line) == 0 {
+					return c.body[:total], nil
+				}
+			}
+		}
+		need := total + int(size)
+		if cap(c.body) < need {
+			grown := make([]byte, need)
+			copy(grown, c.body[:total])
+			c.body = grown
+		}
+		if _, err := io.ReadFull(c.br, c.body[total:need]); err != nil {
+			return nil, err
+		}
+		total = need
+		if line, err = c.readLine(); err != nil {
+			return nil, err
+		} else if len(line) != 0 {
+			return nil, fmt.Errorf("stress: missing chunk terminator")
+		}
+	}
+}
+
+// readAll drains the connection until EOF (close-delimited body).
+func (c *rawClient) readAll() ([]byte, error) {
+	total := 0
+	for {
+		if total == cap(c.body) {
+			grown := make([]byte, 2*cap(c.body))
+			copy(grown, c.body[:total])
+			c.body = grown
+		}
+		n, err := c.br.Read(c.body[total:cap(c.body)])
+		total += n
+		if err == io.EOF {
+			return c.body[:total], nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// parseStatusLine extracts the status code from "HTTP/1.1 200 OK".
+func parseStatusLine(line []byte) (int, bool) {
+	i := 0
+	for i < len(line) && line[i] != ' ' {
+		i++
+	}
+	if i+4 > len(line) {
+		return 0, false
+	}
+	code, ok := parseInt(line[i+1:])
+	if !ok || code < 100 || code > 599 {
+		return 0, false
+	}
+	return int(code), true
+}
+
+// headerValue matches a header line against a lowercase key ("content-
+// length") and returns its trimmed value, allocation-free.
+func headerValue(line []byte, key string) ([]byte, bool) {
+	if len(line) < len(key)+1 {
+		return nil, false
+	}
+	for i := 0; i < len(key); i++ {
+		if lowerASCII(line[i]) != key[i] {
+			return nil, false
+		}
+	}
+	if line[len(key)] != ':' {
+		return nil, false
+	}
+	v := line[len(key)+1:]
+	for len(v) > 0 && (v[0] == ' ' || v[0] == '\t') {
+		v = v[1:]
+	}
+	for len(v) > 0 && (v[len(v)-1] == ' ' || v[len(v)-1] == '\t') {
+		v = v[:len(v)-1]
+	}
+	return v, true
+}
+
+func lowerASCII(c byte) byte {
+	if 'A' <= c && c <= 'Z' {
+		return c + ('a' - 'A')
+	}
+	return c
+}
+
+func asciiEqualFold(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if lowerASCII(b[i]) != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func parseHex(b []byte) (int64, bool) {
+	var n int64
+	digits := 0
+	for _, c := range b {
+		var d int64
+		switch {
+		case '0' <= c && c <= '9':
+			d = int64(c - '0')
+		case 'a' <= c && c <= 'f':
+			d = int64(c-'a') + 10
+		case 'A' <= c && c <= 'F':
+			d = int64(c-'A') + 10
+		case c == ';': // chunk extension: ignore the rest
+			return n, digits > 0
+		default:
+			return 0, false
+		}
+		if n > (1<<40)/16 {
+			return 0, false
+		}
+		n = n*16 + d
+		digits++
+	}
+	return n, digits > 0
+}
+
+// --- std client --------------------------------------------------------------
+
+// stdClient drives the stock net/http stack: a per-worker http.Transport
+// with keep-alive reuse, a reusable *http.Request, and a pooled body
+// buffer. Its connection counters come from a counting dialer.
+type stdClient struct {
+	target *Target
+	client *http.Client
+	req    *http.Request
+	body   []byte
+	dials  atomic.Uint64
+	reqs   uint64
+	errs   uint64
+}
+
+// newStdClient builds the per-worker transport. conns bounds the idle pool;
+// a sequential worker keeps at most one connection hot, but a larger pool
+// absorbs redials around server restarts.
+func newStdClient(target *Target, conns int, timeout time.Duration) (*stdClient, error) {
+	if conns <= 0 {
+		conns = 2
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	c := &stdClient{target: target, body: make([]byte, 4<<10)}
+	dialer := &net.Dialer{Timeout: timeout}
+	tr := &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			c.dials.Add(1)
+			return dialer.DialContext(ctx, network, addr)
+		},
+		MaxIdleConns:        conns,
+		MaxIdleConnsPerHost: conns,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	c.client = &http.Client{Transport: tr, Timeout: timeout}
+	req, err := http.NewRequest(http.MethodGet, target.url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("stress: %w", err)
+	}
+	c.req = req
+	return c, nil
+}
+
+func (c *stdClient) Do(r *Reply) error {
+	resp, err := c.client.Do(c.req)
+	if err != nil {
+		return err
+	}
+	c.reqs++
+	total := 0
+	for {
+		if total == cap(c.body) {
+			grown := make([]byte, 2*cap(c.body))
+			copy(grown, c.body[:total])
+			c.body = grown
+		}
+		n, rerr := resp.Body.Read(c.body[total:cap(c.body)])
+		total += n
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			_ = resp.Body.Close()
+			return rerr
+		}
+	}
+	if err := resp.Body.Close(); err != nil {
+		return err
+	}
+	r.Status = resp.StatusCode
+	if r.Status == http.StatusOK && !parseReply(c.body[:total], r) {
+		return fmt.Errorf("stress: response body missing instrumentation fields")
+	}
+	return nil
+}
+
+func (c *stdClient) Stats() ConnStats {
+	d := c.dials.Load()
+	reused := c.reqs
+	if d < reused {
+		reused -= d
+	} else {
+		reused = 0
+	}
+	return ConnStats{Dials: d, Reused: reused}
+}
+
+func (c *stdClient) Close() {
+	if tr, ok := c.client.Transport.(*http.Transport); ok {
+		tr.CloseIdleConnections()
+	}
+}
+
+// newClient builds a worker client of the requested kind.
+func newClient(kind ClientKind, target *Target, conns int, timeout time.Duration) (Client, error) {
+	switch kind {
+	case ClientStd:
+		return newStdClient(target, conns, timeout)
+	case ClientRaw, "":
+		return newRawClient(target, timeout), nil
+	}
+	return nil, fmt.Errorf("stress: unknown client kind %q", kind)
+}

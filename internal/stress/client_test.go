@@ -1,0 +1,156 @@
+package stress
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestRawClientAgainstCannedServer(t *testing.T) {
+	srv := newCannedServer(t, cannedBody(true, 5000))
+	target, err := NewTarget(srv.url(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newRawClient(target, 5*time.Second)
+	defer c.Close()
+
+	var r Reply
+	for i := 0; i < 10; i++ {
+		if err := c.Do(&r); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if r.Status != 200 || !r.Cold || r.SimLatencyNS != 5000 {
+			t.Fatalf("request %d: reply %+v", i, r)
+		}
+	}
+	st := c.Stats()
+	if st.Dials != 1 || st.Reused != 9 {
+		t.Fatalf("stats %+v, want 1 dial and 9 reuses", st)
+	}
+}
+
+// TestRawClientStaleKeepAliveRetry drops the connection after every 2
+// responses server-side; the client must absorb each stale connection with
+// a single transparent redial.
+func TestRawClientStaleKeepAliveRetry(t *testing.T) {
+	srv := newCannedServer(t, cannedBody(false, 1))
+	srv.reqsPerConn = 2
+	target, err := NewTarget(srv.url(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newRawClient(target, 5*time.Second)
+	defer c.Close()
+	var r Reply
+	for i := 0; i < 10; i++ {
+		if err := c.Do(&r); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if st := c.Stats(); st.Dials != 5 {
+		t.Fatalf("stats %+v, want 5 dials for 10 requests at 2 per conn", st)
+	}
+}
+
+// TestRawClientAgainstNetHTTP exercises the raw client against a stock
+// net/http server — including the chunked-encoding path, which net/http
+// uses when a handler flushes without a declared length.
+func TestRawClientAgainstNetHTTP(t *testing.T) {
+	body := cannedBody(false, 777)
+	chunked := false
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if chunked {
+			w.Header().Set("Content-Type", "application/json")
+			w.(http.Flusher).Flush() // forces chunked transfer encoding
+			_, _ = w.Write(body[:10])
+			w.(http.Flusher).Flush()
+			_, _ = w.Write(body[10:])
+			return
+		}
+		_, _ = w.Write(body)
+	}))
+	defer hs.Close()
+
+	target, err := NewTarget(hs.URL+"/fn/f", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newRawClient(target, 5*time.Second)
+	defer c.Close()
+
+	var r Reply
+	for _, mode := range []bool{false, true, false, true} {
+		chunked = mode
+		r = Reply{}
+		if err := c.Do(&r); err != nil {
+			t.Fatalf("chunked=%t: %v", mode, err)
+		}
+		if r.Status != 200 || r.SimLatencyNS != 777 {
+			t.Fatalf("chunked=%t: reply %+v", mode, r)
+		}
+	}
+}
+
+func TestStdClientCounters(t *testing.T) {
+	srv := newCannedServer(t, cannedBody(false, 9))
+	target, err := NewTarget(srv.url(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := newStdClient(target, 2, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var r Reply
+	for i := 0; i < 8; i++ {
+		if err := c.Do(&r); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if r.Status != 200 || r.SimLatencyNS != 9 {
+			t.Fatalf("request %d: reply %+v", i, r)
+		}
+	}
+	st := c.Stats()
+	if st.Dials == 0 || st.Dials+st.Reused != 8 {
+		t.Fatalf("stats %+v, want dials+reused == 8", st)
+	}
+}
+
+func TestNewTargetValidation(t *testing.T) {
+	bad := []string{
+		"https://example.com/fn/f", // only http
+		"http://",                  // no host
+		"http://host",              // no path
+		"://broken",
+	}
+	for _, u := range bad {
+		if _, err := NewTarget(u, ""); err == nil {
+			t.Errorf("NewTarget(%q) accepted", u)
+		}
+	}
+	tgt, err := NewTarget("http://127.0.0.1:8080/fn/f?a=1", "exec_ms=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt.addr != "127.0.0.1:8080" {
+		t.Errorf("addr = %q", tgt.addr)
+	}
+	if want := "http://127.0.0.1:8080/fn/f?a=1&exec_ms=5"; tgt.url != want {
+		t.Errorf("url = %q, want %q", tgt.url, want)
+	}
+}
+
+func TestBuildQuery(t *testing.T) {
+	if q := BuildQuery(0, 0); q != "" {
+		t.Errorf("empty query = %q", q)
+	}
+	if q := BuildQuery(5*time.Millisecond, 0); q != "exec_ms=5" {
+		t.Errorf("exec query = %q", q)
+	}
+	if q := BuildQuery(5*time.Millisecond, 1024); q != "exec_ms=5&payload=1024" {
+		t.Errorf("full query = %q", q)
+	}
+}

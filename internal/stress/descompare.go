@@ -1,0 +1,96 @@
+package stress
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/cloud"
+	"github.com/stellar-repro/stellar/internal/core"
+	"github.com/stellar-repro/stellar/internal/des"
+	"github.com/stellar-repro/stellar/internal/dist"
+	"github.com/stellar-repro/stellar/internal/stats/sketch"
+)
+
+// DESResult is the virtual-time twin of a stress run: the same provider
+// profile, seed, and arrival schedule executed as a pure discrete-event
+// simulation. Comparing its quantiles with the real-socket run's separates
+// what the model predicts from what the wire adds.
+type DESResult struct {
+	// Latency is the virtual-time invocation latency distribution.
+	Latency *sketch.Sketch
+
+	Requests uint64
+	Errors   uint64
+	Colds    uint64
+
+	// VirtualElapsed is the simulated span from first arrival to the last
+	// event.
+	VirtualElapsed time.Duration
+}
+
+// RunDES replays a stress plan in virtual time against a fresh simulated
+// cloud built from the same provider profile and seed. The schedule is
+// byte-identical to the real run's — the same per-worker shards and the
+// same named Poisson streams — so the two runs issue the same arrival
+// sequence; only the clock differs. Arrivals use the callback fast path
+// (PR 6), so multi-million-request twins finish in seconds.
+func RunDES(o Options, cfg cloud.Config, fc core.FunctionConfig) (*DESResult, error) {
+	opts := o.withDefaults()
+	p, err := newPlan(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	eng := des.NewEngine()
+	cl, err := cloud.New(eng, cfg, dist.NewStreams(opts.Seed))
+	if err != nil {
+		return nil, err
+	}
+	sim := &core.SimProvider{Cloud: cl}
+	if _, err := sim.Deploy(fc); err != nil {
+		return nil, fmt.Errorf("stress: DES twin deploy: %w", err)
+	}
+
+	res := &DESResult{Latency: sketch.New(opts.Alpha)}
+	cl.SetLatencyRecorder(res.Latency)
+
+	req := &cloud.Request{
+		Fn:                fc.Name,
+		ExecTime:          opts.ExecTime,
+		ChainPayloadBytes: opts.PayloadBytes,
+	}
+	done := func(resp *cloud.Response, err error) {
+		res.Requests++
+		if err != nil {
+			res.Errors++
+			return
+		}
+		if resp.Cold {
+			res.Colds++
+		}
+	}
+
+	// One self-rescheduling callback chain per worker, mirroring the real
+	// fleet's per-worker schedule shards. Epoch 0 = run start.
+	epoch := eng.Now()
+	for w := 0; w < opts.Workers; w++ {
+		sched := p.workerSchedule(w)
+		var arrive func()
+		arrive = func() {
+			cl.InvokeAsync(req, done)
+			if off, ok := sched.next(); ok {
+				eng.CallAt(epoch+des.Time(off), arrive)
+			}
+		}
+		if off, ok := sched.next(); ok {
+			eng.CallAt(epoch+des.Time(off), arrive)
+		}
+	}
+
+	eng.Run(0)
+	res.VirtualElapsed = time.Duration(eng.Now() - epoch)
+	if res.Requests == 0 {
+		return nil, fmt.Errorf("stress: DES twin completed no requests")
+	}
+	return res, nil
+}

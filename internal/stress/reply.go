@@ -1,0 +1,81 @@
+package stress
+
+import "bytes"
+
+// Reply is the subset of httpfaas.InvokeReply the hot path needs, extracted
+// without decoding the full document.
+type Reply struct {
+	// Status is the HTTP status code.
+	Status int
+	// Cold reports a cold serve.
+	Cold bool
+	// SimLatencyNS is the provider-model latency the simulation assigned to
+	// this request (virtual time), straight from the response body.
+	SimLatencyNS int64
+}
+
+var (
+	coldKey = []byte(`"cold":`)
+	simKey  = []byte(`"sim_latency_ns":`)
+)
+
+// parseReply extracts the cold flag and simulated latency from an
+// InvokeReply JSON body without allocating: a keyed scan instead of a
+// decoder, valid because the server's encoder emits flat, known-shape
+// documents (the timestamps object, when present, contains neither key).
+// ok is false when either field is missing or malformed.
+func parseReply(b []byte, r *Reply) bool {
+	i := bytes.Index(b, coldKey)
+	if i < 0 {
+		return false
+	}
+	rest := b[i+len(coldKey):]
+	switch {
+	case bytes.HasPrefix(rest, trueLit):
+		r.Cold = true
+	case bytes.HasPrefix(rest, falseLit):
+		r.Cold = false
+	default:
+		return false
+	}
+	i = bytes.Index(b, simKey)
+	if i < 0 {
+		return false
+	}
+	n, ok := parseInt(b[i+len(simKey):])
+	if !ok {
+		return false
+	}
+	r.SimLatencyNS = n
+	return true
+}
+
+var (
+	trueLit  = []byte("true")
+	falseLit = []byte("false")
+)
+
+// parseInt reads a leading (optionally negative) decimal integer.
+func parseInt(b []byte) (int64, bool) {
+	neg := false
+	if len(b) > 0 && b[0] == '-' {
+		neg = true
+		b = b[1:]
+	}
+	var n int64
+	digits := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int64(c-'0')
+		digits++
+	}
+	if digits == 0 {
+		return 0, false
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}

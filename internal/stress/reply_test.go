@@ -1,0 +1,81 @@
+package stress
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestParseReplyAgainstEncodingJSON round-trips the scanner against real
+// encoded documents in the server's reply shape.
+func TestParseReplyAgainstEncodingJSON(t *testing.T) {
+	type serverReply struct {
+		Function     string           `json:"function"`
+		Cold         bool             `json:"cold"`
+		InstanceID   int              `json:"instance_id"`
+		QueueWaitNS  int64            `json:"queue_wait_ns"`
+		SimLatencyNS int64            `json:"sim_latency_ns"`
+		Timestamps   map[string]int64 `json:"timestamps,omitempty"`
+	}
+	cases := []serverReply{
+		{Function: "f", Cold: true, InstanceID: 3, SimLatencyNS: 123456789},
+		{Function: "g", Cold: false, SimLatencyNS: 0},
+		{Function: "h", Cold: false, QueueWaitNS: 55, SimLatencyNS: -7},
+		{Function: "ts", Cold: true, SimLatencyNS: 42,
+			Timestamps: map[string]int64{"f.recv": 10, "f.send": 20}},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(c); err != nil {
+			t.Fatal(err)
+		}
+		var r Reply
+		if !parseReply(buf.Bytes(), &r) {
+			t.Fatalf("parseReply failed on %s", buf.Bytes())
+		}
+		if r.Cold != c.Cold || r.SimLatencyNS != c.SimLatencyNS {
+			t.Errorf("parsed %+v from %s, want cold=%t sim=%d", r, buf.Bytes(), c.Cold, c.SimLatencyNS)
+		}
+	}
+}
+
+func TestParseReplyMalformed(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		[]byte(``),
+		[]byte(`{}`),
+		[]byte(`{"cold":true}`),        // missing sim latency
+		[]byte(`{"sim_latency_ns":5}`), // missing cold
+		[]byte(`{"cold":maybe,"sim_latency_ns":5}`),   // bad bool
+		[]byte(`{"cold":true,"sim_latency_ns":fast}`), // bad int
+		[]byte(`{"cold":true,"sim_latency_ns":}`),     // empty int
+		[]byte(`plain text error body`),
+	}
+	for _, b := range bad {
+		var r Reply
+		if parseReply(b, &r) {
+			t.Errorf("parseReply accepted %q", b)
+		}
+	}
+}
+
+func TestParseIntEdges(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"42,", 42, true}, // stops at the delimiter
+		{"-17}", -17, true},
+		{"", 0, false},
+		{"-", 0, false},
+		{"x1", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseInt([]byte(c.in))
+		if ok != c.ok || got != c.want {
+			t.Errorf("parseInt(%q) = (%d, %t), want (%d, %t)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package stress
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+func collect(s *schedule) []time.Duration {
+	var offs []time.Duration
+	for {
+		off, ok := s.next()
+		if !ok {
+			return offs
+		}
+		offs = append(offs, off)
+	}
+}
+
+func TestFixedScheduleSpacing(t *testing.T) {
+	p, err := newPlan(Options{Arrival: ArrivalFixed, Rate: 1000, Duration: 100 * time.Millisecond, Workers: 4}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []time.Duration
+	for w := 0; w < 4; w++ {
+		all = append(all, collect(p.workerSchedule(w))...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) != 100 { // 1000/s over 100ms
+		t.Fatalf("%d arrivals, want 100", len(all))
+	}
+	for i, off := range all {
+		want := time.Duration(i) * time.Millisecond
+		if diff := off - want; diff < -time.Microsecond || diff > time.Microsecond {
+			t.Fatalf("arrival %d at %v, want %v", i, off, want)
+		}
+	}
+}
+
+func TestPoissonScheduleDeterministicAndCalibrated(t *testing.T) {
+	opts := Options{Arrival: ArrivalPoisson, Rate: 50000, Duration: 2 * time.Second, Workers: 8, Seed: 42}.withDefaults()
+	p1, err := newPlan(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := newPlan(opts)
+
+	total := 0
+	for w := 0; w < 8; w++ {
+		a, b := collect(p1.workerSchedule(w)), collect(p2.workerSchedule(w))
+		if len(a) != len(b) {
+			t.Fatalf("worker %d: runs differ in length (%d vs %d)", w, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("worker %d arrival %d differs: %v vs %v", w, i, a[i], b[i])
+			}
+		}
+		for i := 1; i < len(a); i++ {
+			if a[i] < a[i-1] {
+				t.Fatalf("worker %d: offsets not monotone at %d", w, i)
+			}
+		}
+		total += len(a)
+	}
+	// Superposed rate must match: 50k/s over 2s = 100k expected, sd ≈ 316.
+	if math.Abs(float64(total)-100000) > 2000 {
+		t.Fatalf("poisson total %d, want ~100000", total)
+	}
+}
+
+func TestTraceScheduleStriding(t *testing.T) {
+	opts := Options{
+		Arrival:       ArrivalTrace,
+		TraceCounts:   []uint64{4, 0, 2, 7},
+		TraceInterval: 100 * time.Millisecond,
+		Workers:       3,
+	}.withDefaults()
+	p, err := newPlan(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []time.Duration
+	for w := 0; w < 3; w++ {
+		all = append(all, collect(p.workerSchedule(w))...)
+	}
+	if len(all) != 13 {
+		t.Fatalf("%d arrivals, want 13", len(all))
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	// Interval 1 (index 1) is empty: nothing lands in [100ms, 200ms).
+	for _, off := range all {
+		if off >= 100*time.Millisecond && off < 200*time.Millisecond {
+			t.Fatalf("arrival at %v inside empty interval", off)
+		}
+	}
+	// Interval 2's two arrivals are evenly spaced at 200ms and 250ms.
+	if all[4] != 200*time.Millisecond || all[5] != 250*time.Millisecond {
+		t.Fatalf("interval-2 arrivals at %v and %v", all[4], all[5])
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	bad := []Options{
+		{Arrival: ArrivalFixed, Rate: 0, Duration: time.Second},
+		{Arrival: ArrivalFixed, Rate: -5, Duration: time.Second},
+		{Arrival: ArrivalPoisson, Rate: math.NaN(), Duration: time.Second},
+		{Arrival: ArrivalPoisson, Rate: math.Inf(1), Duration: time.Second},
+		{Arrival: ArrivalFixed, Rate: 100},                                               // no duration, no cap
+		{Arrival: ArrivalTrace},                                                          // no counts
+		{Arrival: ArrivalTrace, TraceCounts: []uint64{1}},                                // no interval
+		{Arrival: ArrivalTrace, TraceCounts: []uint64{0, 0}, TraceInterval: time.Second}, // zero arrivals
+		{Arrival: "sometimes", Rate: 100, Duration: time.Second},
+	}
+	for i, o := range bad {
+		if _, err := newPlan(o.withDefaults()); err == nil {
+			t.Errorf("case %d (%+v): plan accepted, want error", i, o)
+		}
+	}
+	if _, err := newPlan(Options{Arrival: ArrivalFixed, Rate: 100, MaxRequests: 10}.withDefaults()); err != nil {
+		t.Errorf("request-capped plan rejected: %v", err)
+	}
+}
+
+func TestSplitCount(t *testing.T) {
+	caps := splitCount(10, 4)
+	want := []uint64{3, 3, 2, 2}
+	for i := range want {
+		if caps[i] != want[i] {
+			t.Fatalf("splitCount(10,4) = %v, want %v", caps, want)
+		}
+	}
+	for _, c := range splitCount(0, 3) {
+		if c != math.MaxUint64 {
+			t.Fatal("zero total should mean unbounded workers")
+		}
+	}
+}
+
+func TestPlannedArrivals(t *testing.T) {
+	n, err := PlannedArrivals(Options{Arrival: ArrivalFixed, Rate: 500, MaxRequests: 100, Workers: 4})
+	if err != nil || n != 100 {
+		t.Fatalf("capped plan: n=%d err=%v, want 100", n, err)
+	}
+	n, err = PlannedArrivals(Options{Arrival: ArrivalTrace, TraceCounts: []uint64{5, 5}, TraceInterval: time.Second, Workers: 2})
+	if err != nil || n != 10 {
+		t.Fatalf("trace plan: n=%d err=%v, want 10", n, err)
+	}
+	if _, err := PlannedArrivals(Options{Arrival: ArrivalPoisson, Rate: -1, Duration: time.Second}); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}
+
+func TestParseKinds(t *testing.T) {
+	if _, err := ParseArrivalKind("poisson"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseArrivalKind("bursty"); err == nil {
+		t.Fatal("bad arrival kind accepted")
+	}
+	if _, err := ParseClientKind("raw"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseClientKind("curl"); err == nil {
+		t.Fatal("bad client kind accepted")
+	}
+}

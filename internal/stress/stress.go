@@ -1,0 +1,291 @@
+package stress
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/stats/sketch"
+)
+
+// Options configures one stress run.
+type Options struct {
+	// URL is the function endpoint (http://host:port/fn/name).
+	URL string
+	// Arrival selects the schedule family (fixed, poisson, trace).
+	Arrival ArrivalKind
+	// Rate is the aggregate arrival rate in requests/second (fixed, poisson).
+	Rate float64
+	// Duration bounds the schedule horizon: no arrival is *scheduled* at or
+	// beyond it (in-flight requests still complete). Zero means the run is
+	// bounded by MaxRequests or the trace instead.
+	Duration time.Duration
+	// Workers is the client fleet size. Each worker owns a connection, a
+	// schedule shard, and a sketch shard.
+	Workers int
+	// Conns bounds the std client's idle pool per worker (ignored by raw).
+	Conns int
+	// Client picks the HTTP client implementation (raw by default).
+	Client ClientKind
+	// Seed drives the Poisson streams; the DES twin reuses it.
+	Seed int64
+	// MaxRequests caps total arrivals across workers (0 = unbounded).
+	MaxRequests uint64
+	// TraceCounts and TraceInterval define trace-mode arrivals: counts[i]
+	// arrivals spaced evenly inside interval i.
+	TraceCounts   []uint64
+	TraceInterval time.Duration
+	// ExecTime and PayloadBytes are forwarded as invoke query parameters.
+	ExecTime     time.Duration
+	PayloadBytes int64
+	// Timeout bounds one request (default 30s).
+	Timeout time.Duration
+	// Alpha is the sketch relative accuracy (default sketch.DefaultAlpha).
+	Alpha float64
+	// ClosedLoop switches latency recording to measure from the *actual*
+	// send instant instead of the intended one — the coordinated-omission-
+	// prone control. Exists so the CO test (and skeptical users) can see
+	// the difference; reports always say which mode produced them.
+	ClosedLoop bool
+}
+
+func (o Options) withDefaults() Options {
+	opts := o
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Client == "" {
+		opts.Client = ClientRaw
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	if opts.Alpha <= 0 {
+		opts.Alpha = sketch.DefaultAlpha
+	}
+	if opts.Arrival == "" {
+		opts.Arrival = ArrivalPoisson
+	}
+	return opts
+}
+
+// Result aggregates a run: merged sketches plus fleet-wide counters.
+type Result struct {
+	// Intended records response time measured from the *intended* arrival
+	// instant (coordinated-omission-safe; in closed-loop mode it is measured
+	// from the actual send instead, and ClosedLoop says so).
+	Intended *sketch.Sketch
+	// Service records response time measured from the actual send — the
+	// server-plus-wire component, excluding client-side scheduling lag.
+	Service *sketch.Sketch
+	// SendLag records how late each request left relative to its intended
+	// instant (generator health: a growing lag means the fleet is saturated).
+	SendLag *sketch.Sketch
+	// SimVirtual records the virtual-time latency the simulation reported in
+	// each reply body — the DES view of the same requests.
+	SimVirtual *sketch.Sketch
+
+	Requests uint64 // responses received (any HTTP status)
+	Errors   uint64 // transport failures + non-200 statuses
+	Colds    uint64 // replies flagged cold
+	Dials    uint64 // new TCP connections across the fleet
+	Reused   uint64 // requests that rode an existing connection
+
+	// Elapsed is first-send to last-response wall time; AchievedRPS is
+	// Requests/Elapsed.
+	Elapsed     time.Duration
+	AchievedRPS float64
+
+	// ClosedLoop echoes the recording mode.
+	ClosedLoop bool
+}
+
+// shard is one worker's private recording state, merged after the run.
+type shard struct {
+	intended *sketch.Sketch
+	service  *sketch.Sketch
+	sendLag  *sketch.Sketch
+	simVirt  *sketch.Sketch
+
+	requests uint64
+	errors   uint64
+	colds    uint64
+	stats    ConnStats
+
+	firstSend time.Time
+	lastResp  time.Time
+	err       error
+}
+
+// Run executes the configured stress run and returns merged results. The
+// worker fleet is open-loop: intended send times come from the schedule
+// alone, and a worker that falls behind records the lateness rather than
+// stretching the schedule.
+func Run(o Options) (*Result, error) {
+	opts := o.withDefaults()
+	p, err := newPlan(opts)
+	if err != nil {
+		return nil, err
+	}
+	target, err := NewTarget(opts.URL, BuildQuery(opts.ExecTime, opts.PayloadBytes))
+	if err != nil {
+		return nil, err
+	}
+
+	shards := make([]*shard, opts.Workers)
+	clients := make([]Client, opts.Workers)
+	for w := range shards {
+		shards[w] = &shard{
+			intended: sketch.New(opts.Alpha),
+			service:  sketch.New(opts.Alpha),
+			sendLag:  sketch.New(opts.Alpha),
+			simVirt:  sketch.New(opts.Alpha),
+		}
+		c, err := newClient(opts.Client, target, opts.Conns, opts.Timeout)
+		if err != nil {
+			for _, prev := range clients {
+				if prev != nil {
+					prev.Close()
+				}
+			}
+			return nil, err
+		}
+		clients[w] = c
+	}
+
+	start := time.Now().Add(5 * time.Millisecond) // common epoch, slightly out so worker 0's first arrival isn't already late
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runWorker(p.workerSchedule(w), clients[w], shards[w], start, opts.ClosedLoop)
+			shards[w].stats = clients[w].Stats()
+			clients[w].Close()
+		}(w)
+	}
+	wg.Wait()
+
+	res := &Result{
+		Intended:   sketch.New(opts.Alpha),
+		Service:    sketch.New(opts.Alpha),
+		SendLag:    sketch.New(opts.Alpha),
+		SimVirtual: sketch.New(opts.Alpha),
+		ClosedLoop: opts.ClosedLoop,
+	}
+	var first, last time.Time
+	var firstErr error
+	for _, sh := range shards {
+		if sh.err != nil && firstErr == nil {
+			firstErr = sh.err
+		}
+		res.Intended.Merge(sh.intended)
+		res.Service.Merge(sh.service)
+		res.SendLag.Merge(sh.sendLag)
+		res.SimVirtual.Merge(sh.simVirt)
+		res.Requests += sh.requests
+		res.Errors += sh.errors
+		res.Colds += sh.colds
+		res.Dials += sh.stats.Dials
+		res.Reused += sh.stats.Reused
+		if !sh.firstSend.IsZero() && (first.IsZero() || sh.firstSend.Before(first)) {
+			first = sh.firstSend
+		}
+		if sh.lastResp.After(last) {
+			last = sh.lastResp
+		}
+	}
+	if res.Requests == 0 {
+		if firstErr != nil {
+			return nil, fmt.Errorf("stress: no requests completed: %w", firstErr)
+		}
+		return nil, fmt.Errorf("stress: no requests completed")
+	}
+	res.Elapsed = last.Sub(first)
+	if res.Elapsed > 0 {
+		res.AchievedRPS = float64(res.Requests) / res.Elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// runWorker drives one worker's schedule to exhaustion. The loop body is
+// allocation-free: the schedule, client buffers, and Reply are all reused.
+func runWorker(sched *schedule, client Client, sh *shard, start time.Time, closedLoop bool) {
+	var reply Reply
+	consecutiveErrs := 0
+	for {
+		off, ok := sched.next()
+		if !ok {
+			return
+		}
+		intendedAt := start.Add(off)
+		sleepUntil(intendedAt)
+
+		sendAt := time.Now()
+		reply = Reply{}
+		err := client.Do(&reply)
+		respAt := time.Now()
+
+		if sh.firstSend.IsZero() {
+			sh.firstSend = sendAt
+		}
+		sh.lastResp = respAt
+
+		if err != nil {
+			sh.errors++
+			sh.err = err
+			consecutiveErrs++
+			if consecutiveErrs >= 16 {
+				return // endpoint is gone; stop burning the schedule
+			}
+			continue
+		}
+		consecutiveErrs = 0
+		sh.requests++
+
+		lag := sendAt.Sub(intendedAt)
+		if lag < 0 {
+			lag = 0
+		}
+		sh.sendLag.Add(lag)
+		if reply.Status != 200 {
+			sh.errors++
+			continue
+		}
+
+		base := intendedAt
+		if closedLoop {
+			base = sendAt
+		}
+		sh.intended.Add(respAt.Sub(base))
+		sh.service.Add(respAt.Sub(sendAt))
+		if reply.SimLatencyNS > 0 {
+			sh.simVirt.Add(time.Duration(reply.SimLatencyNS))
+		}
+		if reply.Cold {
+			sh.colds++
+		}
+	}
+}
+
+// spinThreshold is how close to the deadline sleepUntil switches from
+// time.Sleep to a Gosched spin. OS sleep granularity is ~50-100µs; spinning
+// the last stretch keeps send-time jitter well under that.
+const spinThreshold = 200 * time.Microsecond
+
+// sleepUntil parks until t. Returning after t is fine — lateness is
+// recorded as send lag, never hidden.
+func sleepUntil(t time.Time) {
+	for {
+		d := time.Until(t)
+		if d <= 0 {
+			return
+		}
+		if d > spinThreshold {
+			time.Sleep(d - spinThreshold)
+			continue
+		}
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,267 @@
+package stress
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/blobstore"
+	"github.com/stellar-repro/stellar/internal/cloud"
+	"github.com/stellar-repro/stellar/internal/core"
+	"github.com/stellar-repro/stellar/internal/dist"
+	"github.com/stellar-repro/stellar/internal/httpfaas"
+)
+
+// testConfig mirrors the httpfaas test profile: small latencies so
+// wall-clock tests stay fast under high time compression.
+func testConfig() cloud.Config {
+	return cloud.Config{
+		Name:              "stress-sim",
+		PropagationRTT:    10 * time.Millisecond,
+		FrontendDelay:     dist.Constant(time.Millisecond),
+		WarmOverhead:      dist.Constant(2 * time.Millisecond),
+		SchedulerCapacity: 8,
+		Policy:            cloud.PolicyConfig{Kind: cloud.PolicyNoQueue},
+		SandboxBoot:       dist.Constant(20 * time.Millisecond),
+		WarmGenericPool:   true,
+		PooledInit:        dist.Constant(20 * time.Millisecond),
+		ImageStore:        blobstore.Config{Name: "img", GetLatency: dist.Constant(10 * time.Millisecond)},
+		PayloadStore: blobstore.Config{
+			Name:       "blob",
+			GetLatency: dist.Constant(5 * time.Millisecond),
+			PutLatency: dist.Constant(5 * time.Millisecond),
+		},
+		InlineLimitBytes:   6 << 20,
+		InlineBandwidthBps: 1e9,
+		KeepAlive:          cloud.KeepAlivePolicy{Fixed: 10 * time.Minute},
+		Workers:            4,
+	}
+}
+
+func testFunction() core.FunctionConfig {
+	return core.FunctionConfig{Name: "f", Runtime: "go1.x", Method: "zip"}
+}
+
+// startFaaS boots an httpfaas server with one deployed function and returns
+// its invoke URL.
+func startFaaS(t *testing.T, timeScale float64) (*httpfaas.Server, string) {
+	t.Helper()
+	srv, err := httpfaas.NewServer(testConfig(), 7, timeScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Stop)
+	eps, err := srv.Deploy(testFunction())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, eps[0].URL
+}
+
+func TestRunAgainstHTTPFaaS(t *testing.T) {
+	_, url := startFaaS(t, 1000)
+	opts := Options{
+		URL:         url,
+		Arrival:     ArrivalFixed,
+		Rate:        2000,
+		MaxRequests: 600,
+		Workers:     4,
+		Seed:        7,
+	}
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 600 {
+		t.Fatalf("completed %d of 600", res.Requests)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors", res.Errors)
+	}
+	if res.Colds == 0 {
+		t.Error("no cold starts recorded at ramp-up")
+	}
+	if res.Intended.Count() != 600 || res.Service.Count() != 600 || res.SendLag.Count() != 600 {
+		t.Fatalf("sketch counts intended=%d service=%d lag=%d, want 600 each",
+			res.Intended.Count(), res.Service.Count(), res.SendLag.Count())
+	}
+	if res.SimVirtual.Count() == 0 {
+		t.Error("no in-reply sim latencies parsed")
+	}
+	if res.Dials == 0 || res.Reused == 0 {
+		t.Errorf("connection counters dials=%d reused=%d: keep-alive not exercised", res.Dials, res.Reused)
+	}
+	if res.Reused+res.Dials < 600 {
+		t.Errorf("dials+reused = %d < requests", res.Reused+res.Dials)
+	}
+	if res.AchievedRPS <= 0 {
+		t.Error("no achieved rate computed")
+	}
+	// Intended-time latency is never below service time at equal quantiles.
+	if res.Intended.Quantile(0.5) < res.Service.Quantile(0.5)-time.Millisecond {
+		t.Errorf("intended p50 %v below service p50 %v", res.Intended.Quantile(0.5), res.Service.Quantile(0.5))
+	}
+}
+
+func TestRunStdClientAgainstHTTPFaaS(t *testing.T) {
+	_, url := startFaaS(t, 1000)
+	res, err := Run(Options{
+		URL:         url,
+		Arrival:     ArrivalPoisson,
+		Rate:        1500,
+		MaxRequests: 300,
+		Workers:     2,
+		Client:      ClientStd,
+		Seed:        11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 300 || res.Errors != 0 {
+		t.Fatalf("requests=%d errors=%d", res.Requests, res.Errors)
+	}
+	if res.Dials == 0 {
+		t.Error("std client reported no dials")
+	}
+}
+
+// TestDESTwinSameSeed runs the virtual twin with the same profile, seed,
+// and schedule, and checks the comparison is well-formed and deterministic.
+func TestDESTwinSameSeed(t *testing.T) {
+	opts := Options{
+		URL:         "http://127.0.0.1:1/fn/f", // twin never dials
+		Arrival:     ArrivalPoisson,
+		Rate:        50000,
+		MaxRequests: 20000,
+		Workers:     4,
+		Seed:        7,
+	}
+	twin1, err := RunDES(opts, testConfig(), testFunction())
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin2, err := RunDES(opts, testConfig(), testFunction())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twin1.Requests != 20000 {
+		t.Fatalf("twin completed %d of 20000", twin1.Requests)
+	}
+	if twin1.Requests != twin2.Requests || twin1.Colds != twin2.Colds ||
+		twin1.Latency.Quantile(0.99) != twin2.Latency.Quantile(0.99) {
+		t.Fatalf("twin runs differ: %+v vs %+v", twin1, twin2)
+	}
+	if twin1.Latency.Count() == 0 || twin1.VirtualElapsed <= 0 {
+		t.Fatalf("twin recorded nothing: %+v", twin1)
+	}
+}
+
+// TestReportIncludesComparison pins the report contract from the issue: the
+// run report carries intended-time quantiles alongside the same-seed DES
+// comparison.
+func TestReportIncludesComparison(t *testing.T) {
+	_, url := startFaaS(t, 1000)
+	opts := Options{
+		URL:         url,
+		Arrival:     ArrivalFixed,
+		Rate:        2000,
+		MaxRequests: 200,
+		Workers:     2,
+		Seed:        3,
+	}
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin, err := RunDES(opts, testConfig(), testFunction())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteReport(&buf, opts, res, twin, 1000)
+	out := buf.String()
+	for _, want := range []string{
+		"latency (intended-time):",
+		"open-loop (CO-safe)",
+		"DES twin",
+		"DES virtual",
+		"p99",
+		"timescale 1000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	var cdf bytes.Buffer
+	if err := WriteCDF(&cdf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(cdf.String(), "series,latency_ns,cdf\n") ||
+		!strings.Contains(cdf.String(), "intended,") || !strings.Contains(cdf.String(), "service,") {
+		t.Errorf("CDF output malformed:\n%.200s", cdf.String())
+	}
+}
+
+// TestCoordinatedOmission is the satellite regression: stall the server for
+// 500ms mid-run. The open-loop recorder, measuring from intended send
+// times, must see the stall at p99; the closed-loop control, measuring from
+// actual sends, must not.
+func TestCoordinatedOmission(t *testing.T) {
+	run := func(closed bool) *Result {
+		srv := newCannedServer(t, cannedBody(false, 1000))
+		srv.stallAt = 100
+		srv.stallFor = 500 * time.Millisecond
+		res, err := Run(Options{
+			URL:         srv.url(),
+			Arrival:     ArrivalFixed,
+			Rate:        400,
+			MaxRequests: 600,
+			Workers:     1, // sequential: the classic closed-loop shape
+			Seed:        1,
+			ClosedLoop:  closed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Requests != 600 || res.Errors != 0 {
+			t.Fatalf("closed=%t: requests=%d errors=%d", closed, res.Requests, res.Errors)
+		}
+		return res
+	}
+
+	open := run(false)
+	control := run(true)
+
+	openP99 := open.Intended.Quantile(0.99)
+	controlP99 := control.Intended.Quantile(0.99)
+	if openP99 < 200*time.Millisecond {
+		t.Errorf("open-loop p99 = %v, want >= 200ms: the stall was hidden", openP99)
+	}
+	if controlP99 > 100*time.Millisecond {
+		t.Errorf("closed-loop control p99 = %v, want < 100ms: the control should hide the stall", controlP99)
+	}
+	if !control.ClosedLoop || open.ClosedLoop {
+		t.Error("ClosedLoop flags not propagated")
+	}
+}
+
+// TestRunEndpointDown checks the generator fails cleanly instead of
+// spinning when nothing listens.
+func TestRunEndpointDown(t *testing.T) {
+	_, err := Run(Options{
+		URL:         "http://127.0.0.1:1/fn/f",
+		Arrival:     ArrivalFixed,
+		Rate:        1000,
+		MaxRequests: 100,
+		Workers:     2,
+		Timeout:     500 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("run against a dead endpoint succeeded")
+	}
+}
