@@ -1,0 +1,106 @@
+package azuretrace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/dist"
+)
+
+// Synthesize turns a Record's percentile ladder into a sampleable
+// execution-time distribution for trace replay. Sampling inverts the
+// empirical CDF defined by the record's percentile knots with log-linear
+// interpolation between them — execution times in the Azure trace span
+// orders of magnitude, so interpolating in log space preserves the
+// multiplicative shape of each function's distribution (a straight line in
+// linear space would put far too much mass near the upper knot).
+//
+// Beyond the ladder the distribution extrapolates conservatively: below the
+// lowest knot it tapers toward half that knot's value at u=0, and above the
+// highest it continues the p95→p99 log slope, capped at 4x the p99 so a
+// single record can never produce unbounded tails.
+func Synthesize(r Record) (dist.Dist, error) {
+	type knot struct {
+		u    float64 // cumulative probability
+		logV float64 // ln(duration in ns)
+	}
+	ps := make([]int, 0, len(r.Percentiles))
+	for p := range r.Percentiles {
+		if p <= 0 || p >= 100 {
+			return nil, fmt.Errorf("azuretrace: %s: percentile %d out of (0,100)", r.Function, p)
+		}
+		ps = append(ps, p)
+	}
+	if len(ps) < 2 {
+		return nil, fmt.Errorf("azuretrace: %s: need at least 2 percentiles, have %d", r.Function, len(ps))
+	}
+	sort.Ints(ps)
+	knots := make([]knot, 0, len(ps))
+	prev := time.Duration(0)
+	for _, p := range ps {
+		v := r.Percentiles[p]
+		if v <= 0 {
+			return nil, fmt.Errorf("azuretrace: %s: non-positive p%d", r.Function, p)
+		}
+		if v < prev {
+			return nil, fmt.Errorf("azuretrace: %s: percentiles not monotone at p%d", r.Function, p)
+		}
+		prev = v
+		knots = append(knots, knot{u: float64(p) / 100, logV: math.Log(float64(v))})
+	}
+
+	lo, hi := knots[0], knots[len(knots)-1]
+	// Tail slope in log space per unit probability, from the last segment
+	// (p95→p99 on synthesized records). Flat ladders get a zero slope.
+	var tailSlope float64
+	last := knots[len(knots)-2]
+	if du := hi.u - last.u; du > 0 {
+		tailSlope = (hi.logV - last.logV) / du
+	}
+	tailCap := hi.logV + math.Log(4)
+
+	d := &ladderDist{name: r.Function}
+	d.sample = func(rng *rand.Rand) time.Duration {
+		u := rng.Float64()
+		switch {
+		case u <= lo.u:
+			// Taper toward lo/2 at u=0.
+			frac := u / lo.u
+			return clampDur(lo.logV - (1-frac)*math.Log(2))
+		case u >= hi.u:
+			v := hi.logV + tailSlope*(u-hi.u)
+			if v > tailCap {
+				v = tailCap
+			}
+			return clampDur(v)
+		}
+		i := sort.Search(len(knots), func(i int) bool { return knots[i].u >= u })
+		a, b := knots[i-1], knots[i]
+		frac := (u - a.u) / (b.u - a.u)
+		return clampDur(a.logV + frac*(b.logV-a.logV))
+	}
+	return d, nil
+}
+
+func clampDur(logV float64) time.Duration {
+	v := math.Exp(logV)
+	if v < 1 {
+		return time.Nanosecond
+	}
+	return time.Duration(v)
+}
+
+// ladderDist adapts a bound sampling closure to dist.Dist.
+type ladderDist struct {
+	name   string
+	sample func(*rand.Rand) time.Duration
+}
+
+func (d *ladderDist) Sample(rng *rand.Rand) time.Duration { return d.sample(rng) }
+
+func (d *ladderDist) String() string {
+	return fmt.Sprintf("azuretrace-ladder(%s)", d.name)
+}

@@ -1,0 +1,128 @@
+package azuretrace
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// sampleMany draws n values and returns them sorted.
+func sampleMany(t *testing.T, r Record, n int, seed int64) []time.Duration {
+	t.Helper()
+	d, err := Synthesize(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = d.Sample(rng)
+		if out[i] <= 0 {
+			t.Fatalf("sample %d non-positive: %v", i, out[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func pct(sorted []time.Duration, p float64) time.Duration {
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func within(t *testing.T, label string, got, want time.Duration, tol float64) {
+	t.Helper()
+	lo := float64(want) * (1 - tol)
+	hi := float64(want) * (1 + tol)
+	if float64(got) < lo || float64(got) > hi {
+		t.Errorf("%s = %v, want %v +/- %.0f%%", label, got, want, tol*100)
+	}
+}
+
+// TestSynthesizeRecoversPercentiles is the core property: sampling the
+// synthesized distribution reproduces the record's own percentile ladder.
+func TestSynthesizeRecoversPercentiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, r := range Generate(20, rng) {
+		samples := sampleMany(t, r, 50_000, 11)
+		within(t, r.Function+" median", pct(samples, 50), r.Median(), 0.05)
+		within(t, r.Function+" p75", pct(samples, 75), r.Percentiles[75], 0.05)
+		within(t, r.Function+" p99", pct(samples, 99), r.P99(), 0.10)
+		// Tail-to-median ratio of the samples tracks the record's TMR.
+		gotTMR := float64(pct(samples, 99)) / float64(pct(samples, 50))
+		wantTMR := r.TMR()
+		if gotTMR < wantTMR*0.85 || gotTMR > wantTMR*1.15 {
+			t.Errorf("%s TMR = %.2f, want %.2f +/- 15%%", r.Function, gotTMR, wantTMR)
+		}
+	}
+}
+
+// TestSynthesizeTailBounded: extrapolation past p99 never exceeds 4x p99.
+func TestSynthesizeTailBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, r := range Generate(10, rng) {
+		samples := sampleMany(t, r, 50_000, 5)
+		capV := 4 * r.P99()
+		if max := samples[len(samples)-1]; max > capV {
+			t.Errorf("%s max sample %v beyond 4x p99 (%v)", r.Function, max, capV)
+		}
+	}
+}
+
+// TestSynthesizeLowerTaper: samples below p25 stay above half the p25 knot.
+func TestSynthesizeLowerTaper(t *testing.T) {
+	r := Record{Function: "taper", Percentiles: map[int]time.Duration{
+		25: 100 * time.Millisecond,
+		50: 200 * time.Millisecond,
+		75: 400 * time.Millisecond,
+		95: time.Second,
+		99: 2 * time.Second,
+	}}
+	samples := sampleMany(t, r, 20_000, 9)
+	if min := samples[0]; min < 50*time.Millisecond-time.Millisecond {
+		t.Errorf("min sample %v below p25/2", min)
+	}
+}
+
+// TestSynthesizeDeterministic: same record + same seed, same stream.
+func TestSynthesizeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	r := Generate(1, rng)[0]
+	a := sampleMany(t, r, 1000, 17)
+	b := sampleMany(t, r, 1000, 17)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSynthesizeRejectsBadRecords(t *testing.T) {
+	cases := []Record{
+		{Function: "empty"},
+		{Function: "single", Percentiles: map[int]time.Duration{50: time.Second}},
+		{Function: "zero", Percentiles: map[int]time.Duration{50: 0, 99: time.Second}},
+		{Function: "nonmono", Percentiles: map[int]time.Duration{50: 2 * time.Second, 99: time.Second}},
+		{Function: "range", Percentiles: map[int]time.Duration{0: time.Second, 50: time.Second}},
+		{Function: "range2", Percentiles: map[int]time.Duration{50: time.Second, 100: 2 * time.Second}},
+	}
+	for _, r := range cases {
+		if _, err := Synthesize(r); err == nil {
+			t.Errorf("%s: want error, got nil", r.Function)
+		}
+	}
+}
+
+func TestSynthesizeString(t *testing.T) {
+	r := Record{Function: "fn-42", Percentiles: map[int]time.Duration{
+		50: time.Second, 99: 3 * time.Second,
+	}}
+	d, err := Synthesize(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := d.String(); s != "azuretrace-ladder(fn-42)" {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -46,6 +46,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		err = cmdStress(args[1:], stdout)
 	case "faults":
 		err = cmdFaults(args[1:], stdout)
+	case "tenants":
+		err = cmdTenants(args[1:], stdout)
 	case "experiment":
 		err = cmdExperiment(args[1:], stdout)
 	case "-h", "--help", "help":
@@ -81,6 +83,9 @@ commands:
              same-seed DES tail comparison
   faults     fault-injection sweep: failure-rate x retry-policy grid with
              success-rate / retry-cost / goodput / tail-latency reporting
+  tenants    provider-scale multi-tenant trace replay: synthesized Azure-style
+             tenant population under a swept keep-alive axis, reporting the
+             cold-start-rate vs instance-seconds Pareto frontier
   experiment regenerate a paper table/figure or extension study
              (fig3a..fig10, table1, breakdown, policyspace, snapshots, observations, all)`)
 }

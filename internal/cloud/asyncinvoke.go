@@ -150,6 +150,7 @@ func (c *Cloud) InvokeAsync(req *Request, done func(*Response, error)) {
 func (wc *warmCall) begin() {
 	c := wc.c
 	c.metrics.Invocations++
+	wc.fn.tm.Invocations++
 	wc.fn.inflight++
 	wc.start = c.eng.Now()
 	wc.bd.Propagation = c.cfg.PropagationRTT
@@ -293,9 +294,11 @@ func (wc *warmCall) serveOn(inst *Instance) {
 	inst.served++
 	if wc.cold {
 		c.metrics.ColdServed++
+		wc.fn.tm.ColdServed++
 		wc.bd.ColdStart = inst.coldBreakdown
 	} else {
 		c.metrics.WarmServed++
+		wc.fn.tm.WarmServed++
 	}
 	wc.busyStart = c.eng.Now()
 	wc.bd.Overhead = c.cfg.WarmOverhead.Sample(c.rngInstance)
@@ -326,6 +329,10 @@ func (wc *warmCall) execDone() {
 	gbs := (c.eng.Now() - wc.busyStart).Seconds() * c.cfg.memoryGB(fn.spec.MemoryMB)
 	wc.resp.BilledGBSeconds = gbs
 	c.metrics.BilledGBSeconds += gbs
+	// Capture the instance id before release: instance records are pooled,
+	// and a short keep-alive can expire and recycle this one while the
+	// response path is still in flight.
+	wc.resp.InstanceID = wc.inst.id
 	fn.release(wc.inst)
 	wc.bd.ResponsePath = c.cfg.ResponseDelay.Sample(c.rngIngress)
 	c.eng.CallAfter(wc.bd.ResponsePath, wc.respDoneFn)
@@ -342,7 +349,6 @@ func (wc *warmCall) finish() {
 	c, fn := wc.c, wc.fn
 	resp := &wc.resp
 	resp.Fn = fn.spec.Name
-	resp.InstanceID = wc.inst.id
 	resp.Cold = wc.cold
 	resp.QueueWait = wc.bd.QueueWait
 	resp.Attempts = 1
@@ -350,6 +356,9 @@ func (wc *warmCall) finish() {
 	fn.inflight--
 	if c.latRec != nil {
 		c.latRec.Add(c.eng.Now() - wc.start)
+	}
+	if fn.rec != nil {
+		fn.rec.Add(c.eng.Now() - wc.start)
 	}
 	wc.done(resp, nil)
 	c.putWarmCall(wc)
@@ -359,6 +368,7 @@ func (wc *warmCall) finish() {
 // the fast path can produce) and recycles the record. As in Invoke's error
 // return, no egress legs run and no latency is recorded.
 func (wc *warmCall) fail(err error) {
+	wc.fn.tm.Errors++
 	wc.fn.inflight--
 	wc.done(nil, err)
 	wc.c.putWarmCall(wc)

@@ -59,22 +59,45 @@ func BenchmarkColdInvoke(b *testing.B) {
 	eng.Run(0)
 }
 
-// BenchmarkKeepAliveChurn measures warm invocations with an aggressive
-// keep-alive: every request cancels the instance's expiry timer on claim
-// and re-arms it on release, so this is the timer-churn stress of the
-// engine's indexed cancellation path.
-func BenchmarkKeepAliveChurn(b *testing.B) {
+// benchKeepAliveChurn measures the keep-alive cancel/refresh cost of a warm
+// invocation against a realistic timer population: a fleet of idle instances
+// (each holding a pending expiry timer) sits in the background while one hot
+// function churns claim-cancel / release-re-arm per request. In heap mode
+// every churn op pays an indexed removal and push against the whole fleet's
+// timers; with slack > 0 the expiries live on the timer wheel instead.
+func benchKeepAliveChurn(b *testing.B, slack time.Duration) {
+	const fleet = 2000
 	cfg := testConfig()
-	cfg.KeepAlive = KeepAlivePolicy{Fixed: 30 * time.Second}
+	cfg.KeepAlive = KeepAlivePolicy{Fixed: 30 * time.Minute}
+	cfg.KeepAliveSlack = slack
 	eng := des.NewEngine()
 	defer eng.Close()
 	c, err := New(eng, cfg, dist.NewStreams(1))
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := c.Deploy(FunctionSpec{Name: "f", Runtime: RuntimePython, Method: DeployZIP}); err != nil {
-		b.Fatal(err)
+	for _, name := range []string{"fleet", "f"} {
+		if err := c.Deploy(FunctionSpec{Name: name, Runtime: RuntimePython, Method: DeployZIP}); err != nil {
+			b.Fatal(err)
+		}
 	}
+	// Build the idle fleet: concurrent overlapping invocations force one
+	// instance each; afterwards all park idle with pending expiry timers.
+	for i := 0; i < fleet; i++ {
+		eng.Spawn("fleet", func(p *des.Proc) {
+			if _, err := c.Invoke(p, &Request{Fn: "fleet", ExecTime: time.Second}); err != nil {
+				b.Error(err)
+			}
+		})
+	}
+	eng.Run(0)
+	// Warm the hot function's instance outside the timer.
+	eng.Spawn("warm", func(p *des.Proc) {
+		if _, err := c.Invoke(p, &Request{Fn: "f"}); err != nil {
+			b.Error(err)
+		}
+	})
+	eng.Run(0)
 	b.ResetTimer()
 	eng.Spawn("bench", func(p *des.Proc) {
 		for i := 0; i < b.N; i++ {
@@ -85,6 +108,13 @@ func BenchmarkKeepAliveChurn(b *testing.B) {
 		}
 	})
 	eng.Run(0)
+}
+
+// BenchmarkKeepAliveChurn compares per-invocation keep-alive timer churn on
+// the exact heap against the slack wheel, with 2000 idle-fleet timers live.
+func BenchmarkKeepAliveChurn(b *testing.B) {
+	b.Run("heap", func(b *testing.B) { benchKeepAliveChurn(b, 0) })
+	b.Run("wheel", func(b *testing.B) { benchKeepAliveChurn(b, 500*time.Millisecond) })
 }
 
 // BenchmarkBurst100 measures a full 100-request cold burst round.

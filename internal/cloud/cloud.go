@@ -56,6 +56,24 @@ type Metrics struct {
 	BilledGBSeconds float64
 }
 
+// TenantMetrics aggregates one deployed function's (one tenant's)
+// counters — the per-tenant view of the cloud-wide Metrics, feeding the
+// keep-alive policy sweep's cold-rate vs. instance-seconds trade-off.
+type TenantMetrics struct {
+	// Invocations counts external requests admitted for this function.
+	Invocations uint64
+	// ColdServed and WarmServed count serves by this function's instances
+	// (chained internal serves included, as in the cloud-wide Metrics).
+	ColdServed uint64
+	WarmServed uint64
+	// Errors counts failed external invocations (queue timeouts, drops,
+	// crash-retry exhaustion).
+	Errors uint64
+	// InstanceSeconds integrates this function's live instances over
+	// virtual time — the per-tenant memory-cost proxy.
+	InstanceSeconds float64
+}
+
 // LatencyRecorder receives one client-observed latency per successful
 // external invocation, in virtual-time completion order. Both the exact
 // stats.Sample and the bounded sketch.Sketch satisfy it, so callers choose
@@ -111,6 +129,13 @@ type Cloud struct {
 	mode   EngineMode
 	wcFree *warmCall
 
+	// instFree and fnFree recycle instance and function (tenant) records,
+	// so thousands of tenants churning instances — and sweeps deploying
+	// and removing tenant populations — reuse memory instead of growing
+	// the heap (see function.go).
+	instFree *Instance
+	fnFree   *Function
+
 	// latRec, when set, receives every successful external invocation's
 	// client-observed latency as it completes (the Recorder seam; see
 	// ARCHITECTURE.md). nil keeps the hot path untouched.
@@ -162,6 +187,9 @@ func New(eng *des.Engine, cfg Config, streams *dist.Streams) (*Cloud, error) {
 	if cfg.WorkerCapacity > 0 {
 		c.capRes = des.NewResource(eng, cfg.Workers*cfg.WorkerCapacity)
 	}
+	if cfg.KeepAliveSlack > 0 {
+		eng.SetTimerSlack(cfg.KeepAliveSlack)
+	}
 	return c, nil
 }
 
@@ -184,6 +212,33 @@ func (c *Cloud) SetLatencyRecorder(r LatencyRecorder) { c.latRec = r }
 // Like the latency recorder, the tracer observes successful external
 // invocations; drain it via trace.Tracer.Drain after the run.
 func (c *Cloud) SetTracer(t *trace.Tracer) { c.tr = t }
+
+// SetFunctionRecorder installs (or, with nil, removes) a per-function
+// latency recorder alongside any cloud-wide one: every successful external
+// invocation of this function records into it at completion. With a
+// bounded sketch per tenant, a multi-tenant replay keeps full latency
+// distributions for thousands of functions in ~20KB each.
+func (c *Cloud) SetFunctionRecorder(name string, r LatencyRecorder) error {
+	fn, ok := c.functions[name]
+	if !ok {
+		return fmt.Errorf("cloud %s: function %q not deployed", c.cfg.Name, name)
+	}
+	fn.rec = r
+	return nil
+}
+
+// FunctionMetrics returns a snapshot of one function's tenant counters,
+// with the instance-seconds integral brought up to the present instant.
+func (c *Cloud) FunctionMetrics(name string) (TenantMetrics, bool) {
+	fn, ok := c.functions[name]
+	if !ok {
+		return TenantMetrics{}, false
+	}
+	fn.noteInstSec()
+	tm := fn.tm
+	tm.InstanceSeconds = fn.instSecAccum
+	return tm, true
+}
 
 // ImageStore exposes the function-image store (for tests and experiments).
 func (c *Cloud) ImageStore() *blobstore.Store { return c.imageStore }
@@ -218,19 +273,27 @@ func (c *Cloud) Deploy(spec FunctionSpec) error {
 			return fmt.Errorf("cloud %s: unsupported transfer %q", c.cfg.Name, spec.Chain.Transfer)
 		}
 	}
+	if spec.KeepAlive != nil && spec.KeepAlive.Fixed <= 0 && spec.KeepAlive.Dist == nil {
+		return fmt.Errorf("cloud %s: function %q: keep-alive override unset", c.cfg.Name, spec.Name)
+	}
+	if spec.MaxInstances < 0 {
+		return fmt.Errorf("cloud %s: function %q: negative MaxInstances", c.cfg.Name, spec.Name)
+	}
 	base := spec.BaseImageBytes
 	if base == 0 {
 		base = DefaultBaseImageBytes(spec.Runtime, spec.Method)
 	}
-	fn := &Function{
-		c:          c,
-		spec:       spec,
-		imageKey:   "image/" + spec.Name,
-		imageBytes: base + spec.ExtraImageBytes,
-		initDelay:  c.cfg.initDelay(spec.Runtime, spec.Method),
-		live:       make(map[int]*Instance),
-		tokens:     c.cfg.Policy.InitialTokens,
+	fn := c.getFunction()
+	fn.spec = spec
+	fn.imageKey = "image/" + spec.Name
+	fn.imageBytes = base + spec.ExtraImageBytes
+	fn.initDelay = c.cfg.initDelay(spec.Runtime, spec.Method)
+	fn.tokens = c.cfg.Policy.InitialTokens
+	fn.keepAlive = c.cfg.KeepAlive
+	if spec.KeepAlive != nil {
+		fn.keepAlive = *spec.KeepAlive
 	}
+	fn.maxInstances = spec.MaxInstances
 	if n, ok := c.cfg.ContainerChunkReads[spec.Runtime]; ok && spec.Method == DeployContainer {
 		fn.chunkReads = n
 	}
@@ -239,20 +302,75 @@ func (c *Cloud) Deploy(spec FunctionSpec) error {
 	return nil
 }
 
-// Remove tears down a function and all of its instances.
+// getFunction draws a recycled tenant record from the free list, or
+// allocates a fresh one. Recycled records come back from putFunction
+// fully reset.
+func (c *Cloud) getFunction() *Function {
+	fn := c.fnFree
+	if fn == nil {
+		return &Function{c: c, live: make(map[int]*Instance)}
+	}
+	c.fnFree = fn.freeNext
+	fn.freeNext = nil
+	return fn
+}
+
+// putFunction resets a quiesced tenant record and returns it to the free
+// list. Callers must ensure no spawns, buffered requests, in-flight
+// invocations, or scale-controller evaluations still reference it.
+func (c *Cloud) putFunction(fn *Function) {
+	clear(fn.live)
+	for i := range fn.idle {
+		fn.idle[i] = nil
+	}
+	fn.idle = fn.idle[:0]
+	for i := range fn.buffer {
+		fn.buffer[i] = nil
+	}
+	fn.buffer = fn.buffer[:0]
+	fn.spec = FunctionSpec{}
+	fn.imageKey, fn.imageBytes = "", 0
+	fn.initDelay = nil
+	fn.chunkReads = 0
+	fn.snapshotReady = false
+	fn.tokens, fn.lastRefill = 0, 0
+	fn.keepAlive = KeepAlivePolicy{}
+	fn.maxInstances = 0
+	fn.rec = nil
+	fn.tm = TenantMetrics{}
+	fn.instSecAccum, fn.instSecLast = 0, 0
+	fn.freeNext = c.fnFree
+	c.fnFree = fn
+}
+
+// Remove tears down a function and all of its instances. A fully
+// quiesced tenant record (no spawns, buffered requests, in-flight
+// invocations, or pending scale evaluations) is recycled for the next
+// Deploy, so sweeps that rebuild tenant populations reuse memory.
 func (c *Cloud) Remove(name string) error {
 	fn, ok := c.functions[name]
 	if !ok {
 		return fmt.Errorf("cloud %s: function %q not deployed", c.cfg.Name, name)
 	}
+	fn.noteInstSec()
+	busy := false
 	for _, inst := range fn.live {
 		inst.keepAlive.Cancel()
+		wasIdle := inst.state == stateIdle
 		inst.state = stateGone
 		inst.worker.Instances--
 		c.noteInstanceDelta(-1)
 		c.releaseClusterSlot()
+		if wasIdle {
+			c.putInstance(inst)
+		} else {
+			busy = true
+		}
 	}
 	delete(c.functions, name)
+	if !busy && fn.pending == 0 && fn.inflight == 0 && !fn.evalScheduled && len(fn.buffer) == 0 {
+		c.putFunction(fn)
+	}
 	return nil
 }
 
@@ -338,11 +456,19 @@ func (c *Cloud) Invoke(p *des.Proc, req *Request) (_ *Response, err error) {
 	if !ok {
 		return nil, fmt.Errorf("cloud %s: function %q not deployed", c.cfg.Name, req.Fn)
 	}
-	if c.latRec != nil && !req.Internal {
+	if !req.Internal {
 		start := p.Now()
 		defer func() {
-			if err == nil {
-				c.latRec.Add(p.Now() - start)
+			if err != nil {
+				fn.tm.Errors++
+				return
+			}
+			lat := p.Now() - start
+			if c.latRec != nil {
+				c.latRec.Add(lat)
+			}
+			if fn.rec != nil {
+				fn.rec.Add(lat)
 			}
 		}()
 	}
@@ -353,6 +479,7 @@ func (c *Cloud) Invoke(p *des.Proc, req *Request) (_ *Response, err error) {
 		c.metrics.InternalInvocations++
 	} else {
 		c.metrics.Invocations++
+		fn.tm.Invocations++
 	}
 	// Tracer seam: external requests record spans when a tracer is installed
 	// and this request is sampled. tr stays nil otherwise; every Mark below
@@ -539,6 +666,7 @@ func (c *Cloud) serve(p *des.Proc, inst *Instance, req *Request, fn *Function, b
 	tr.SetCold(cold)
 	if cold {
 		c.metrics.ColdServed++
+		fn.tm.ColdServed++
 		bd.ColdStart = inst.coldBreakdown
 		if tr != nil {
 			// Reconstruct the spawn pipeline as detail spans laid out
@@ -558,6 +686,7 @@ func (c *Cloud) serve(p *des.Proc, inst *Instance, req *Request, fn *Function, b
 		}
 	} else {
 		c.metrics.WarmServed++
+		fn.tm.WarmServed++
 	}
 	resp := &Response{
 		Fn:         fn.spec.Name,

@@ -83,6 +83,16 @@ type FunctionSpec struct {
 	ExecTime time.Duration
 	// Chain, when non-nil, chains this function to a downstream one.
 	Chain *ChainSpec
+	// KeepAlive, when non-nil, overrides the provider-wide keep-alive
+	// policy for this function's instances — the per-tenant policy knob of
+	// multi-tenant replay (Shahrad et al.'s hybrid policies keep idle
+	// capacity per application, not per cloud).
+	KeepAlive *KeepAlivePolicy
+	// MaxInstances, when positive, caps this function's live plus pending
+	// instances — a per-tenant concurrency limit (AWS reserved
+	// concurrency, Azure maximum scale-out). Requests beyond the cap
+	// buffer until a serving instance frees up, regardless of policy.
+	MaxInstances int
 }
 
 // DefaultBaseImageBytes returns a representative package size for a
@@ -274,6 +284,15 @@ type Config struct {
 
 	// KeepAlive reaps idle instances.
 	KeepAlive KeepAlivePolicy
+	// KeepAliveSlack, when positive, routes keep-alive expiry timers to
+	// the engine's coarse timer wheel at this tick granularity: expiries
+	// fire up to one tick late (never early) and arm/cancel in O(1) with
+	// zero steady-state allocations — the difference between O(log n) and
+	// O(1) per warm hit once hundreds of thousands of idle instances each
+	// hold a timer. Zero (the default) keeps expiries on the exact heap,
+	// byte-identical to all prior behavior. A lifetime of minutes is
+	// semantically unchanged by a slack of, say, one second.
+	KeepAliveSlack time.Duration
 
 	// Workers is the number of physical hosts.
 	Workers int
@@ -342,6 +361,9 @@ func (c *Config) Validate() error {
 	}
 	if c.KeepAlive.Fixed <= 0 && c.KeepAlive.Dist == nil {
 		return fmt.Errorf("cloud %s: keep-alive policy unset", c.Name)
+	}
+	if c.KeepAliveSlack < 0 {
+		return fmt.Errorf("cloud %s: negative keep-alive slack", c.Name)
 	}
 	if c.DefaultMemoryMB < 0 || c.FullSpeedMemoryMB < 0 {
 		return fmt.Errorf("cloud %s: negative memory configuration", c.Name)

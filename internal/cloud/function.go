@@ -23,9 +23,49 @@ type Instance struct {
 	keepAlive     des.Timer
 	createdAt     des.Time
 	coldBreakdown ColdBreakdown
-	// expireFn is the keep-alive expiry closure, bound once at creation so
-	// parking an instance idle never allocates.
+	// expireFn is the keep-alive expiry closure, bound once at record
+	// creation so parking an instance idle never allocates. It reads
+	// inst.fn at fire time, so the record can recycle across functions.
 	expireFn func()
+	// freeNext links recycled records on the Cloud's instance free list.
+	freeNext *Instance
+}
+
+// getInstance draws a recycled instance record from the free list (or
+// allocates one) and initializes it for a fresh spawn. Identity stays
+// unique across recycling: every spawn gets a new id from instanceSeq.
+func (c *Cloud) getInstance(fn *Function, w *Worker, createdAt des.Time, cb ColdBreakdown) *Instance {
+	inst := c.instFree
+	if inst == nil {
+		inst = &Instance{}
+		inst.expireFn = func() { inst.fn.expire(inst) }
+	} else {
+		c.instFree = inst.freeNext
+		inst.freeNext = nil
+	}
+	c.instanceSeq++
+	inst.id = c.instanceSeq
+	inst.fn = fn
+	inst.worker = w
+	inst.state = stateBusy
+	inst.served = 0
+	inst.keepAlive = des.Timer{}
+	inst.createdAt = createdAt
+	inst.coldBreakdown = cb
+	return inst
+}
+
+// putInstance returns a reaped instance record to the free list. Callers
+// must have canceled (or consumed) its keep-alive timer and removed it
+// from all function state; busy records with in-flight references are
+// never pooled.
+func (c *Cloud) putInstance(inst *Instance) {
+	inst.fn = nil
+	inst.worker = nil
+	inst.state = stateGone
+	inst.keepAlive = des.Timer{}
+	inst.freeNext = c.instFree
+	c.instFree = inst
 }
 
 // ID returns the instance's unique identifier.
@@ -83,6 +123,37 @@ type Function struct {
 	tokens        float64
 	lastRefill    des.Time
 	evalScheduled bool
+
+	// Per-tenant overrides resolved at Deploy: the keep-alive policy this
+	// function's instances park with (the provider-wide one unless the
+	// spec overrides it) and the live+pending instance cap (0 = uncapped).
+	keepAlive    KeepAlivePolicy
+	maxInstances int
+
+	// rec, when set, receives this function's successful external
+	// invocation latencies (SetFunctionRecorder).
+	rec LatencyRecorder
+	// tm aggregates this tenant's counters.
+	tm TenantMetrics
+	// Per-function live-instance integral over virtual time.
+	instSecAccum float64
+	instSecLast  des.Time
+
+	// freeNext links recycled records on the Cloud's function free list.
+	freeNext *Function
+}
+
+// noteInstSec folds the elapsed live-instance-seconds into the tenant's
+// integral. Must run before any mutation of fn.live.
+func (fn *Function) noteInstSec() {
+	now := fn.c.eng.Now()
+	fn.instSecAccum += float64(len(fn.live)) * (now - fn.instSecLast).Seconds()
+	fn.instSecLast = now
+}
+
+// atCapacity reports whether the tenant's instance cap is exhausted.
+func (fn *Function) atCapacity() bool {
+	return fn.maxInstances > 0 && len(fn.live)+fn.pending >= fn.maxInstances
 }
 
 // claimIdle pops the most-recently-used idle instance, canceling its
@@ -121,8 +192,11 @@ func (fn *Function) release(inst *Instance) {
 		// Saturation exception: when the cluster is at capacity and
 		// spawns are blocked waiting for slots, even a no-queue provider
 		// routes buffered requests to freed warm instances — the
-		// dedicated-instance policy is physically unavailable.
-		if fn.c.capRes != nil && fn.c.capRes.QueueLen() > 0 {
+		// dedicated-instance policy is physically unavailable. The same
+		// holds when the tenant's own concurrency cap is exhausted: no
+		// dedicated instance can ever come up, so freed instances must
+		// absorb the backlog.
+		if (fn.c.capRes != nil && fn.c.capRes.QueueLen() > 0) || fn.atCapacity() {
 			fn.grant(inst, true)
 			return
 		}
@@ -155,15 +229,18 @@ func (fn *Function) dropBuffered(pr *pendingReq) {
 	}
 }
 
-// parkIdle moves an instance to the idle pool and arms its keep-alive timer.
+// parkIdle moves an instance to the idle pool and arms its keep-alive timer
+// under the function's (possibly per-tenant) policy. Expiries route through
+// AfterSlack so a provider-scale simulation can coarsen them onto the timer
+// wheel; with KeepAliveSlack unset this is exactly After.
 func (fn *Function) parkIdle(inst *Instance) {
 	inst.state = stateIdle
 	fn.idle = append(fn.idle, inst)
-	life := fn.c.cfg.KeepAlive.Fixed
+	life := fn.keepAlive.Fixed
 	if life <= 0 {
-		life = fn.c.cfg.KeepAlive.Dist.Sample(fn.c.rngSched)
+		life = fn.keepAlive.Dist.Sample(fn.c.rngSched)
 	}
-	inst.keepAlive = fn.c.eng.After(life, inst.expireFn)
+	inst.keepAlive = fn.c.eng.AfterSlack(life, inst.expireFn)
 }
 
 // destroy removes a crashed instance immediately.
@@ -171,13 +248,20 @@ func (fn *Function) destroy(inst *Instance) {
 	if inst.state == stateGone {
 		return
 	}
+	wasIdle := inst.state == stateIdle
 	inst.keepAlive.Cancel()
 	inst.keepAlive = des.Timer{}
 	inst.state = stateGone
+	fn.noteInstSec()
 	delete(fn.live, inst.id)
 	inst.worker.Instances--
 	fn.c.noteInstanceDelta(-1)
 	fn.c.releaseClusterSlot()
+	if wasIdle {
+		// Busy records still have in-flight references (the serving proc /
+		// callback chain); only quiesced ones are safe to recycle.
+		fn.c.putInstance(inst)
+	}
 }
 
 // expire reaps an idle instance whose keep-alive elapsed.
@@ -193,11 +277,13 @@ func (fn *Function) expire(inst *Instance) {
 			break
 		}
 	}
+	fn.noteInstSec()
 	delete(fn.live, inst.id)
 	inst.worker.Instances--
 	fn.c.noteInstanceDelta(-1)
 	fn.c.releaseClusterSlot()
 	fn.c.metrics.Expirations++
+	fn.c.putInstance(inst)
 }
 
 // maybeScale applies the provider's scheduling policy to the current buffer,
@@ -229,6 +315,13 @@ func (fn *Function) maybeScale() {
 		// The scale controller re-evaluates periodically while demand
 		// remains, mimicking Azure's gradual scale-out.
 		fn.scheduleEval()
+	}
+	// Per-tenant concurrency cap: never scale past the tenant's limit.
+	// Requests beyond it stay buffered until a freed instance absorbs them.
+	if fn.maxInstances > 0 {
+		if room := fn.maxInstances - len(fn.live) - fn.pending; need > room {
+			need = room
+		}
 	}
 	for i := 0; i < need; i++ {
 		fn.spawnOne()
@@ -363,16 +456,8 @@ func (fn *Function) spawnOne() {
 		}
 
 		fn.pending--
-		c.instanceSeq++
-		inst := &Instance{
-			id:            c.instanceSeq,
-			fn:            fn,
-			worker:        w,
-			state:         stateBusy,
-			createdAt:     p.Now(),
-			coldBreakdown: cb,
-		}
-		inst.expireFn = func() { fn.expire(inst) }
+		fn.noteInstSec()
+		inst := c.getInstance(fn, w, p.Now(), cb)
 		fn.live[inst.id] = inst
 		w.Spawned++
 		c.noteInstanceDelta(1)

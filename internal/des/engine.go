@@ -67,10 +67,13 @@ type event struct {
 
 // timerHandle is one slot of the engine's cancelable-timer table. Slots are
 // recycled through a free list; gen increments on every fire/cancel so stale
-// Timer copies referring to a recycled slot are inert.
+// Timer copies referring to a recycled slot are inert. Heap timers and
+// slack-wheel timers (wheel.go) share this table, so a Timer value is the
+// same opaque handle either way: wheel marks which structure idx indexes.
 type timerHandle struct {
-	gen uint32
-	idx int32 // current heap index of the live event, -1 when fired/canceled
+	gen   uint32
+	idx   int32 // heap index or wheel node index of the live event, -1 when fired/canceled
+	wheel bool  // idx indexes the timer wheel's node array, not the heap
 }
 
 // Timer is a handle to a scheduled callback that can be canceled. The zero
@@ -93,7 +96,12 @@ func (t Timer) Cancel() bool {
 	if h.gen != t.gen || h.idx < 0 {
 		return false
 	}
-	e.removeAt(int(h.idx))
+	if h.wheel {
+		e.wheel.unlink(h.idx)
+		h.wheel = false
+	} else {
+		e.removeAt(int(h.idx))
+	}
 	h.idx = -1
 	h.gen++
 	e.freeHandles = append(e.freeHandles, t.id)
@@ -119,6 +127,10 @@ type Engine struct {
 
 	handles     []timerHandle
 	freeHandles []int32
+
+	// wheel is the optional coarse-slack timer facility (wheel.go), nil
+	// unless SetTimerSlack installed one. It shares the handle table above.
+	wheel *wheel
 
 	// next is a one-event front cache: when a virtual-time event schedules
 	// its successor and that successor precedes everything in the heap, it
@@ -689,16 +701,20 @@ func (e *Engine) Close() {
 	e.hasNext = false
 	e.handles = nil
 	e.freeHandles = nil
+	e.wheel = nil
 }
 
 // PendingEvents reports the number of scheduled events (including the
-// front-cached one). Canceled timers are removed from the schedule
-// immediately, so this count stays bounded under timer churn (WaitTimeout
-// cancel/fire cycles).
+// front-cached one and any timers parked on the slack wheel). Canceled
+// timers are removed from the schedule immediately, so this count stays
+// bounded under timer churn (WaitTimeout cancel/fire cycles).
 func (e *Engine) PendingEvents() int {
 	n := len(e.events)
 	if e.hasNext {
 		n++
+	}
+	if e.wheel != nil {
+		n += e.wheel.count
 	}
 	return n
 }

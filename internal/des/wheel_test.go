@@ -1,0 +1,408 @@
+package des
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestSlackTimerNeverEarlyAtMostOneTickLate pins the wheel's firing
+// contract: a slack timer runs at or after its deadline, and no more than
+// one tick after it.
+func TestSlackTimerNeverEarlyAtMostOneTickLate(t *testing.T) {
+	const tick = 10 * time.Millisecond
+	e := NewEngine()
+	defer e.Close()
+	e.SetTimerSlack(tick)
+	rng := rand.New(rand.NewSource(42))
+	checked := 0
+	for i := 0; i < 2000; i++ {
+		d := time.Duration(rng.Int63n(int64(90 * time.Second)))
+		deadline := e.Now() + d
+		e.AfterSlack(d, func() {
+			checked++
+			if e.Now() < deadline {
+				t.Errorf("slack timer fired %v early (deadline %v, now %v)", deadline-e.Now(), deadline, e.Now())
+			}
+			if e.Now() > deadline+tick {
+				t.Errorf("slack timer fired %v late, beyond one tick (deadline %v, now %v)", e.Now()-deadline, deadline, e.Now())
+			}
+		})
+	}
+	e.Run(0)
+	if checked != 2000 {
+		t.Fatalf("fired %d of 2000 slack timers", checked)
+	}
+	if e.PendingEvents() != 0 {
+		t.Fatalf("%d events left after drain", e.PendingEvents())
+	}
+}
+
+// TestSlackTimerQuantizesToTickBoundary: with the wheel on, callbacks run
+// exactly on tick multiples.
+func TestSlackTimerQuantizesToTickBoundary(t *testing.T) {
+	const tick = 7 * time.Millisecond
+	e := NewEngine()
+	defer e.Close()
+	e.SetTimerSlack(tick)
+	fired := 0
+	for _, d := range []time.Duration{time.Millisecond, tick, tick + 1, 3*tick - 1, 100 * tick} {
+		e.AfterSlack(d, func() {
+			fired++
+			if e.Now()%tick != 0 {
+				t.Errorf("slack timer fired off-boundary at %v (tick %v)", e.Now(), tick)
+			}
+		})
+	}
+	e.Run(0)
+	if fired != 5 {
+		t.Fatalf("fired %d of 5", fired)
+	}
+}
+
+// TestAfterSlackIsAfterWithoutWheel: with no wheel installed, AfterSlack
+// must be indistinguishable from After — this identity is what keeps every
+// existing golden byte-identical at the default configuration.
+func TestAfterSlackIsAfterWithoutWheel(t *testing.T) {
+	run := func(slackForm bool) []Time {
+		e := NewEngine()
+		defer e.Close()
+		var fires []Time
+		sched := func(d time.Duration) {
+			fn := func() { fires = append(fires, e.Now()) }
+			if slackForm {
+				e.AfterSlack(d, fn)
+			} else {
+				e.After(d, fn)
+			}
+		}
+		sched(13 * time.Millisecond)
+		sched(5 * time.Millisecond)
+		tm := e.AfterSlack(9*time.Millisecond, func() { t.Error("canceled timer fired") })
+		sched(5 * time.Millisecond) // same-instant tie, ordered by seq
+		if !tm.Cancel() {
+			t.Fatal("cancel failed")
+		}
+		e.Run(0)
+		return fires
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("fire counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fire %d at %v via After but %v via AfterSlack", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSlackTimerCancel covers the wheel's cancel semantics: cancellation
+// prevents firing, double-cancel is inert, stale handles on recycled slots
+// are inert, and Pending tracks wheel timers.
+func TestSlackTimerCancel(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	e.SetTimerSlack(time.Millisecond)
+	tm := e.AfterSlack(50*time.Millisecond, func() { t.Error("canceled slack timer fired") })
+	if !tm.Pending() {
+		t.Fatal("fresh slack timer should be pending")
+	}
+	if !tm.Cancel() {
+		t.Fatal("first cancel should succeed")
+	}
+	if tm.Cancel() {
+		t.Fatal("second cancel should be inert")
+	}
+	if tm.Pending() {
+		t.Fatal("canceled slack timer reports pending")
+	}
+	// A fresh slack timer reuses the freed handle slot; the stale Timer
+	// must not touch it.
+	fired := false
+	fresh := e.AfterSlack(60*time.Millisecond, func() { fired = true })
+	if tm.Cancel() {
+		t.Fatal("stale Timer canceled a recycled slack handle")
+	}
+	e.Run(0)
+	if !fired {
+		t.Fatal("fresh slack timer did not fire")
+	}
+	if fresh.Pending() {
+		t.Fatal("fired slack timer still reports pending")
+	}
+}
+
+// TestSlackTimerCancelSiblingFromCallback: a firing slack callback cancels
+// another timer quantized to the same tick. The wheel drains slots one
+// node at a time through the normal unlink path precisely so this is safe.
+func TestSlackTimerCancelSiblingFromCallback(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	e.SetTimerSlack(10 * time.Millisecond)
+	var siblings [8]Timer
+	fired := 0
+	canceled := false
+	// All nine land on the same tick; the first to fire (last inserted)
+	// cancels three siblings mid-drain.
+	for i := range siblings {
+		siblings[i] = e.AfterSlack(15*time.Millisecond, func() { fired++ })
+	}
+	e.AfterSlack(15*time.Millisecond, func() {
+		canceled = siblings[1].Cancel() && siblings[3].Cancel() && siblings[5].Cancel()
+	})
+	e.Run(0)
+	if !canceled {
+		t.Fatal("sibling cancels failed")
+	}
+	if fired != len(siblings)-3 {
+		t.Fatalf("fired %d siblings, want %d", fired, len(siblings)-3)
+	}
+	if e.PendingEvents() != 0 {
+		t.Fatalf("%d events left after drain", e.PendingEvents())
+	}
+}
+
+// TestSlackTimerLevel1Cascade places timers beyond the level-0 window so
+// they enter level 1, cascade down as the wheel turns, and still fire
+// within one tick of their deadlines — including several sharing one L1
+// slot and one landing exactly on a 256-tick base.
+func TestSlackTimerLevel1Cascade(t *testing.T) {
+	const tick = time.Millisecond
+	e := NewEngine()
+	defer e.Close()
+	e.SetTimerSlack(tick)
+	deadlines := []time.Duration{
+		256 * tick, // first L1 slot's base exactly
+		257 * tick,
+		300*tick + tick/2,
+		511 * tick, // same L1 slot as the above three
+		512 * tick, // next slot's base
+		5000 * tick,
+		16128 * tick, // horizon edge, still on the wheel
+	}
+	fired := 0
+	for _, d := range deadlines {
+		deadline := e.Now() + d
+		e.AfterSlack(d, func() {
+			fired++
+			if e.Now() < deadline || e.Now() > deadline+tick {
+				t.Errorf("L1 timer deadline %v fired at %v", deadline, e.Now())
+			}
+		})
+	}
+	e.Run(0)
+	if fired != len(deadlines) {
+		t.Fatalf("fired %d of %d", fired, len(deadlines))
+	}
+}
+
+// TestSlackTimerBeyondHorizonFallsBack: deadlines past the wheel's horizon
+// take the exact heap path and fire exactly, and their Timers cancel like
+// any other.
+func TestSlackTimerBeyondHorizonFallsBack(t *testing.T) {
+	const tick = time.Millisecond
+	e := NewEngine()
+	defer e.Close()
+	e.SetTimerSlack(tick)
+	d := 20000 * tick // past wheelMaxTicks=16128
+	var firedAt Time
+	e.AfterSlack(d, func() { firedAt = e.Now() })
+	if e.SlackTimers() != 0 {
+		t.Fatalf("beyond-horizon timer landed on the wheel (%d slack timers)", e.SlackTimers())
+	}
+	cancelMe := e.AfterSlack(d, func() { t.Error("canceled fallback timer fired") })
+	if !cancelMe.Cancel() {
+		t.Fatal("fallback cancel failed")
+	}
+	e.Run(0)
+	if firedAt != d {
+		t.Fatalf("fallback timer fired at %v, want exactly %v", firedAt, d)
+	}
+}
+
+// TestSlackTimerIdleGapResync: after the wheel drains and sits idle for
+// longer than its horizon, new slack timers must land on the wheel again
+// (not the heap fallback).
+func TestSlackTimerIdleGapResync(t *testing.T) {
+	const tick = time.Millisecond
+	e := NewEngine()
+	defer e.Close()
+	e.SetTimerSlack(tick)
+	e.AfterSlack(5*tick, func() {})
+	e.Run(0)
+	// Pass the horizon with heap-only traffic.
+	e.After(20000*tick, func() {})
+	e.Run(0)
+	e.AfterSlack(10*tick, func() {})
+	if e.SlackTimers() != 1 {
+		t.Fatalf("post-gap slack timer fell back to the heap (%d slack timers)", e.SlackTimers())
+	}
+	e.Run(0)
+	if e.SlackTimers() != 0 {
+		t.Fatalf("%d slack timers left after drain", e.SlackTimers())
+	}
+}
+
+// TestSlackExpiryEquivalence runs the same randomized keep-alive churn
+// (arm, sometimes cancel-and-rearm, count expiries) with the wheel off and
+// on: the set of timers that expire must be identical — the wheel changes
+// placement within a tick, never which timers fire.
+func TestSlackExpiryEquivalence(t *testing.T) {
+	run := func(slack time.Duration) (fired []int) {
+		e := NewEngine()
+		defer e.Close()
+		if slack > 0 {
+			e.SetTimerSlack(slack)
+		}
+		rng := rand.New(rand.NewSource(7))
+		const n = 500
+		timers := make([]Timer, n)
+		for i := 0; i < n; i++ {
+			i := i
+			timers[i] = e.AfterSlack(time.Duration(1+rng.Int63n(int64(10*time.Second))), func() {
+				fired = append(fired, i)
+			})
+		}
+		// Cancel a deterministic subset immediately; they must never fire.
+		for i := 0; i < n; i += 3 {
+			timers[i].Cancel()
+		}
+		e.Run(0)
+		return fired
+	}
+	exact := run(0)
+	slack := run(50 * time.Millisecond)
+	if len(exact) != len(slack) {
+		t.Fatalf("expiry counts differ: exact=%d wheel=%d", len(exact), len(slack))
+	}
+	seen := map[int]bool{}
+	for _, i := range exact {
+		seen[i] = true
+	}
+	for _, i := range slack {
+		if !seen[i] {
+			t.Fatalf("wheel fired timer %d that the exact heap did not", i)
+		}
+	}
+}
+
+// TestSlackTimerDeterminism: two identical runs over the wheel replay
+// byte-identically (fire order included), the property every golden rests on.
+func TestSlackTimerDeterminism(t *testing.T) {
+	run := func() []int {
+		e := NewEngine()
+		defer e.Close()
+		e.SetTimerSlack(3 * time.Millisecond)
+		rng := rand.New(rand.NewSource(99))
+		var order []int
+		for i := 0; i < 800; i++ {
+			i := i
+			e.AfterSlack(time.Duration(rng.Int63n(int64(5*time.Second))), func() {
+				order = append(order, i)
+			})
+		}
+		e.Run(0)
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fire order diverges at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSetTimerSlackGuards pins the knob's contract: no reconfiguration
+// while slack timers are pending, negative slack panics, and idempotent
+// re-set with the same tick is allowed.
+func TestSetTimerSlackGuards(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	e.SetTimerSlack(time.Millisecond)
+	e.SetTimerSlack(time.Millisecond) // same tick: no-op
+	if e.TimerSlack() != time.Millisecond {
+		t.Fatalf("TimerSlack = %v, want 1ms", e.TimerSlack())
+	}
+	tm := e.AfterSlack(time.Second, func() {})
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("retick with pending slack timers", func() { e.SetTimerSlack(2 * time.Millisecond) })
+	mustPanic("disable with pending slack timers", func() { e.SetTimerSlack(0) })
+	tm.Cancel()
+	e.SetTimerSlack(0)
+	if e.TimerSlack() != 0 {
+		t.Fatalf("TimerSlack = %v after disable, want 0", e.TimerSlack())
+	}
+	mustPanic("negative slack", func() { e.SetTimerSlack(-time.Millisecond) })
+}
+
+// TestPendingEventsIncludesWheel: the pending count covers wheel timers
+// and returns to zero after a drain.
+func TestPendingEventsIncludesWheel(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	e.SetTimerSlack(time.Millisecond)
+	for i := 0; i < 10; i++ {
+		e.AfterSlack(time.Duration(i+1)*10*time.Millisecond, func() {})
+	}
+	if pe := e.PendingEvents(); pe < 10 {
+		t.Fatalf("PendingEvents = %d with 10 wheel timers pending", pe)
+	}
+	if e.SlackTimers() != 10 {
+		t.Fatalf("SlackTimers = %d, want 10", e.SlackTimers())
+	}
+	e.Run(0)
+	if pe := e.PendingEvents(); pe != 0 {
+		t.Fatalf("PendingEvents = %d after drain, want 0", pe)
+	}
+}
+
+// TestAllocFreeSlackTimerChurn is the wheel's allocation gate: once the
+// node array, handle table, and slot lists have grown, the keep-alive
+// pattern — cancel a live slack timer, arm a new one, let a few expire —
+// must run allocation-free.
+func TestAllocFreeSlackTimerChurn(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	e.SetTimerSlack(time.Millisecond)
+	const live = 256
+	timers := make([]Timer, live)
+	fns := make([]func(), live)
+	for i := range fns {
+		i := i
+		fns[i] = func() { timers[i] = e.AfterSlack(time.Second, fns[i]) }
+	}
+	for i := range timers {
+		timers[i] = e.AfterSlack(time.Duration(i+1)*4*time.Millisecond, fns[i])
+	}
+	next := 0
+	round := func() {
+		for k := 0; k < 64; k++ {
+			i := next
+			next++
+			if next == live {
+				next = 0
+			}
+			if timers[i].Cancel() {
+				timers[i] = e.AfterSlack(time.Second, fns[i])
+			}
+		}
+		e.Run(e.Now() + 10*time.Millisecond)
+	}
+	for i := 0; i < 8; i++ {
+		round() // warm: grow nodes, handles, slot lists, alarm churn
+	}
+	if avg := testing.AllocsPerRun(50, round); avg != 0 {
+		t.Fatalf("slack-timer churn allocates %.2f allocs per round, want 0", avg)
+	}
+}
