@@ -48,6 +48,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		err = cmdFaults(args[1:], stdout)
 	case "tenants":
 		err = cmdTenants(args[1:], stdout)
+	case "workflow":
+		err = cmdWorkflow(args[1:], stdout)
 	case "experiment":
 		err = cmdExperiment(args[1:], stdout)
 	case "-h", "--help", "help":
@@ -86,6 +88,9 @@ commands:
   tenants    provider-scale multi-tenant trace replay: synthesized Azure-style
              tenant population under a swept keep-alive axis, reporting the
              cold-start-rate vs instance-seconds Pareto frontier
+  workflow   orchestrated multi-function DAG workflows (chain, fan-out,
+             diamond, map-reduce) with cross-function trace propagation,
+             critical-path and per-edge transfer-tail reporting
   experiment regenerate a paper table/figure or extension study
              (fig3a..fig10, table1, breakdown, policyspace, snapshots, observations, all)`)
 }

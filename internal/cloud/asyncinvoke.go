@@ -114,6 +114,7 @@ func (c *Cloud) putWarmCall(wc *warmCall) {
 func (c *Cloud) callbackEligible(req *Request, fn *Function) bool {
 	return !req.Internal &&
 		fn.spec.Chain == nil &&
+		req.Cont == nil && req.Span == nil &&
 		req.storageKey == "" && req.wireDelay == 0 &&
 		c.tr == nil && c.inj == nil &&
 		c.cfg.Faults.CrashProb == 0

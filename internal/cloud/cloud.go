@@ -484,8 +484,14 @@ func (c *Cloud) Invoke(p *des.Proc, req *Request) (_ *Response, err error) {
 	// Tracer seam: external requests record spans when a tracer is installed
 	// and this request is sampled. tr stays nil otherwise; every Mark below
 	// no-ops on a nil receiver, keeping the disabled path allocation-free.
+	// A caller-owned span (Request.Span: the workflow executor's per-node
+	// traces) takes this request over instead and is finished at the instant
+	// the response reaches the caller.
 	var tr *trace.Req
-	if c.tr != nil && !req.Internal {
+	if req.Span != nil {
+		tr = req.Span
+		defer func() { tr.Finish(p.Now(), err) }()
+	} else if c.tr != nil && !req.Internal {
 		c.reqSeq++
 		if tr = c.tr.Begin(c.reqSeq, req.Fn, p.Now()); tr != nil {
 			defer func() { c.tr.End(tr, p.Now(), err) }()
@@ -501,6 +507,7 @@ func (c *Cloud) Invoke(p *des.Proc, req *Request) (_ *Response, err error) {
 	if req.Internal {
 		bd.Frontend = c.cfg.InternalDelay.Sample(c.rngIngress)
 		p.Sleep(bd.Frontend)
+		tr.Mark(trace.StageFrontend, bd.Frontend, p.Now())
 	} else {
 		bd.Propagation = c.cfg.PropagationRTT
 		p.Sleep(c.cfg.PropagationRTT / 2)
@@ -747,6 +754,16 @@ func (c *Cloud) serve(p *des.Proc, inst *Instance, req *Request, fn *Function, b
 			c.cfg.Name, inst.id, fn.spec.Name, ErrInstanceCrash)
 	}
 
+	// Continuation seam: a request-supplied continuation runs exactly where
+	// the static chain block would, inside the instance's busy window (see
+	// downstream.go). It takes precedence over the function's Chain.
+	if req.Cont != nil {
+		env := &DownstreamEnv{c: c, p: p, req: req, fn: fn, bd: bd, tr: tr, resp: resp}
+		if err := req.Cont.Run(p, env); err != nil {
+			return resp, err
+		}
+		return resp, nil
+	}
 	if ch := fn.spec.Chain; ch != nil {
 		payload := req.ChainPayloadBytes
 		if payload == 0 {

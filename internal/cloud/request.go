@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/stellar-repro/stellar/internal/des"
+	"github.com/stellar-repro/stellar/internal/trace"
 )
 
 // Request is one function invocation.
@@ -19,6 +20,17 @@ type Request struct {
 	// ChainPayloadBytes overrides the function's chain payload size when
 	// positive.
 	ChainPayloadBytes int64
+	// Cont, when set, runs inside the serving instance after the handler
+	// body, exactly where a FunctionSpec.Chain's downstream call would — the
+	// continuation seam the workflow executor hangs DAG edges on (see
+	// downstream.go). A request carries either a Cont or relies on the
+	// function's static Chain, never both.
+	Cont Downstream
+	// Span, when set, records this invocation's pipeline spans into a trace
+	// owned by the caller (the workflow executor's per-node spans); Invoke
+	// finishes it at the instant the response reaches the caller. It
+	// overrides the cloud's own tracer seam for this request.
+	Span *trace.Req
 	// wireDelay is the inline-payload transmission time, applied on the
 	// ingress path of internal invocations.
 	wireDelay time.Duration

@@ -8,6 +8,7 @@ import (
 
 	"github.com/stellar-repro/stellar/internal/cloud"
 	"github.com/stellar-repro/stellar/internal/trace"
+	"github.com/stellar-repro/stellar/internal/workflow"
 )
 
 // engineForms are the two execution forms the differential suite compares.
@@ -169,6 +170,31 @@ func TestEngineFormsEquivalent(t *testing.T) {
 			}
 			if got[0] != got[1] {
 				t.Errorf("faults workers=%d: proc and callback forms diverged\n--- proc ---\n%s--- callback ---\n%s",
+					workers, got[0], got[1])
+			}
+		}
+	})
+
+	t.Run("workflow", func(t *testing.T) {
+		t.Parallel()
+		// Workflow instances always run their root as a proc-pipeline request
+		// (the continuation blocks inside serving windows), so this cell
+		// proves the arrival loop's shape — the only part that changes with
+		// the knob — never moves a span timestamp, edge tail, or barrier
+		// count in the rendered report.
+		for _, workers := range []int{1, 8} {
+			var got [2]string
+			for i, engine := range engineForms {
+				var b strings.Builder
+				res, err := RunWorkflow(workflowGoldenOpts("mapreduce", workflow.TransferBlobstore, engine, workers))
+				if err != nil {
+					t.Fatalf("workflow engine=%v workers=%d: %v", engine, workers, err)
+				}
+				WriteWorkflowReport(&b, res)
+				got[i] = b.String()
+			}
+			if got[0] != got[1] {
+				t.Errorf("workflow workers=%d: proc and callback forms diverged\n--- proc ---\n%s--- callback ---\n%s",
 					workers, got[0], got[1])
 			}
 		}

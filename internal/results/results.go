@@ -57,6 +57,17 @@ type RunRecord struct {
 	// with the tracer enabled (stellar trace). Each trace's top-level spans
 	// sum exactly to its observed latency; Load re-validates this.
 	Traces []trace.RequestRecord `json:"traces,omitempty"`
+	// EdgeSketches are a workflow run's per-edge transfer-time summaries,
+	// one per DAG edge in topology order (stellar workflow). Load
+	// re-validates each sketch payload.
+	EdgeSketches []NamedSketch `json:"edge_sketches,omitempty"`
+}
+
+// NamedSketch pairs a label (a workflow edge such as "src->w1[inline]")
+// with its mergeable latency summary.
+type NamedSketch struct {
+	Name   string         `json:"name"`
+	Sketch *sketch.Record `json:"sketch"`
 }
 
 // FromRunResult converts a client run into a persistable record.
@@ -115,6 +126,25 @@ func FromTraceRun(name string, lats *stats.Sample, traces []trace.RequestRecord,
 		Traces: traces,
 	}
 	vals := lats.Values()
+	rec.LatenciesNS = make([]int64, 0, len(vals))
+	for _, v := range vals {
+		rec.LatenciesNS = append(rec.LatenciesNS, int64(v))
+	}
+	return rec
+}
+
+// FromWorkflowRun builds a record for an orchestrated workflow series:
+// completed workflows' makespans as the latency series, per-edge transfer
+// sketches, and the retained node-span trace trees.
+func FromWorkflowRun(name string, makespans *stats.Sample, edges []NamedSketch, traces []trace.RequestRecord, colds, errors int) *RunRecord {
+	rec := &RunRecord{
+		Name:         name,
+		Colds:        colds,
+		Errors:       errors,
+		Traces:       traces,
+		EdgeSketches: edges,
+	}
+	vals := makespans.Values()
 	rec.LatenciesNS = make([]int64, 0, len(vals))
 	for _, v := range vals {
 		rec.LatenciesNS = append(rec.LatenciesNS, int64(v))
@@ -208,6 +238,14 @@ func Load(path string) (*RunRecord, error) {
 		}
 		if _, err := sketch.FromRecord(sk); err != nil {
 			return nil, fmt.Errorf("results: %s: %w", path, err)
+		}
+	}
+	for _, ns := range rec.EdgeSketches {
+		if ns.Sketch == nil {
+			return nil, fmt.Errorf("results: %s: edge sketch %q has no payload", path, ns.Name)
+		}
+		if _, err := sketch.FromRecord(ns.Sketch); err != nil {
+			return nil, fmt.Errorf("results: %s: edge %q: %w", path, ns.Name, err)
 		}
 	}
 	// Same for trace payloads: a trace whose spans don't tile its latency

@@ -40,6 +40,13 @@ type RequestRecord struct {
 	Slow bool `json:"slow,omitempty"`
 	// Attempts counts service attempts (1 = no retries).
 	Attempts int `json:"attempts"`
+	// Workflow, Node, and Parent link node invocations of one orchestrated
+	// workflow into a trace tree (see Req.SetNode): Workflow identifies the
+	// instance, Node this invocation's DAG node, and Parent the node whose
+	// delivery fired it ("" at the root). All zero outside workflows.
+	Workflow uint64 `json:"workflow,omitempty"`
+	Node     string `json:"node,omitempty"`
+	Parent   string `json:"parent,omitempty"`
 	// StartNS and EndNS bound the request in virtual nanoseconds.
 	StartNS int64 `json:"start_ns"`
 	EndNS   int64 `json:"end_ns"`
@@ -107,6 +114,9 @@ func (r *Req) record(slow bool) RequestRecord {
 		Cold:     r.cold,
 		Slow:     slow,
 		Attempts: int(r.attempts),
+		Workflow: r.wf,
+		Node:     r.node,
+		Parent:   r.parent,
 		StartNS:  int64(r.start),
 		EndNS:    int64(r.end),
 		Spans:    make([]SpanRecord, 0, len(r.spans)),

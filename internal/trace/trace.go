@@ -150,6 +150,13 @@ type Req struct {
 	attempt  uint8 // current attempt (0 outside the retry loop)
 	attempts uint8 // highest attempt seen
 	spans    []Span
+
+	// Workflow identity (see SetNode): wf groups the node invocations of one
+	// workflow instance into a trace tree; node names this invocation's DAG
+	// node and parent the node whose delivery fired it.
+	wf     uint64
+	node   string
+	parent string
 }
 
 // Mark records a span of duration d that ends at now. Zero and negative
@@ -185,6 +192,30 @@ func (r *Req) SetCold(cold bool) {
 		return
 	}
 	r.cold = cold
+}
+
+// SetNode tags the trace with workflow identity: wf is the workflow
+// instance, node the DAG node this invocation serves, and parent the node
+// whose delivery fired it ("" for the workflow root). The serialized record
+// carries all three, so draining one shard's tracer yields per-workflow
+// trace trees linked by (workflow, parent).
+func (r *Req) SetNode(wf uint64, node, parent string) {
+	if r == nil {
+		return
+	}
+	r.wf, r.node, r.parent = wf, node, parent
+}
+
+// Finish ends the request's own trace on the tracer that began it, exactly
+// as Tracer.End would. It lets a component that threads a Req through
+// machinery it does not own (the workflow executor handing spans to the
+// cloud via Request.Span) finish the span at its completion instant without
+// also holding the tracer. A nil Req no-ops.
+func (r *Req) Finish(now des.Time, err error) {
+	if r == nil {
+		return
+	}
+	r.t.End(r, now, err)
 }
 
 // ColdSpans records the cold-start pipeline as detail spans laid out
@@ -298,6 +329,27 @@ func (t *Tracer) Begin(id uint64, fn string, now des.Time) *Req {
 		r = &Req{}
 	}
 	*r = Req{t: t, id: id, fn: fn, start: now, sampled: sampled, spans: r.spans[:0]}
+	return r
+}
+
+// BeginAlways starts recording one request unconditionally, bypassing the
+// head-sampling draw: the caller has already made the sampling decision at a
+// coarser grain (the workflow executor samples whole workflow instances so a
+// sampled workflow's trace tree is never missing nodes). Retention is still
+// bounded by the ring at End. A nil Tracer returns nil.
+func (t *Tracer) BeginAlways(id uint64, fn string, now des.Time) *Req {
+	if t == nil {
+		return nil
+	}
+	var r *Req
+	if n := len(t.pool); n > 0 {
+		r = t.pool[n-1]
+		t.pool[n-1] = nil
+		t.pool = t.pool[:n-1]
+	} else {
+		r = &Req{}
+	}
+	*r = Req{t: t, id: id, fn: fn, start: now, sampled: true, spans: r.spans[:0]}
 	return r
 }
 

@@ -1,0 +1,35 @@
+package workflow
+
+import (
+	"testing"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/des"
+)
+
+// BenchmarkWorkflowFanout measures the simulator's cost per fan-out/fan-in
+// workflow instance — the executor's hot path (barrier accounting, pooled
+// instance state, scatter-gather joins) on warm nodes.
+func BenchmarkWorkflowFanout(b *testing.B) {
+	eng, c := newTestCloud(b, 1, nil)
+	d, err := Preset("fanout-4", PresetSpec{Transfer: TransferInline, PayloadBytes: 4 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	deployDAG(b, c, d, 0)
+	ex, err := New(Config{Cloud: c, DAG: d})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	eng.Spawn("bench", func(p *des.Proc) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.Run(p); err != nil {
+				b.Error(err)
+				return
+			}
+			p.Sleep(time.Millisecond)
+		}
+	})
+	eng.Run(0)
+}

@@ -1,0 +1,306 @@
+// Package workflow orchestrates multi-function applications over the
+// simulated cloud: a DAG whose nodes are deployed functions and whose edges
+// carry an invocation mode (sync | async) and a data-passing mode
+// (inline | blobstore), executed deterministically inside the DES engine.
+//
+// The executor composes the cloud's continuation seam (cloud.Downstream):
+// a node's out-edges run inside its serving instance exactly where a static
+// chain's downstream block runs, so a chain-shaped workflow is
+// byte-identical to the hand-rolled two-function chain path — the
+// differential anchor that makes the rest of the DAG semantics trustworthy.
+// Fan-in nodes wait on join barriers with a configurable straggler policy;
+// every barrier conserves its deliveries (started = completed + dropped +
+// failed), the invariant the fault-injection suite pins.
+package workflow
+
+import (
+	"fmt"
+	"time"
+)
+
+// MaxNodes bounds a DAG's size: barrier state is preallocated per node and
+// pooled per executor, and the longest sync path must stay within the
+// cloud's chain-depth bound.
+const MaxNodes = 64
+
+// maxSyncDepth bounds the longest root-to-leaf path: every hop nests one
+// internal invocation, and the cloud rejects chains deeper than its
+// maxChainDepth (32).
+const maxSyncDepth = 32
+
+// Mode is an edge's invocation mode.
+type Mode uint8
+
+const (
+	// ModeSync invokes the downstream node inside the producer's serving
+	// window: the producer blocks until the downstream completes, as a
+	// static chain hop does.
+	ModeSync Mode = iota
+	// ModeAsync fires the downstream node and forgets it: the producer
+	// returns immediately and the branch runs on its own proc.
+	ModeAsync
+
+	numModes
+)
+
+var modeNames = [numModes]string{ModeSync: "sync", ModeAsync: "async"}
+
+// String returns the mode's stable wire name.
+func (m Mode) String() string {
+	if m >= numModes {
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+	return modeNames[m]
+}
+
+// ParseMode inverts String.
+func ParseMode(s string) (Mode, error) {
+	for m, name := range modeNames {
+		if s == name {
+			return Mode(m), nil
+		}
+	}
+	return 0, fmt.Errorf("workflow: unknown edge mode %q (sync|async)", s)
+}
+
+// Transfer is an edge's data-passing mode.
+type Transfer uint8
+
+const (
+	// TransferInline passes the payload in the invocation itself, paying
+	// wire time at the provider's effective invocation-path bandwidth and
+	// respecting the provider's inline size limit.
+	TransferInline Transfer = iota
+	// TransferBlobstore routes the payload through the provider's payload
+	// store: the producer pays the put, the consumer the fetch.
+	TransferBlobstore
+
+	numTransfers
+)
+
+var transferNames = [numTransfers]string{
+	TransferInline:    "inline",
+	TransferBlobstore: "blobstore",
+}
+
+// String returns the transfer mode's stable wire name.
+func (t Transfer) String() string {
+	if t >= numTransfers {
+		return fmt.Sprintf("transfer(%d)", uint8(t))
+	}
+	return transferNames[t]
+}
+
+// ParseTransfer inverts String.
+func ParseTransfer(s string) (Transfer, error) {
+	for t, name := range transferNames {
+		if s == name {
+			return Transfer(t), nil
+		}
+	}
+	return 0, fmt.Errorf("workflow: unknown transfer mode %q (inline|blobstore)", s)
+}
+
+// Node is one workflow step, served by the deployed function of the same
+// name.
+type Node struct {
+	// Name is the node's (and its function's) unique name.
+	Name string
+	// ExecTime, when positive, overrides the function's busy-spin duration
+	// for this workflow's invocations.
+	ExecTime time.Duration
+	// Need is the join barrier's straggler policy: how many in-branch
+	// successes fire the node. Zero means all in-edges (wait-all); a value
+	// below the in-degree fires on the Need-th success and counts later
+	// arrivals as dropped (a first-K quorum join).
+	Need int
+	// Select, when positive, makes the node a conditional branch: on
+	// completion it takes exactly Select of its out-edges — rotated by
+	// workflow instance so successive instances exercise every branch
+	// deterministically — and the untaken consumers resolve as skipped.
+	// Zero takes every out-edge.
+	Select int
+}
+
+// Edge is one directed data/control dependency between nodes.
+type Edge struct {
+	// From and To name the producer and consumer nodes.
+	From, To string
+	// Mode is the invocation mode (sync | async).
+	Mode Mode
+	// Transfer is the data-passing mode (inline | blobstore).
+	Transfer Transfer
+	// PayloadBytes is the payload carried along the edge.
+	PayloadBytes int64
+}
+
+// Label renders the edge for reports: "from->to[transfer]".
+func (e Edge) Label() string {
+	return e.From + "->" + e.To + "[" + e.Transfer.String() + "]"
+}
+
+// DAG is one workflow topology. Validate (or New, which validates) must
+// accept it before execution.
+type DAG struct {
+	// Name identifies the topology (preset id or caller-chosen).
+	Name string
+	// Nodes are the workflow steps. Exactly one node must have no in-edges
+	// (the root, invoked externally); every node must be reachable from it.
+	Nodes []Node
+	// Edges are the dependencies. Duplicate (From, To) pairs, self-loops,
+	// and cycles are rejected.
+	Edges []Edge
+}
+
+// compiled is the validated, index-resolved form of a DAG.
+type compiled struct {
+	idx   map[string]int
+	out   [][]int // out-edge indices per node, in Edges order
+	inUp  [][]int // in-edge indices per node, in Edges order
+	indeg []int
+	need  []int // resolved join need (Node.Need, or in-degree when zero)
+	root  int
+	topo  []int // topological order, root first
+	depth int   // longest root-to-leaf path, in nodes
+}
+
+// Validate checks the topology's structural invariants: unique node names,
+// edges between declared nodes, no self-loops or duplicate edges, exactly
+// one root, acyclicity, reachability from the root, join needs within each
+// node's in-degree, and the sync-depth bound.
+func (d *DAG) Validate() error {
+	_, err := compile(d)
+	return err
+}
+
+func compile(d *DAG) (*compiled, error) {
+	if len(d.Nodes) == 0 {
+		return nil, fmt.Errorf("workflow %s: no nodes", d.Name)
+	}
+	if len(d.Nodes) > MaxNodes {
+		return nil, fmt.Errorf("workflow %s: %d nodes exceeds limit %d", d.Name, len(d.Nodes), MaxNodes)
+	}
+	cp := &compiled{
+		idx:   make(map[string]int, len(d.Nodes)),
+		out:   make([][]int, len(d.Nodes)),
+		inUp:  make([][]int, len(d.Nodes)),
+		indeg: make([]int, len(d.Nodes)),
+		need:  make([]int, len(d.Nodes)),
+	}
+	for i, n := range d.Nodes {
+		if n.Name == "" {
+			return nil, fmt.Errorf("workflow %s: node %d has no name", d.Name, i)
+		}
+		if _, dup := cp.idx[n.Name]; dup {
+			return nil, fmt.Errorf("workflow %s: duplicate node %q", d.Name, n.Name)
+		}
+		if n.Need < 0 {
+			return nil, fmt.Errorf("workflow %s: node %q: negative join need %d", d.Name, n.Name, n.Need)
+		}
+		if n.Select < 0 {
+			return nil, fmt.Errorf("workflow %s: node %q: negative branch select %d", d.Name, n.Name, n.Select)
+		}
+		if n.ExecTime < 0 {
+			return nil, fmt.Errorf("workflow %s: node %q: negative exec time", d.Name, n.Name)
+		}
+		cp.idx[n.Name] = i
+	}
+	type pair struct{ from, to int }
+	seen := make(map[pair]bool, len(d.Edges))
+	for i, e := range d.Edges {
+		from, ok := cp.idx[e.From]
+		if !ok {
+			return nil, fmt.Errorf("workflow %s: edge %d from unknown node %q", d.Name, i, e.From)
+		}
+		to, ok := cp.idx[e.To]
+		if !ok {
+			return nil, fmt.Errorf("workflow %s: edge %d to unknown node %q", d.Name, i, e.To)
+		}
+		if from == to {
+			return nil, fmt.Errorf("workflow %s: edge %d is a self-loop on %q", d.Name, i, e.From)
+		}
+		if seen[pair{from, to}] {
+			return nil, fmt.Errorf("workflow %s: duplicate edge %s->%s", d.Name, e.From, e.To)
+		}
+		seen[pair{from, to}] = true
+		if e.Mode >= numModes {
+			return nil, fmt.Errorf("workflow %s: edge %s->%s: invalid mode", d.Name, e.From, e.To)
+		}
+		if e.Transfer >= numTransfers {
+			return nil, fmt.Errorf("workflow %s: edge %s->%s: invalid transfer", d.Name, e.From, e.To)
+		}
+		if e.PayloadBytes < 0 {
+			return nil, fmt.Errorf("workflow %s: edge %s->%s: negative payload", d.Name, e.From, e.To)
+		}
+		cp.out[from] = append(cp.out[from], i)
+		cp.inUp[to] = append(cp.inUp[to], i)
+		cp.indeg[to]++
+	}
+	cp.root = -1
+	for i := range d.Nodes {
+		if cp.indeg[i] == 0 {
+			if cp.root >= 0 {
+				return nil, fmt.Errorf("workflow %s: multiple roots (%q and %q)",
+					d.Name, d.Nodes[cp.root].Name, d.Nodes[i].Name)
+			}
+			cp.root = i
+		}
+	}
+	if cp.root < 0 {
+		return nil, fmt.Errorf("workflow %s: no root (every node has in-edges: cycle)", d.Name)
+	}
+	for i, n := range d.Nodes {
+		cp.need[i] = n.Need
+		if cp.need[i] == 0 {
+			cp.need[i] = cp.indeg[i]
+		}
+		if cp.need[i] > cp.indeg[i] {
+			return nil, fmt.Errorf("workflow %s: node %q: join need %d exceeds in-degree %d",
+				d.Name, n.Name, n.Need, cp.indeg[i])
+		}
+		if n.Select > len(cp.out[i]) {
+			return nil, fmt.Errorf("workflow %s: node %q: branch select %d exceeds out-degree %d",
+				d.Name, n.Name, n.Select, len(cp.out[i]))
+		}
+	}
+	// Kahn's algorithm from the single root doubles as the acyclicity and
+	// reachability check: any node left unprocessed is on or behind a cycle,
+	// or unreachable from the root.
+	depth := make([]int, len(d.Nodes))
+	remaining := append([]int(nil), cp.indeg...)
+	queue := []int{cp.root}
+	depth[cp.root] = 1
+	cp.depth = 1
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		cp.topo = append(cp.topo, n)
+		for _, ei := range cp.out[n] {
+			to := cp.idx[d.Edges[ei].To]
+			if d := depth[n] + 1; d > depth[to] {
+				depth[to] = d
+				if d > cp.depth {
+					cp.depth = d
+				}
+			}
+			remaining[to]--
+			if remaining[to] == 0 {
+				queue = append(queue, to)
+			}
+		}
+	}
+	if len(cp.topo) != len(d.Nodes) {
+		var stuck []string
+		for i, r := range remaining {
+			if r > 0 && len(stuck) < 4 {
+				stuck = append(stuck, d.Nodes[i].Name)
+			}
+		}
+		return nil, fmt.Errorf("workflow %s: cyclic or unreachable nodes (e.g. %v)", d.Name, stuck)
+	}
+	if cp.depth > maxSyncDepth {
+		return nil, fmt.Errorf("workflow %s: longest path %d nodes exceeds chain-depth bound %d",
+			d.Name, cp.depth, maxSyncDepth)
+	}
+	return cp, nil
+}

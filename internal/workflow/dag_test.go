@@ -1,0 +1,198 @@
+package workflow
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func chainDAG(n int) *DAG {
+	d, err := Preset("chain-"+strconv.Itoa(n), PresetSpec{})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func TestDAGValidateRejections(t *testing.T) {
+	node := func(name string) Node { return Node{Name: name} }
+	cases := []struct {
+		name string
+		d    *DAG
+		want string
+	}{
+		{"no nodes", &DAG{Name: "x"}, "no nodes"},
+		{"unnamed node", &DAG{Nodes: []Node{{}}}, "no name"},
+		{"duplicate node", &DAG{Nodes: []Node{node("a"), node("a")}}, "duplicate node"},
+		{"negative need", &DAG{Nodes: []Node{{Name: "a", Need: -1}}}, "negative join need"},
+		{"negative select", &DAG{Nodes: []Node{{Name: "a", Select: -2}}}, "negative branch select"},
+		{"negative exec", &DAG{Nodes: []Node{{Name: "a", ExecTime: -time.Second}}}, "negative exec time"},
+		{"unknown from", &DAG{Nodes: []Node{node("a")}, Edges: []Edge{{From: "z", To: "a"}}}, "from unknown node"},
+		{"unknown to", &DAG{Nodes: []Node{node("a")}, Edges: []Edge{{From: "a", To: "z"}}}, "to unknown node"},
+		{"self loop", &DAG{Nodes: []Node{node("a")}, Edges: []Edge{{From: "a", To: "a"}}}, "self-loop"},
+		{"duplicate edge", &DAG{
+			Nodes: []Node{node("a"), node("b")},
+			Edges: []Edge{{From: "a", To: "b"}, {From: "a", To: "b"}},
+		}, "duplicate edge"},
+		{"invalid mode", &DAG{
+			Nodes: []Node{node("a"), node("b")},
+			Edges: []Edge{{From: "a", To: "b", Mode: Mode(9)}},
+		}, "invalid mode"},
+		{"invalid transfer", &DAG{
+			Nodes: []Node{node("a"), node("b")},
+			Edges: []Edge{{From: "a", To: "b", Transfer: Transfer(9)}},
+		}, "invalid transfer"},
+		{"negative payload", &DAG{
+			Nodes: []Node{node("a"), node("b")},
+			Edges: []Edge{{From: "a", To: "b", PayloadBytes: -1}},
+		}, "negative payload"},
+		{"multiple roots", &DAG{Nodes: []Node{node("a"), node("b")}}, "multiple roots"},
+		{"two-node cycle", &DAG{
+			Nodes: []Node{node("a"), node("b"), node("c")},
+			Edges: []Edge{{From: "a", To: "b"}, {From: "b", To: "c"}, {From: "c", To: "b"}},
+		}, "cyclic or unreachable"},
+		{"all-cycle no root", &DAG{
+			Nodes: []Node{node("a"), node("b")},
+			Edges: []Edge{{From: "a", To: "b"}, {From: "b", To: "a"}},
+		}, "no root"},
+		{"need over indegree", &DAG{
+			Nodes: []Node{node("a"), {Name: "b", Need: 2}},
+			Edges: []Edge{{From: "a", To: "b"}},
+		}, "exceeds in-degree"},
+		{"select over outdegree", &DAG{
+			Nodes: []Node{{Name: "a", Select: 2}, node("b")},
+			Edges: []Edge{{From: "a", To: "b"}},
+		}, "exceeds out-degree"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.d.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDAGValidateBounds(t *testing.T) {
+	big := &DAG{Name: "big"}
+	for i := 0; i <= MaxNodes; i++ {
+		big.Nodes = append(big.Nodes, Node{Name: "n" + strconv.Itoa(i)})
+		if i > 0 {
+			big.Edges = append(big.Edges, Edge{From: "n" + strconv.Itoa(i-1), To: "n" + strconv.Itoa(i)})
+		}
+	}
+	if err := big.Validate(); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized DAG: %v", err)
+	}
+
+	deep := chainDAG(maxSyncDepth + 1)
+	if err := deep.Validate(); err == nil || !strings.Contains(err.Error(), "chain-depth bound") {
+		t.Fatalf("over-deep DAG: %v", err)
+	}
+	if err := chainDAG(maxSyncDepth).Validate(); err != nil {
+		t.Fatalf("depth-%d chain should validate: %v", maxSyncDepth, err)
+	}
+}
+
+func TestDAGCompileShape(t *testing.T) {
+	d, err := Preset("mapreduce", PresetSpec{Need: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := compile(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Nodes[cp.root].Name != "src" {
+		t.Errorf("root = %q, want src", d.Nodes[cp.root].Name)
+	}
+	if len(cp.topo) != len(d.Nodes) {
+		t.Errorf("topo covers %d of %d nodes", len(cp.topo), len(d.Nodes))
+	}
+	if cp.depth != 4 {
+		t.Errorf("depth = %d, want 4", cp.depth)
+	}
+	// Topological order: every edge's producer precedes its consumer.
+	pos := make(map[int]int, len(cp.topo))
+	for i, n := range cp.topo {
+		pos[n] = i
+	}
+	for _, e := range d.Edges {
+		if pos[cp.idx[e.From]] >= pos[cp.idx[e.To]] {
+			t.Errorf("edge %s not topologically ordered", e.Label())
+		}
+	}
+	// Resolved needs: reducers fire on the 3rd of 4 mappers, the sink on
+	// both reducers (join() caps Need at in-degree).
+	for _, name := range []string{"r1", "r2"} {
+		if got := cp.need[cp.idx[name]]; got != 3 {
+			t.Errorf("need[%s] = %d, want 3", name, got)
+		}
+	}
+	if got := cp.need[cp.idx["sink"]]; got != 2 {
+		t.Errorf("need[sink] = %d, want 2", got)
+	}
+}
+
+func TestModeTransferParsing(t *testing.T) {
+	for _, m := range []Mode{ModeSync, ModeAsync} {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	for _, tr := range []Transfer{TransferInline, TransferBlobstore} {
+		got, err := ParseTransfer(tr.String())
+		if err != nil || got != tr {
+			t.Errorf("ParseTransfer(%q) = %v, %v", tr.String(), got, err)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("ParseMode accepted bogus")
+	}
+	if _, err := ParseTransfer("bogus"); err == nil {
+		t.Error("ParseTransfer accepted bogus")
+	}
+	if s := Mode(7).String(); !strings.Contains(s, "7") {
+		t.Errorf("unknown mode renders %q", s)
+	}
+	if s := Transfer(7).String(); !strings.Contains(s, "7") {
+		t.Errorf("unknown transfer renders %q", s)
+	}
+	e := Edge{From: "a", To: "b", Transfer: TransferBlobstore}
+	if e.Label() != "a->b[blobstore]" {
+		t.Errorf("Label = %q", e.Label())
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, id := range PresetIDs {
+		d, err := Preset(id, PresetSpec{Transfer: TransferBlobstore, PayloadBytes: 1 << 10})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	if d, err := Preset("map-reduce", PresetSpec{}); err != nil || d.Name != "mapreduce" {
+		t.Errorf("map-reduce alias: %v, %v", d, err)
+	}
+	d, err := Preset("fanout-3", PresetSpec{Need: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := d.Nodes[len(d.Nodes)-1]; n.Name != "sink" || n.Need != 2 {
+		t.Errorf("fanout sink = %+v, want Need 2", n)
+	}
+	for _, bad := range []string{"chain-1", "chain-999", "chain-x", "fanout-1", "fanout-99", "ring-4", "chain", "fanout"} {
+		if _, err := Preset(bad, PresetSpec{}); err == nil {
+			t.Errorf("Preset(%q) accepted", bad)
+		}
+	}
+}

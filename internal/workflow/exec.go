@@ -1,0 +1,629 @@
+package workflow
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/cloud"
+	"github.com/stellar-repro/stellar/internal/des"
+	"github.com/stellar-repro/stellar/internal/trace"
+)
+
+// Config parameterizes an executor.
+type Config struct {
+	// Cloud is the simulated region; every DAG node's function must already
+	// be deployed on it.
+	Cloud *cloud.Cloud
+	// DAG is the topology to execute; it is compiled (and so validated) by
+	// New.
+	DAG *DAG
+	// Tracer, when set, records per-node span traces of sampled workflow
+	// instances: the sampling decision is made once per workflow, so a
+	// sampled instance's trace tree is never missing nodes. Retention is
+	// bounded by the tracer's ring.
+	Tracer *trace.Tracer
+	// SampleRate is the per-workflow sampling probability in [0, 1].
+	SampleRate float64
+	// Rng drives workflow sampling and must be a dedicated stream (e.g.
+	// "<provider>/workflow") so enabling tracing never shifts the
+	// simulation's other draws. Required when Tracer is set.
+	Rng *rand.Rand
+}
+
+// BarrierMetrics counts one join barrier's in-edge deliveries. The
+// conservation law — checked on every workflow completion — is
+// Started == Completed + Dropped + Failed, and all four plus Skipped sum to
+// the node's in-degree once the workflow resolves.
+type BarrierMetrics struct {
+	// Started counts in-branch invocations launched.
+	Started uint64
+	// Completed counts successful deliveries that arrived before (or fired)
+	// the barrier.
+	Completed uint64
+	// Dropped counts successful deliveries that arrived after the barrier
+	// fired (stragglers under a first-K join).
+	Dropped uint64
+	// Failed counts in-branch invocations that launched and then failed.
+	Failed uint64
+	// Skipped counts in-branches that never launched (their own barrier
+	// became impossible upstream).
+	Skipped uint64
+}
+
+func (b *BarrierMetrics) add(o BarrierMetrics) {
+	b.Started += o.Started
+	b.Completed += o.Completed
+	b.Dropped += o.Dropped
+	b.Failed += o.Failed
+	b.Skipped += o.Skipped
+}
+
+// Metrics aggregates executor counters across workflow instances.
+type Metrics struct {
+	// Workflows counts instances run; Completed those with every node
+	// completed; Failed those with at least one failed or skipped node.
+	Workflows uint64
+	Completed uint64
+	Failed    uint64
+	// NodeFailures counts node invocations that errored.
+	NodeFailures uint64
+	// Barriers aggregates per-node join counters, aligned with DAG.Nodes.
+	Barriers []BarrierMetrics
+}
+
+// Result is one workflow instance's outcome. The returned value is owned by
+// the executor and reused by the next Run; callers consume it (or copy what
+// they keep) before running again.
+type Result struct {
+	// ID is the instance's sequence number on this executor.
+	ID uint64
+	// Start is the instance's virtual launch time.
+	Start des.Time
+	// ClientLatency is the root invocation's client-observed round trip.
+	ClientLatency time.Duration
+	// Makespan spans launch to the last completed node's resolution (for a
+	// workflow with async tails this can exceed ClientLatency).
+	Makespan time.Duration
+	// Colds counts nodes served by cold instances.
+	Colds int
+	// EdgeTransfers holds each observed edge's transfer time — consumer
+	// receive minus producer send, the paper's §IV metric generalized per
+	// edge — aligned with DAG.Edges; -1 marks edges whose delivery was
+	// dropped, failed, or skipped.
+	EdgeTransfers []time.Duration
+	// Critical and CriticalEdges are the barrier-firing path from the root
+	// to the last-completing node (node and edge indices); empty when the
+	// workflow failed.
+	Critical      []int
+	CriticalEdges []int
+}
+
+// Node invocation states.
+const (
+	nsPending uint8 = iota
+	nsRunning
+	nsCompleted
+	nsFailed
+	nsSkipped
+)
+
+type nodeState struct {
+	status  uint8
+	fired   bool
+	firedBy int // edge index that fired this node's barrier (-1 at the root)
+	arrived int // pre-fire successful deliveries
+	badIn   int // failed + skipped deliveries while unfired
+	bar     BarrierMetrics
+	start   des.Time
+	end     des.Time
+	cold    bool
+}
+
+type edgeState struct {
+	sendAt   des.Time
+	counted  bool // successful delivery before (or firing) the barrier
+	observed bool
+	transfer time.Duration
+}
+
+// nodeCont adapts one node's out-edges to the cloud's continuation seam: it
+// runs inside the node's serving instance, exactly where a static chain's
+// downstream block runs.
+type nodeCont struct {
+	inst *wfInstance
+	node int
+}
+
+func (nc *nodeCont) Run(p *des.Proc, env *cloud.DownstreamEnv) error {
+	nc.inst.runEdges(p, env, nc.node)
+	// Branch failures are classified at join barriers, never propagated into
+	// the producer's own outcome — a producer that finished its handler has
+	// completed regardless of its consumers.
+	return nil
+}
+
+// wfInstance is one in-flight workflow's state, pooled on the executor so
+// sustained churn reuses memory.
+type wfInstance struct {
+	e        *Exec
+	id       uint64
+	start    des.Time
+	sampled  bool
+	failed   bool
+	resolved int
+	nodes    []nodeState
+	edges    []edgeState
+	conts    []nodeCont
+	done     *des.Signal
+	next     *wfInstance
+}
+
+// Exec executes one DAG's instances against a cloud. It is bound to the
+// engine's single-threaded simulation context, like the cloud itself.
+type Exec struct {
+	c      *cloud.Cloud
+	d      *DAG
+	cp     *compiled
+	tracer *trace.Tracer
+	rate   float64
+	rng    *rand.Rand
+
+	seq     uint64
+	spanSeq uint64
+	free    *wfInstance
+	metrics Metrics
+	res     Result
+}
+
+// New compiles the DAG and builds an executor. Every node's function must
+// be deployed on the cloud.
+func New(cfg Config) (*Exec, error) {
+	if cfg.Cloud == nil {
+		return nil, fmt.Errorf("workflow: cloud is required")
+	}
+	if cfg.DAG == nil {
+		return nil, fmt.Errorf("workflow: dag is required")
+	}
+	cp, err := compile(cfg.DAG)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range cfg.DAG.Nodes {
+		if !cfg.Cloud.HasFunction(n.Name) {
+			return nil, fmt.Errorf("workflow %s: node %q is not deployed", cfg.DAG.Name, n.Name)
+		}
+	}
+	if math.IsNaN(cfg.SampleRate) || cfg.SampleRate < 0 || cfg.SampleRate > 1 {
+		return nil, fmt.Errorf("workflow %s: sample rate %v out of [0,1]", cfg.DAG.Name, cfg.SampleRate)
+	}
+	if cfg.Tracer != nil && cfg.SampleRate > 0 && cfg.Rng == nil {
+		return nil, fmt.Errorf("workflow %s: tracing needs a sampling rng", cfg.DAG.Name)
+	}
+	e := &Exec{
+		c:      cfg.Cloud,
+		d:      cfg.DAG,
+		cp:     cp,
+		tracer: cfg.Tracer,
+		rate:   cfg.SampleRate,
+		rng:    cfg.Rng,
+	}
+	e.metrics.Barriers = make([]BarrierMetrics, len(cfg.DAG.Nodes))
+	e.res.EdgeTransfers = make([]time.Duration, len(cfg.DAG.Edges))
+	return e, nil
+}
+
+// DAG returns the executed topology.
+func (e *Exec) DAG() *DAG { return e.d }
+
+// Metrics returns a snapshot of the executor's aggregated counters.
+func (e *Exec) Metrics() Metrics {
+	m := e.metrics
+	m.Barriers = append([]BarrierMetrics(nil), e.metrics.Barriers...)
+	return m
+}
+
+// PathLabel renders a node-index path as "a -> b -> c".
+func (e *Exec) PathLabel(nodes []int) string {
+	var sb strings.Builder
+	for i, n := range nodes {
+		if i > 0 {
+			sb.WriteString(" -> ")
+		}
+		sb.WriteString(e.d.Nodes[n].Name)
+	}
+	return sb.String()
+}
+
+// Run executes one workflow instance on the calling proc: the root is
+// invoked as an external request (client propagation, front-end admission,
+// egress — so the cloud's latency recorder observes it like any client
+// request), sync edges nest inside their producers' serving windows, async
+// branches run on their own procs, and Run returns once every node has
+// resolved — completed, failed, or skipped. The returned Result is reused
+// by the next Run.
+func (e *Exec) Run(p *des.Proc) (*Result, error) {
+	e.seq++
+	inst := e.getInstance()
+	inst.id = e.seq
+	inst.start = p.Now()
+	inst.done = des.NewSignal(e.c.Engine())
+	if e.tracer != nil && e.rate > 0 && e.rng.Float64() < e.rate {
+		inst.sampled = true
+	}
+	e.metrics.Workflows++
+
+	root := e.cp.root
+	inst.nodes[root].fired = true
+	inst.startNode(root, -1, p.Now())
+	req := &cloud.Request{
+		Fn:       e.d.Nodes[root].Name,
+		ExecTime: e.d.Nodes[root].ExecTime,
+		Cont:     inst.contFor(root),
+		Span:     inst.beginSpan(root, ""),
+	}
+	resp, err := e.c.Invoke(p, req)
+	clientLat := p.Now() - inst.start
+	inst.settle(root, resp, err, p.Now())
+	if inst.resolved < len(inst.nodes) {
+		p.Wait(inst.done)
+	}
+	return e.finish(inst, clientLat)
+}
+
+func (e *Exec) getInstance() *wfInstance {
+	inst := e.free
+	if inst == nil {
+		inst = &wfInstance{
+			e:     e,
+			nodes: make([]nodeState, len(e.d.Nodes)),
+			edges: make([]edgeState, len(e.d.Edges)),
+			conts: make([]nodeCont, len(e.d.Nodes)),
+		}
+		for i := range inst.conts {
+			inst.conts[i] = nodeCont{inst: inst, node: i}
+		}
+		return inst
+	}
+	e.free = inst.next
+	inst.next = nil
+	for i := range inst.nodes {
+		inst.nodes[i] = nodeState{}
+	}
+	for i := range inst.edges {
+		inst.edges[i] = edgeState{}
+	}
+	inst.sampled, inst.failed, inst.resolved = false, false, 0
+	return inst
+}
+
+func (e *Exec) putInstance(inst *wfInstance) {
+	inst.done = nil
+	inst.next = e.free
+	e.free = inst
+}
+
+func (inst *wfInstance) contFor(node int) cloud.Downstream {
+	if len(inst.e.cp.out[node]) == 0 {
+		return nil
+	}
+	return &inst.conts[node]
+}
+
+// beginSpan starts a node invocation's trace for a sampled instance, tagged
+// with the workflow id and the firing parent, at the current instant (the
+// span must begin exactly when the invocation enters the cloud, or the
+// tiling invariant breaks).
+func (inst *wfInstance) beginSpan(node int, parent string) *trace.Req {
+	if !inst.sampled {
+		return nil
+	}
+	e := inst.e
+	e.spanSeq++
+	r := e.tracer.BeginAlways(e.spanSeq, e.d.Nodes[node].Name, e.c.Engine().Now())
+	r.SetNode(inst.id, e.d.Nodes[node].Name, parent)
+	return r
+}
+
+// takesEdge reports whether this instance's conditional-branch selection at
+// node includes the out-edge at position pos. Non-branch nodes (Select 0)
+// take everything; branch nodes take Select consecutive out-edges starting
+// at a rotation decided by the instance id, so successive instances
+// exercise every branch deterministically.
+func (inst *wfInstance) takesEdge(node, pos int) bool {
+	sel := inst.e.d.Nodes[node].Select
+	nOut := len(inst.e.cp.out[node])
+	if sel <= 0 || sel >= nOut {
+		return true
+	}
+	start := int(inst.id % uint64(nOut))
+	return (pos-start+nOut)%nOut < sel
+}
+
+// startNode marks a node launched and counts the launch at each of its
+// taken consumers' barriers (the Started side of the conservation law —
+// untaken conditional branches will resolve as skipped, not failed).
+func (inst *wfInstance) startNode(node, firedBy int, at des.Time) {
+	ns := &inst.nodes[node]
+	ns.status = nsRunning
+	ns.firedBy = firedBy
+	ns.start = at
+	cp := inst.e.cp
+	for pos, ei := range cp.out[node] {
+		if inst.takesEdge(node, pos) {
+			inst.nodes[cp.idx[inst.e.d.Edges[ei].To]].bar.Started++
+		}
+	}
+}
+
+// runEdges is the continuation body for node x: it timestamps the producer
+// send, delivers one success per out-edge to the consumer's barrier, and
+// launches every consumer whose barrier fires here — sync consumers as one
+// gathered scatter inside x's serving window, async consumers on their own
+// procs. Non-firing blobstore edges still pay the producer-side put.
+func (inst *wfInstance) runEdges(p *des.Proc, env *cloud.DownstreamEnv, x int) {
+	e := inst.e
+	env.MarkSend()
+	sendAt := env.Now()
+	var syncReqs []*cloud.Request
+	var syncTargets []int
+	for pos, ei := range e.cp.out[x] {
+		edge := &e.d.Edges[ei]
+		t := e.cp.idx[edge.To]
+		if !inst.takesEdge(x, pos) {
+			// Conditional branch not taken: the consumer's barrier learns
+			// immediately so it resolves (fires short, or skips) without
+			// waiting on a delivery that will never come.
+			inst.deliverBad(t, false)
+			continue
+		}
+		es := &inst.edges[ei]
+		es.sendAt = sendAt
+		if !inst.deliverOK(t, ei) {
+			if edge.Transfer == TransferBlobstore {
+				env.Store(edge.PayloadBytes)
+			}
+			continue
+		}
+		inst.startNode(t, ei, env.Now())
+		req, err := env.Prepare(cloud.DownstreamCall{
+			Fn:           edge.To,
+			Transfer:     edge.Transfer.kind(),
+			PayloadBytes: edge.PayloadBytes,
+			ExecTime:     e.d.Nodes[t].ExecTime,
+			Cont:         inst.contFor(t),
+		})
+		if err != nil {
+			// The edge itself was rejected (inline payload over the provider
+			// limit): the consumer fails without serving.
+			inst.settle(t, nil, err, env.Now())
+			continue
+		}
+		if edge.Mode == ModeAsync {
+			t := t
+			req.Span = inst.beginSpan(t, e.d.Nodes[x].Name)
+			env.Go(req, func(resp *cloud.Response, err error, at des.Time) {
+				inst.settle(t, resp, err, at)
+			})
+			continue
+		}
+		syncReqs = append(syncReqs, req)
+		syncTargets = append(syncTargets, t)
+	}
+	if len(syncReqs) == 0 {
+		return
+	}
+	for i, req := range syncReqs {
+		req.Span = inst.beginSpan(syncTargets[i], e.d.Nodes[x].Name)
+	}
+	// The gather's first-error return is deliberately ignored: each branch
+	// was already classified at its consumer's barrier by the callback.
+	env.Gather(syncReqs, func(i int, resp *cloud.Response, err error, at des.Time) {
+		inst.settle(syncTargets[i], resp, err, at)
+	})
+}
+
+// deliverOK delivers one in-branch success to a node's barrier, returning
+// true when this delivery fires it.
+func (inst *wfInstance) deliverOK(node, ei int) bool {
+	ns := &inst.nodes[node]
+	if ns.fired {
+		ns.bar.Dropped++
+		return false
+	}
+	ns.bar.Completed++
+	inst.edges[ei].counted = true
+	ns.arrived++
+	if ns.arrived >= inst.e.cp.need[node] {
+		ns.fired = true
+		return true
+	}
+	return false
+}
+
+// deliverBad delivers one in-branch failure (started=true) or skip
+// (started=false) to a node's barrier. When enough in-branches are gone
+// that the barrier can never fire, the node is skipped and the failure
+// propagates onward.
+func (inst *wfInstance) deliverBad(node int, started bool) {
+	ns := &inst.nodes[node]
+	if started {
+		ns.bar.Failed++
+	} else {
+		ns.bar.Skipped++
+	}
+	if ns.fired {
+		return
+	}
+	ns.badIn++
+	cp := inst.e.cp
+	if ns.status == nsPending && cp.indeg[node]-ns.badIn < cp.need[node] {
+		inst.skipNode(node)
+	}
+}
+
+// skipNode resolves a node whose barrier became impossible; its consumers
+// learn immediately, so no barrier downstream ever deadlocks waiting for a
+// branch that cannot arrive.
+func (inst *wfInstance) skipNode(node int) {
+	ns := &inst.nodes[node]
+	ns.status = nsSkipped
+	inst.failed = true
+	inst.resolveOne()
+	e := inst.e
+	for _, ei := range e.cp.out[node] {
+		inst.deliverBad(e.cp.idx[e.d.Edges[ei].To], false)
+	}
+}
+
+// settle resolves a launched node at its completion instant: on success it
+// records cold/transfer observations (its own out-deliveries already ran
+// inside its continuation); on failure it delivers the failure to every
+// consumer's barrier — an errored invocation never reached its
+// continuation, so no delivery is ever double-counted.
+func (inst *wfInstance) settle(node int, resp *cloud.Response, err error, at des.Time) {
+	ns := &inst.nodes[node]
+	ns.end = at
+	e := inst.e
+	if err != nil {
+		ns.status = nsFailed
+		inst.failed = true
+		e.metrics.NodeFailures++
+		for pos, ei := range e.cp.out[node] {
+			// Taken edges deliver a started-then-failed branch; untaken
+			// conditional edges were never started and resolve as skipped.
+			inst.deliverBad(e.cp.idx[e.d.Edges[ei].To], inst.takesEdge(node, pos))
+		}
+		inst.resolveOne()
+		return
+	}
+	ns.status = nsCompleted
+	if resp.Cold {
+		ns.cold = true
+	}
+	if recv, ok := resp.Timestamps[e.d.Nodes[node].Name+".recv"]; ok {
+		for _, ei := range e.cp.inUp[node] {
+			es := &inst.edges[ei]
+			if es.counted && recv >= es.sendAt {
+				es.observed = true
+				es.transfer = recv - es.sendAt
+			}
+		}
+	}
+	inst.resolveOne()
+}
+
+func (inst *wfInstance) resolveOne() {
+	inst.resolved++
+	if inst.resolved == len(inst.nodes) {
+		inst.done.Fire()
+	}
+}
+
+// finish folds the resolved instance into the executor's metrics, checks
+// barrier conservation, extracts the critical path, and recycles the
+// instance state.
+func (e *Exec) finish(inst *wfInstance, clientLat time.Duration) (*Result, error) {
+	res := &e.res
+	res.ID = inst.id
+	res.Start = inst.start
+	res.ClientLatency = clientLat
+	res.Colds = 0
+	res.Critical = res.Critical[:0]
+	res.CriticalEdges = res.CriticalEdges[:0]
+	for i := range inst.edges {
+		es := &inst.edges[i]
+		if es.observed {
+			res.EdgeTransfers[i] = es.transfer
+		} else {
+			res.EdgeTransfers[i] = -1
+		}
+	}
+	var consErr error
+	final := -1
+	var finalEnd, maxEnd des.Time
+	badNodes := 0
+	for i := range inst.nodes {
+		ns := &inst.nodes[i]
+		e.metrics.Barriers[i].add(ns.bar)
+		if ns.cold {
+			res.Colds++
+		}
+		switch ns.status {
+		case nsCompleted:
+			if ns.end > maxEnd {
+				maxEnd = ns.end
+			}
+			// The critical path ends at the last-resolving completed leaf: a
+			// sync producer's own resolution instant (its response returning
+			// to its invoker) always covers its consumers', so interior nodes
+			// would degenerate the walk to the root.
+			leaf := len(e.cp.out[i]) == 0
+			finalLeaf := final >= 0 && len(e.cp.out[final]) == 0
+			if final < 0 || (leaf && !finalLeaf) || (leaf == finalLeaf && ns.end > finalEnd) {
+				final, finalEnd = i, ns.end
+			}
+		case nsFailed, nsSkipped:
+			badNodes++
+		}
+		if consErr == nil {
+			if ns.bar.Started != ns.bar.Completed+ns.bar.Dropped+ns.bar.Failed {
+				consErr = fmt.Errorf("workflow %s instance %d: barrier %q violates conservation: started=%d completed=%d dropped=%d failed=%d",
+					e.d.Name, inst.id, e.d.Nodes[i].Name, ns.bar.Started, ns.bar.Completed, ns.bar.Dropped, ns.bar.Failed)
+			} else if got := ns.bar.Completed + ns.bar.Dropped + ns.bar.Failed + ns.bar.Skipped; got != uint64(e.cp.indeg[i]) {
+				consErr = fmt.Errorf("workflow %s instance %d: barrier %q resolved %d of %d in-edges",
+					e.d.Name, inst.id, e.d.Nodes[i].Name, got, e.cp.indeg[i])
+			}
+		}
+	}
+	if final >= 0 {
+		res.Makespan = maxEnd - inst.start
+	} else {
+		res.Makespan = 0
+	}
+	failed := inst.failed
+	if !failed && final >= 0 {
+		for cur := final; ; {
+			res.Critical = append(res.Critical, cur)
+			ei := inst.nodes[cur].firedBy
+			if ei < 0 {
+				break
+			}
+			res.CriticalEdges = append(res.CriticalEdges, ei)
+			cur = e.cp.idx[e.d.Edges[ei].From]
+		}
+		reverseInts(res.Critical)
+		reverseInts(res.CriticalEdges)
+	}
+	id := inst.id
+	if failed {
+		e.metrics.Failed++
+	} else {
+		e.metrics.Completed++
+	}
+	e.putInstance(inst)
+	if consErr != nil {
+		return res, consErr
+	}
+	if failed {
+		return res, fmt.Errorf("workflow %s instance %d: %d of %d nodes failed or skipped",
+			e.d.Name, id, badNodes, len(e.d.Nodes))
+	}
+	return res, nil
+}
+
+func reverseInts(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// kind maps the workflow-level transfer mode to the cloud's.
+func (t Transfer) kind() cloud.TransferKind {
+	if t == TransferBlobstore {
+		return cloud.TransferStorage
+	}
+	return cloud.TransferInline
+}

@@ -1,0 +1,549 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/stellar-repro/stellar/internal/cloud"
+	"github.com/stellar-repro/stellar/internal/des"
+	"github.com/stellar-repro/stellar/internal/dist"
+	"github.com/stellar-repro/stellar/internal/faults"
+	"github.com/stellar-repro/stellar/internal/providers"
+	"github.com/stellar-repro/stellar/internal/trace"
+)
+
+// newTestCloud builds an engine + AWS-profile cloud for executor tests.
+func newTestCloud(t testing.TB, seed int64, inject *faults.Config) (*des.Engine, *cloud.Cloud) {
+	t.Helper()
+	cfg, err := providers.Get("aws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Inject = inject
+	eng := des.NewEngine()
+	t.Cleanup(eng.Close)
+	c, err := cloud.New(eng, cfg, dist.NewStreams(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, c
+}
+
+func deployDAG(t testing.TB, c *cloud.Cloud, d *DAG, exec time.Duration) {
+	t.Helper()
+	for _, n := range d.Nodes {
+		if err := c.Deploy(cloud.FunctionSpec{
+			Name:     n.Name,
+			Runtime:  cloud.RuntimePython,
+			Method:   cloud.DeployZIP,
+			ExecTime: exec,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// runInstances executes n workflows back-to-back on one proc and returns a
+// deep copy of each Result (Run reuses its scratch Result).
+func runInstances(t testing.TB, eng *des.Engine, ex *Exec, n int, gap time.Duration) ([]Result, []error) {
+	t.Helper()
+	results := make([]Result, 0, n)
+	errs := make([]error, 0, n)
+	eng.Spawn("test/workflows", func(p *des.Proc) {
+		for i := 0; i < n; i++ {
+			res, err := ex.Run(p)
+			cp := *res
+			cp.EdgeTransfers = append([]time.Duration(nil), res.EdgeTransfers...)
+			cp.Critical = append([]int(nil), res.Critical...)
+			cp.CriticalEdges = append([]int(nil), res.CriticalEdges...)
+			results = append(results, cp)
+			errs = append(errs, err)
+			if gap > 0 {
+				p.Sleep(gap)
+			}
+		}
+	})
+	eng.Run(0)
+	return results, errs
+}
+
+func TestExecConfigValidation(t *testing.T) {
+	eng, c := newTestCloud(t, 1, nil)
+	_ = eng
+	d := chainDAG(2)
+	deployDAG(t, c, d, 0)
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"no cloud", Config{DAG: d}, "cloud is required"},
+		{"no dag", Config{Cloud: c}, "dag is required"},
+		{"invalid dag", Config{Cloud: c, DAG: &DAG{Name: "empty"}}, "no nodes"},
+		{"bad rate", Config{Cloud: c, DAG: d, SampleRate: 1.5}, "out of [0,1]"},
+		{"tracer without rng", Config{Cloud: c, DAG: d, SampleRate: 0.5,
+			Tracer: trace.New(trace.Config{SampleRate: 1}, dist.NewStreams(1).Stream("t"))}, "sampling rng"},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want %q", tc.name, err, tc.want)
+		}
+	}
+	undeployed, err := Preset("chain-3", PresetSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	undeployed.Nodes[2].Name = "ghost"
+	undeployed.Edges[1].To = "ghost"
+	if _, err := New(Config{Cloud: c, DAG: undeployed}); err == nil || !strings.Contains(err.Error(), "not deployed") {
+		t.Errorf("undeployed node: %v", err)
+	}
+}
+
+// TestCriticalPathInvariant pins the workflow-level latency law: a completed
+// sync workflow's end-to-end latency is at least the largest root-to-leaf
+// sum of node service times (every root-leaf dependency chain must fully
+// serialize), and its reported critical path is a real root-to-leaf path
+// whose edges connect its nodes.
+func TestCriticalPathInvariant(t *testing.T) {
+	const exec = 20 * time.Millisecond
+	for _, id := range PresetIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			eng, c := newTestCloud(t, 7, nil)
+			d, err := Preset(id, PresetSpec{Transfer: TransferInline, PayloadBytes: 4 << 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			deployDAG(t, c, d, exec)
+			ex, err := New(Config{Cloud: c, DAG: d})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp, err := compile(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			floor := time.Duration(cp.depth) * exec
+
+			results, errs := runInstances(t, eng, ex, 5, 50*time.Millisecond)
+			for i, res := range results {
+				if errs[i] != nil {
+					t.Fatalf("instance %d: %v", i, errs[i])
+				}
+				if res.ClientLatency < floor {
+					t.Errorf("instance %d: client latency %v below service floor %v (depth %d x %v)",
+						i, res.ClientLatency, floor, cp.depth, exec)
+				}
+				if res.Makespan < floor {
+					t.Errorf("instance %d: makespan %v below service floor %v", i, res.Makespan, floor)
+				}
+				if len(res.Critical) == 0 {
+					t.Fatalf("instance %d: no critical path", i)
+				}
+				if res.Critical[0] != cp.root {
+					t.Errorf("instance %d: critical path starts at %d, want root %d", i, res.Critical[0], cp.root)
+				}
+				if last := res.Critical[len(res.Critical)-1]; len(cp.out[last]) != 0 {
+					t.Errorf("instance %d: critical path ends at non-leaf %q", i, d.Nodes[last].Name)
+				}
+				if len(res.CriticalEdges) != len(res.Critical)-1 {
+					t.Fatalf("instance %d: %d edges for %d nodes", i, len(res.CriticalEdges), len(res.Critical))
+				}
+				for j, ei := range res.CriticalEdges {
+					e := d.Edges[ei]
+					if e.From != d.Nodes[res.Critical[j]].Name || e.To != d.Nodes[res.Critical[j+1]].Name {
+						t.Errorf("instance %d: edge %s does not link %s->%s", i, e.Label(),
+							d.Nodes[res.Critical[j]].Name, d.Nodes[res.Critical[j+1]].Name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWorkflowTraceTree checks cross-function trace propagation: a sampled
+// workflow yields exactly one span per node, every span tiles its latency
+// (RequestRecord.Validate), and the recorded parents reproduce the
+// barrier-firing tree rooted at the workflow root.
+func TestWorkflowTraceTree(t *testing.T) {
+	eng, c := newTestCloud(t, 11, nil)
+	d, err := Preset("mapreduce", PresetSpec{Transfer: TransferInline, PayloadBytes: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deployDAG(t, c, d, 5*time.Millisecond)
+	streams := dist.NewStreams(11)
+	tr := trace.New(trace.Config{SampleRate: 1}, streams.Stream("aws/workflow-trace"))
+	ex, err := New(Config{Cloud: c, DAG: d, Tracer: tr, SampleRate: 1, Rng: streams.Stream("aws/workflow")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	_, errs := runInstances(t, eng, ex, n, 30*time.Millisecond)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+	}
+
+	recs := tr.Drain()
+	if want := n * len(d.Nodes); len(recs) != want {
+		t.Fatalf("drained %d spans, want %d (%d workflows x %d nodes)", len(recs), want, n, len(d.Nodes))
+	}
+	byWF := make(map[uint64][]trace.RequestRecord)
+	for _, rec := range recs {
+		if err := rec.Validate(); err != nil {
+			t.Fatalf("span %s/%d: %v", rec.Fn, rec.ID, err)
+		}
+		if rec.Workflow == 0 {
+			t.Fatalf("span %s/%d has no workflow tag", rec.Fn, rec.ID)
+		}
+		if rec.Node != rec.Fn {
+			t.Errorf("span %d: node %q != fn %q", rec.ID, rec.Node, rec.Fn)
+		}
+		byWF[rec.Workflow] = append(byWF[rec.Workflow], rec)
+	}
+	if len(byWF) != n {
+		t.Fatalf("spans cover %d workflows, want %d", len(byWF), n)
+	}
+	names := make(map[string]bool, len(d.Nodes))
+	for _, nd := range d.Nodes {
+		names[nd.Name] = true
+	}
+	for wf, spans := range byWF {
+		seen := make(map[string]string, len(spans))
+		roots := 0
+		for _, rec := range spans {
+			if _, dup := seen[rec.Node]; dup {
+				t.Fatalf("workflow %d: duplicate span for node %q", wf, rec.Node)
+			}
+			seen[rec.Node] = rec.Parent
+			if rec.Parent == "" {
+				roots++
+			} else if !names[rec.Parent] {
+				t.Errorf("workflow %d: span %q has unknown parent %q", wf, rec.Node, rec.Parent)
+			}
+		}
+		if roots != 1 {
+			t.Errorf("workflow %d: %d root spans, want 1", wf, roots)
+		}
+		// Every non-root parent must itself be traced: the tree has no
+		// dangling references, so walking parents always reaches the root.
+		for node, parent := range seen {
+			steps := 0
+			for parent != "" {
+				next, ok := seen[parent]
+				if !ok {
+					t.Fatalf("workflow %d: %q's ancestor %q has no span", wf, node, parent)
+				}
+				parent = next
+				if steps++; steps > len(d.Nodes) {
+					t.Fatalf("workflow %d: parent cycle at %q", wf, node)
+				}
+			}
+		}
+	}
+}
+
+// TestQuorumJoinStragglers pins the first-K straggler policy: a fanout-4
+// sink with Need=2 fires on the second success and counts the last two
+// arrivals as dropped, conserving started = completed + dropped + failed.
+func TestQuorumJoinStragglers(t *testing.T) {
+	eng, c := newTestCloud(t, 3, nil)
+	d, err := Preset("fanout-4", PresetSpec{Transfer: TransferInline, PayloadBytes: 1 << 10, Need: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deployDAG(t, c, d, 5*time.Millisecond)
+	ex, err := New(Config{Cloud: c, DAG: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, errs := runInstances(t, eng, ex, 3, 20*time.Millisecond)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+	}
+	m := ex.Metrics()
+	sinkIdx := len(d.Nodes) - 1
+	b := m.Barriers[sinkIdx]
+	if b.Started != 12 || b.Completed != 6 || b.Dropped != 6 || b.Failed != 0 || b.Skipped != 0 {
+		t.Errorf("sink barrier = %+v, want started 12 completed 6 dropped 6", b)
+	}
+	for _, res := range results {
+		counted := 0
+		for ei, tr := range res.EdgeTransfers {
+			if d.Edges[ei].To != "sink" {
+				continue
+			}
+			if tr >= 0 {
+				counted++
+			}
+		}
+		if counted != 2 {
+			t.Errorf("instance %d observed %d sink in-edges, want the 2 counted ones", res.ID, counted)
+		}
+	}
+}
+
+// TestConditionalBranchSelect pins conditional routing: a diamond whose
+// root takes one of its two out-edges skips the untaken half, so the join
+// only completes under a first-1 straggler policy; with wait-all it is
+// skipped and the workflow fails. The rotation exercises both branches
+// across successive instances.
+func TestConditionalBranchSelect(t *testing.T) {
+	build := func(need int) *DAG {
+		d, err := Preset("diamond", PresetSpec{Transfer: TransferInline, PayloadBytes: 1 << 10, Need: need})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Nodes[0].Select = 1
+		return d
+	}
+
+	t.Run("quorum-1 completes", func(t *testing.T) {
+		eng, c := newTestCloud(t, 5, nil)
+		d := build(1)
+		deployDAG(t, c, d, 2*time.Millisecond)
+		ex, err := New(Config{Cloud: c, DAG: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, errs := runInstances(t, eng, ex, 4, 10*time.Millisecond)
+		for i, err := range errs {
+			if err == nil || !strings.Contains(err.Error(), "failed or skipped") {
+				t.Fatalf("instance %d: %v (one arm is skipped, so the workflow must report it)", i, err)
+			}
+		}
+		m := ex.Metrics()
+		bIdx, cIdx := 1, 2
+		started := m.Barriers[bIdx].Started + m.Barriers[cIdx].Started
+		skipped := m.Barriers[bIdx].Skipped + m.Barriers[cIdx].Skipped
+		if started != 4 || skipped != 4 {
+			t.Errorf("arm barriers started=%d skipped=%d, want 4 and 4 (one taken, one skipped per run)", started, skipped)
+		}
+		if m.Barriers[bIdx].Started == 0 || m.Barriers[cIdx].Started == 0 {
+			t.Errorf("rotation never alternated: b started %d, c started %d",
+				m.Barriers[bIdx].Started, m.Barriers[cIdx].Started)
+		}
+		// The join itself must fire from the single taken arm and resolve
+		// its untaken in-edge as skipped.
+		join := m.Barriers[3]
+		if join.Started != 4 || join.Completed != 4 || join.Skipped != 4 {
+			t.Errorf("join barrier = %+v, want started 4 completed 4 skipped 4", join)
+		}
+	})
+
+	t.Run("wait-all skips the join", func(t *testing.T) {
+		eng, c := newTestCloud(t, 5, nil)
+		d := build(0)
+		deployDAG(t, c, d, 2*time.Millisecond)
+		ex, err := New(Config{Cloud: c, DAG: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, errs := runInstances(t, eng, ex, 2, 10*time.Millisecond)
+		for i, err := range errs {
+			if err == nil || !strings.Contains(err.Error(), "failed or skipped") {
+				t.Fatalf("instance %d: expected failure, got %v", i, err)
+			}
+		}
+		if m := ex.Metrics(); m.Failed != 2 || m.Completed != 0 {
+			t.Errorf("metrics = %+v, want all failed", m)
+		}
+	})
+}
+
+// TestAsyncEdgesExtendMakespan checks fire-and-forget semantics: with async
+// edges the root returns before downstream nodes finish, so the makespan
+// strictly exceeds the client latency while all nodes still complete.
+func TestAsyncEdgesExtendMakespan(t *testing.T) {
+	eng, c := newTestCloud(t, 9, nil)
+	d, err := Preset("chain-3", PresetSpec{Mode: ModeAsync, Transfer: TransferInline, PayloadBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deployDAG(t, c, d, 10*time.Millisecond)
+	ex, err := New(Config{Cloud: c, DAG: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, errs := runInstances(t, eng, ex, 3, 50*time.Millisecond)
+	for i, res := range results {
+		if errs[i] != nil {
+			t.Fatalf("instance %d: %v", i, errs[i])
+		}
+		if res.Makespan <= res.ClientLatency {
+			t.Errorf("instance %d: makespan %v not beyond client latency %v despite async tail",
+				i, res.Makespan, res.ClientLatency)
+		}
+	}
+	if m := ex.Metrics(); m.Completed != 3 {
+		t.Errorf("completed = %d, want 3", m.Completed)
+	}
+}
+
+// TestInlineLimitFailsEdge checks the payload-dependent transfer cost's
+// failure mode: an inline edge above the provider limit fails the consumer
+// (started -> failed at its barrier) without failing the producer.
+func TestInlineLimitFailsEdge(t *testing.T) {
+	eng, c := newTestCloud(t, 13, nil)
+	d, err := Preset("chain-2", PresetSpec{Transfer: TransferInline, PayloadBytes: 100 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deployDAG(t, c, d, 0)
+	ex, err := New(Config{Cloud: c, DAG: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, errs := runInstances(t, eng, ex, 1, 0)
+	if errs[0] == nil || !strings.Contains(errs[0].Error(), "failed or skipped") {
+		t.Fatalf("got %v, want node failure", errs[0])
+	}
+	m := ex.Metrics()
+	if m.Failed != 1 || m.NodeFailures != 1 {
+		t.Errorf("metrics = %+v, want 1 failed workflow with 1 node failure", m)
+	}
+	// The delivery itself is counted before the edge is rejected, so the
+	// barrier conserves: the rejection is the consumer's own failure.
+	b := m.Barriers[1]
+	if b.Started != 1 || b.Completed != 1 {
+		t.Errorf("consumer barrier = %+v, want started 1 completed 1", b)
+	}
+}
+
+// TestConservationUnderFaults mirrors the cloud's invariants suite at the
+// workflow layer: with drops, spawn failures, and storage timeouts injected,
+// every join barrier still conserves its deliveries (the executor re-checks
+// started = completed + dropped + failed on every instance and would return
+// a conservation error), all instances resolve, and the aggregate counters
+// tile each node's in-degree exactly.
+func TestConservationUnderFaults(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		id   string
+		spec PresetSpec
+	}{
+		{"mapreduce quorum blobstore", "mapreduce", PresetSpec{Transfer: TransferBlobstore, PayloadBytes: 32 << 10, Need: 3}},
+		{"fanout wait-all inline", "fanout-6", PresetSpec{Transfer: TransferInline, PayloadBytes: 8 << 10}},
+		{"chain async", "chain-4", PresetSpec{Mode: ModeAsync, Transfer: TransferBlobstore, PayloadBytes: 4 << 10}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			eng, c := newTestCloud(t, 21, &faults.Config{
+				DropProb:           0.05,
+				SpawnFailProb:      0.3,
+				StorageTimeoutProb: 0.08,
+				StorageTimeout:     200 * time.Millisecond,
+			})
+			d, err := Preset(tc.id, tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			deployDAG(t, c, d, 3*time.Millisecond)
+			ex, err := New(Config{Cloud: c, DAG: d})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp, err := compile(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 300
+			_, errs := runInstances(t, eng, ex, n, 5*time.Millisecond)
+			for i, err := range errs {
+				if err != nil && !strings.Contains(err.Error(), "failed or skipped") {
+					t.Fatalf("instance %d: non-failure error (conservation?): %v", i, err)
+				}
+			}
+			m := ex.Metrics()
+			if m.Workflows != n || m.Completed+m.Failed != n {
+				t.Fatalf("accounting: workflows=%d completed=%d failed=%d", m.Workflows, m.Completed, m.Failed)
+			}
+			if m.Failed == 0 {
+				t.Fatalf("fault injection produced no failed workflows; test is vacuous")
+			}
+			if m.Completed == 0 {
+				t.Fatalf("no workflow survived; cannot check the success path")
+			}
+			for i, b := range m.Barriers {
+				if b.Started != b.Completed+b.Dropped+b.Failed {
+					t.Errorf("node %q: started %d != completed %d + dropped %d + failed %d",
+						d.Nodes[i].Name, b.Started, b.Completed, b.Dropped, b.Failed)
+				}
+				if got, want := b.Completed+b.Dropped+b.Failed+b.Skipped, uint64(n*cp.indeg[i]); got != want {
+					t.Errorf("node %q: %d resolutions for %d in-edge deliveries", d.Nodes[i].Name, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestChurnLeaksNoInstances runs a 10k-workflow churn and checks the cloud
+// drains clean: every instance reaped by keep-alive, no pending events, and
+// executor accounting intact — the workflow layer cannot leak cloud state.
+func TestChurnLeaksNoInstances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-workflow churn")
+	}
+	eng, c := newTestCloud(t, 17, nil)
+	d, err := Preset("diamond", PresetSpec{Transfer: TransferInline, PayloadBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deployDAG(t, c, d, time.Millisecond)
+	ex, err := New(Config{Cloud: c, DAG: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10_000
+	_, errs := runInstances(t, eng, ex, n, 10*time.Millisecond)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+	}
+	m := ex.Metrics()
+	if m.Workflows != n || m.Completed != n {
+		t.Fatalf("accounting: %+v", m)
+	}
+	for _, nd := range d.Nodes {
+		if live := c.LiveInstances(nd.Name); live != 0 {
+			t.Errorf("node %q leaked %d instances past keep-alive", nd.Name, live)
+		}
+		if idle := c.IdleInstances(nd.Name); idle != 0 {
+			t.Errorf("node %q left %d idle instances", nd.Name, idle)
+		}
+	}
+	if pending := eng.PendingEvents(); pending != 0 {
+		t.Errorf("%d events leaked", pending)
+	}
+	cm := c.Metrics()
+	if want := uint64(n * len(d.Nodes)); cm.ColdServed+cm.WarmServed != want {
+		t.Errorf("served %d invocations, want %d", cm.ColdServed+cm.WarmServed, want)
+	}
+}
+
+func TestPathLabel(t *testing.T) {
+	eng, c := newTestCloud(t, 1, nil)
+	_ = eng
+	d := chainDAG(3)
+	deployDAG(t, c, d, 0)
+	ex, err := New(Config{Cloud: c, DAG: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.PathLabel([]int{0, 1, 2}); got != "n0 -> n1 -> n2" {
+		t.Errorf("PathLabel = %q", got)
+	}
+	if got := ex.PathLabel(nil); got != "" {
+		t.Errorf("PathLabel(nil) = %q", got)
+	}
+	if ex.DAG() != d {
+		t.Error("DAG accessor lost the topology")
+	}
+}

@@ -1,0 +1,148 @@
+package workflow
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// decodeTopology maps arbitrary fuzz bytes onto a bounded DAG candidate:
+// byte 0 picks the node count, each following triple encodes one edge
+// (from, to, mode/transfer/payload packed in the third byte — including
+// out-of-range mode and transfer values so rejection paths stay covered),
+// and up to two trailing bytes set a quorum Need on the last node and a
+// conditional Select on the first. Returns nil when the input is too small
+// or too large to bound the work.
+func decodeTopology(data []byte) *DAG {
+	if len(data) < 4 || len(data) > 256 {
+		return nil
+	}
+	n := 1 + int(data[0]%8)
+	d := &DAG{Name: "fuzz"}
+	for i := 0; i < n; i++ {
+		d.Nodes = append(d.Nodes, Node{Name: "f" + strconv.Itoa(i), ExecTime: time.Millisecond})
+	}
+	rest := data[1:]
+	for len(rest) >= 3 && len(d.Edges) < 24 {
+		from, to, meta := int(rest[0])%n, int(rest[1])%n, rest[2]
+		rest = rest[3:]
+		d.Edges = append(d.Edges, Edge{
+			From:         "f" + strconv.Itoa(from),
+			To:           "f" + strconv.Itoa(to),
+			Mode:         Mode(meta % 3),
+			Transfer:     Transfer((meta / 3) % 3),
+			PayloadBytes: int64(meta) << 6,
+		})
+	}
+	if len(rest) >= 1 {
+		d.Nodes[n-1].Need = int(rest[0] % 3)
+	}
+	if len(rest) >= 2 {
+		d.Nodes[0].Select = int(rest[1] % 3)
+	}
+	return d
+}
+
+// checkAcyclicSingleRoot re-derives Validate's structural claims with an
+// independent Kahn's-algorithm pass: exactly one zero-in-degree node, and
+// peeling zero-in-degree nodes consumes the whole graph (acyclic).
+func checkAcyclicSingleRoot(t *testing.T, d *DAG) {
+	t.Helper()
+	indeg := make(map[string]int, len(d.Nodes))
+	out := make(map[string][]string, len(d.Nodes))
+	for _, n := range d.Nodes {
+		indeg[n.Name] = 0
+	}
+	for _, e := range d.Edges {
+		indeg[e.To]++
+		out[e.From] = append(out[e.From], e.To)
+	}
+	var queue []string
+	for _, n := range d.Nodes {
+		if indeg[n.Name] == 0 {
+			queue = append(queue, n.Name)
+		}
+	}
+	if len(queue) != 1 {
+		t.Fatalf("accepted DAG has %d roots", len(queue))
+	}
+	peeled := 0
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		peeled++
+		for _, succ := range out[name] {
+			if indeg[succ]--; indeg[succ] == 0 {
+				queue = append(queue, succ)
+			}
+		}
+	}
+	if peeled != len(d.Nodes) {
+		t.Fatalf("accepted DAG is cyclic: Kahn peeled %d of %d nodes", peeled, len(d.Nodes))
+	}
+}
+
+// FuzzWorkflowTopology feeds random byte strings through the DAG decoder:
+// rejected topologies must error cleanly (no panic, non-empty message),
+// and accepted ones must pass an independent acyclicity check and execute
+// three instances to resolution — no deadlock, no conservation violation,
+// no leaked events.
+func FuzzWorkflowTopology(f *testing.F) {
+	seeds := [][]byte{
+		{2, 0, 1, 0, 1, 2, 0},                            // chain-3
+		{3, 0, 1, 0, 0, 2, 0, 0, 3, 0},                   // fanout-3
+		{3, 0, 1, 0, 0, 2, 0, 1, 3, 0, 2, 3, 0, 1},       // diamond, quorum-1 join
+		{3, 0, 1, 0, 0, 2, 0, 1, 3, 0, 2, 3, 0, 1, 1},    // diamond, conditional root
+		{3, 0, 1, 4, 0, 2, 4, 1, 3, 4, 2, 3, 4},          // diamond, async blobstore edges
+		{1, 0, 1, 0, 1, 0, 0},                            // two-node cycle: no root
+		{0, 0, 0, 0},                                     // self-loop
+		{7, 0, 1, 2, 1, 2, 5, 2, 3, 8, 3, 4, 0, 4, 5, 0}, // invalid modes sprinkled in
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := decodeTopology(data)
+		if d == nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			if err.Error() == "" {
+				t.Fatal("rejection with empty error message")
+			}
+			return
+		}
+		checkAcyclicSingleRoot(t, d)
+
+		eng, c := newTestCloud(t, 1, nil)
+		deployDAG(t, c, d, time.Millisecond)
+		ex, err := New(Config{Cloud: c, DAG: d})
+		if err != nil {
+			t.Fatalf("validated DAG rejected by executor: %v", err)
+		}
+		const n = 3
+		results, errs := runInstances(t, eng, ex, n, 5*time.Millisecond)
+		if len(results) != n {
+			t.Fatalf("only %d of %d workflows resolved: executor deadlocked", len(results), n)
+		}
+		for i, err := range errs {
+			if err != nil && !strings.Contains(err.Error(), "failed or skipped") {
+				t.Fatalf("instance %d: %v", i, err)
+			}
+		}
+		m := ex.Metrics()
+		if m.Workflows != n || m.Completed+m.Failed != n {
+			t.Fatalf("accounting: %+v", m)
+		}
+		for i, b := range m.Barriers {
+			if b.Started != b.Completed+b.Dropped+b.Failed {
+				t.Fatalf("node %q: started %d != completed %d + dropped %d + failed %d",
+					d.Nodes[i].Name, b.Started, b.Completed, b.Dropped, b.Failed)
+			}
+		}
+		if pending := eng.PendingEvents(); pending != 0 {
+			t.Fatalf("%d events leaked", pending)
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package workflow
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// PresetSpec parameterizes a topology preset: every edge gets the same
+// invocation mode, data-passing mode, and payload, which is what the edge
+// sweep varies.
+type PresetSpec struct {
+	// Mode is the invocation mode applied to every edge.
+	Mode Mode
+	// Transfer is the data-passing mode applied to every edge.
+	Transfer Transfer
+	// PayloadBytes is the payload carried along every edge.
+	PayloadBytes int64
+	// Need, when positive, is the straggler policy applied to every fan-in
+	// node (capped at each node's in-degree). Zero waits for all branches.
+	Need int
+}
+
+// PresetIDs lists the four canonical topology ids (with representative
+// parameter choices for the parameterized families).
+var PresetIDs = []string{"chain-4", "fanout-8", "diamond", "mapreduce"}
+
+// Preset builds one of the canonical topologies:
+//
+//   - chain-N: a sequential N-function chain n0 -> n1 -> ... (N >= 2); for
+//     N=2 this is exactly the paper's two-function data-transfer setup.
+//   - fanout-K: src scatters to K workers w1..wK which join at sink
+//     (K >= 2), the scatter-gather pattern whose tail is the slowest branch.
+//   - diamond: a branches to b and c, which join at d.
+//   - mapreduce (alias map-reduce): src scatters to four mappers, each
+//     mapper shuffles to both reducers, reducers join at sink.
+//
+// Node names double as function names; deploy one function per node before
+// building an executor.
+func Preset(id string, spec PresetSpec) (*DAG, error) {
+	kind, param := id, ""
+	if i := strings.LastIndexByte(id, '-'); i > 0 {
+		kind, param = id[:i], id[i+1:]
+	}
+	switch {
+	case kind == "chain" && param != "":
+		n, err := strconv.Atoi(param)
+		if err != nil || n < 2 || n > MaxNodes {
+			return nil, fmt.Errorf("workflow: preset %q: chain length must be 2..%d", id, MaxNodes)
+		}
+		return presetChain(id, n, spec), nil
+	case kind == "fanout" && param != "":
+		k, err := strconv.Atoi(param)
+		if err != nil || k < 2 || k > MaxNodes-2 {
+			return nil, fmt.Errorf("workflow: preset %q: fanout width must be 2..%d", id, MaxNodes-2)
+		}
+		return presetFanout(id, k, spec), nil
+	case id == "diamond":
+		return presetDiamond(spec), nil
+	case id == "mapreduce" || id == "map-reduce":
+		return presetMapReduce(spec), nil
+	}
+	return nil, fmt.Errorf("workflow: unknown preset %q (chain-N, fanout-K, diamond, mapreduce)", id)
+}
+
+func (s PresetSpec) edge(from, to string) Edge {
+	return Edge{From: from, To: to, Mode: s.Mode, Transfer: s.Transfer, PayloadBytes: s.PayloadBytes}
+}
+
+func (s PresetSpec) join(indeg int) int {
+	if s.Need > 0 && s.Need < indeg {
+		return s.Need
+	}
+	return 0
+}
+
+func presetChain(id string, n int, spec PresetSpec) *DAG {
+	d := &DAG{Name: id}
+	for i := 0; i < n; i++ {
+		d.Nodes = append(d.Nodes, Node{Name: "n" + strconv.Itoa(i)})
+		if i > 0 {
+			d.Edges = append(d.Edges, spec.edge("n"+strconv.Itoa(i-1), "n"+strconv.Itoa(i)))
+		}
+	}
+	return d
+}
+
+func presetFanout(id string, k int, spec PresetSpec) *DAG {
+	d := &DAG{Name: id, Nodes: []Node{{Name: "src"}}}
+	for i := 1; i <= k; i++ {
+		w := "w" + strconv.Itoa(i)
+		d.Nodes = append(d.Nodes, Node{Name: w})
+		d.Edges = append(d.Edges, spec.edge("src", w))
+	}
+	d.Nodes = append(d.Nodes, Node{Name: "sink", Need: spec.join(k)})
+	for i := 1; i <= k; i++ {
+		d.Edges = append(d.Edges, spec.edge("w"+strconv.Itoa(i), "sink"))
+	}
+	return d
+}
+
+func presetDiamond(spec PresetSpec) *DAG {
+	return &DAG{
+		Name: "diamond",
+		Nodes: []Node{
+			{Name: "a"}, {Name: "b"}, {Name: "c"},
+			{Name: "d", Need: spec.join(2)},
+		},
+		Edges: []Edge{
+			spec.edge("a", "b"), spec.edge("a", "c"),
+			spec.edge("b", "d"), spec.edge("c", "d"),
+		},
+	}
+}
+
+func presetMapReduce(spec PresetSpec) *DAG {
+	const mappers, reducers = 4, 2
+	d := &DAG{Name: "mapreduce", Nodes: []Node{{Name: "src"}}}
+	for i := 1; i <= mappers; i++ {
+		m := "m" + strconv.Itoa(i)
+		d.Nodes = append(d.Nodes, Node{Name: m})
+		d.Edges = append(d.Edges, spec.edge("src", m))
+	}
+	for j := 1; j <= reducers; j++ {
+		d.Nodes = append(d.Nodes, Node{Name: "r" + strconv.Itoa(j), Need: spec.join(mappers)})
+	}
+	for i := 1; i <= mappers; i++ {
+		for j := 1; j <= reducers; j++ {
+			d.Edges = append(d.Edges, spec.edge("m"+strconv.Itoa(i), "r"+strconv.Itoa(j)))
+		}
+	}
+	d.Nodes = append(d.Nodes, Node{Name: "sink", Need: spec.join(reducers)})
+	for j := 1; j <= reducers; j++ {
+		d.Edges = append(d.Edges, spec.edge("r"+strconv.Itoa(j), "sink"))
+	}
+	return d
+}
