@@ -50,6 +50,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		err = cmdTenants(args[1:], stdout)
 	case "workflow":
 		err = cmdWorkflow(args[1:], stdout)
+	case "cost":
+		err = cmdCost(args[1:], stdout)
 	case "experiment":
 		err = cmdExperiment(args[1:], stdout)
 	case "-h", "--help", "help":
@@ -91,6 +93,9 @@ commands:
   workflow   orchestrated multi-function DAG workflows (chain, fan-out,
              diamond, map-reduce) with cross-function trace propagation,
              critical-path and per-edge transfer-tail reporting
+  cost       control-plane cost/latency sweep: autoscaler and keep-alive
+             policies priced under billing plans, reporting the
+             cost-per-million-requests vs p99 Pareto frontier
   experiment regenerate a paper table/figure or extension study
              (fig3a..fig10, table1, breakdown, policyspace, snapshots, observations, all)`)
 }

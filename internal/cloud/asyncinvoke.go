@@ -149,11 +149,22 @@ func (c *Cloud) InvokeAsync(req *Request, done func(*Response, error)) {
 // client→provider propagation leg (Invoke's entry through its first
 // Sleep).
 func (wc *warmCall) begin() {
-	c := wc.c
+	c, fn := wc.c, wc.fn
 	c.metrics.Invocations++
-	wc.fn.tm.Invocations++
-	wc.fn.inflight++
+	fn.tm.Invocations++
+	fn.inflight++
 	wc.start = c.eng.Now()
+	fn.meter.Request()
+	c.meter.Request()
+	if fn.maxConcurrent > 0 && fn.inflight > fn.maxConcurrent {
+		c.metrics.ConcurrencyRejects++
+		wc.fail(fmt.Errorf("cloud %s: %s over concurrency limit %d: %w",
+			c.cfg.Name, fn.spec.Name, fn.maxConcurrent, ErrConcurrencyLimit))
+		return
+	}
+	if fn.as != nil {
+		fn.autoscaleAdmit()
+	}
 	wc.bd.Propagation = c.cfg.PropagationRTT
 	c.eng.CallAfter(c.cfg.PropagationRTT/2, wc.frontendFn)
 }

@@ -10,6 +10,7 @@ import (
 	"github.com/stellar-repro/stellar/internal/blobstore"
 	"github.com/stellar-repro/stellar/internal/des"
 	"github.com/stellar-repro/stellar/internal/dist"
+	"github.com/stellar-repro/stellar/internal/econ"
 	"github.com/stellar-repro/stellar/internal/faults"
 	"github.com/stellar-repro/stellar/internal/trace"
 )
@@ -24,6 +25,11 @@ var ErrInstanceCrash = errors.New("instance crashed")
 // ErrQueueTimeout marks a request the gateway abandoned because no instance
 // became available within Config.QueueTimeout.
 var ErrQueueTimeout = errors.New("gateway queue timeout")
+
+// ErrConcurrencyLimit marks a request rejected at admission because the
+// function's FunctionSpec.MaxConcurrent in-flight cap was exhausted (AWS
+// reserved-concurrency 429 behavior).
+var ErrConcurrencyLimit = errors.New("concurrency limit exceeded")
 
 // Metrics aggregates cloud-wide counters.
 type Metrics struct {
@@ -54,6 +60,12 @@ type Metrics struct {
 	// invocations (§II-A: providers charge for instance-busy time times
 	// configured memory).
 	BilledGBSeconds float64
+	// Control-plane counters (Config.Autoscaler): instances parked in and
+	// revived from the suspended state, and admissions rejected at a
+	// function's MaxConcurrent cap.
+	Suspends           uint64
+	Resumes            uint64
+	ConcurrencyRejects uint64
 }
 
 // TenantMetrics aggregates one deployed function's (one tenant's)
@@ -154,6 +166,11 @@ type Cloud struct {
 	liveInstances   int
 	instSecAccum    float64
 	instSecLastTick des.Time
+
+	// meter accumulates fleet-wide usage (busy/idle/suspended GB-ms plus
+	// request counts); per-tenant meters live on each Function and receive
+	// the identical adds, so the fleet total is exactly their sum.
+	meter econ.Meter
 
 	metrics Metrics
 }
@@ -279,6 +296,9 @@ func (c *Cloud) Deploy(spec FunctionSpec) error {
 	if spec.MaxInstances < 0 {
 		return fmt.Errorf("cloud %s: function %q: negative MaxInstances", c.cfg.Name, spec.Name)
 	}
+	if spec.MaxConcurrent < 0 {
+		return fmt.Errorf("cloud %s: function %q: negative MaxConcurrent", c.cfg.Name, spec.Name)
+	}
 	base := spec.BaseImageBytes
 	if base == 0 {
 		base = DefaultBaseImageBytes(spec.Runtime, spec.Method)
@@ -294,6 +314,14 @@ func (c *Cloud) Deploy(spec FunctionSpec) error {
 		fn.keepAlive = *spec.KeepAlive
 	}
 	fn.maxInstances = spec.MaxInstances
+	fn.maxConcurrent = spec.MaxConcurrent
+	if c.cfg.Autoscaler != nil {
+		if fn.as == nil {
+			fn.as = econ.NewAutoscaler(*c.cfg.Autoscaler)
+		} else {
+			fn.as.Reset()
+		}
+	}
 	if n, ok := c.cfg.ContainerChunkReads[spec.Runtime]; ok && spec.Method == DeployContainer {
 		fn.chunkReads = n
 	}
@@ -308,7 +336,9 @@ func (c *Cloud) Deploy(spec FunctionSpec) error {
 func (c *Cloud) getFunction() *Function {
 	fn := c.fnFree
 	if fn == nil {
-		return &Function{c: c, live: make(map[int]*Instance)}
+		fn = &Function{c: c, live: make(map[int]*Instance)}
+		fn.tickFn = func() { fn.autoscaleTick() }
+		return fn
 	}
 	c.fnFree = fn.freeNext
 	fn.freeNext = nil
@@ -336,6 +366,16 @@ func (c *Cloud) putFunction(fn *Function) {
 	fn.tokens, fn.lastRefill = 0, 0
 	fn.keepAlive = KeepAlivePolicy{}
 	fn.maxInstances = 0
+	fn.maxConcurrent = 0
+	// fn.as and fn.tickFn survive recycling (the autoscaler's ring is
+	// sized by the cloud-wide config); Deploy resets the window state.
+	fn.tickTimer = des.Timer{}
+	fn.tickArmed = false
+	fn.meter.Reset()
+	for i := range fn.susp {
+		fn.susp[i] = nil
+	}
+	fn.susp = fn.susp[:0]
 	fn.rec = nil
 	fn.tm = TenantMetrics{}
 	fn.instSecAccum, fn.instSecLast = 0, 0
@@ -357,6 +397,7 @@ func (c *Cloud) Remove(name string) error {
 	for _, inst := range fn.live {
 		inst.keepAlive.Cancel()
 		wasIdle := inst.state == stateIdle
+		fn.noteUsage(inst)
 		inst.state = stateGone
 		inst.worker.Instances--
 		c.noteInstanceDelta(-1)
@@ -366,6 +407,19 @@ func (c *Cloud) Remove(name string) error {
 		} else {
 			busy = true
 		}
+	}
+	// Suspended instances hold no worker slot or cluster capacity; fold
+	// their final suspended window and reap the records directly.
+	for i, inst := range fn.susp {
+		fn.noteUsage(inst)
+		c.putInstance(inst)
+		fn.susp[i] = nil
+	}
+	fn.susp = fn.susp[:0]
+	if fn.tickArmed {
+		fn.tickTimer.Cancel()
+		fn.tickTimer = des.Timer{}
+		fn.tickArmed = false
 	}
 	delete(c.functions, name)
 	if !busy && fn.pending == 0 && fn.inflight == 0 && !fn.evalScheduled && len(fn.buffer) == 0 {
@@ -499,6 +553,18 @@ func (c *Cloud) Invoke(p *des.Proc, req *Request) (_ *Response, err error) {
 	}
 	fn.inflight++
 	defer func() { fn.inflight-- }()
+	if !req.Internal {
+		fn.meter.Request()
+		c.meter.Request()
+		if fn.maxConcurrent > 0 && fn.inflight > fn.maxConcurrent {
+			c.metrics.ConcurrencyRejects++
+			return nil, fmt.Errorf("cloud %s: %s over concurrency limit %d: %w",
+				c.cfg.Name, req.Fn, fn.maxConcurrent, ErrConcurrencyLimit)
+		}
+	}
+	if fn.as != nil {
+		fn.autoscaleAdmit()
+	}
 
 	var bd Breakdown
 

@@ -17,6 +17,7 @@ import (
 
 	"github.com/stellar-repro/stellar/internal/blobstore"
 	"github.com/stellar-repro/stellar/internal/dist"
+	"github.com/stellar-repro/stellar/internal/econ"
 	"github.com/stellar-repro/stellar/internal/faults"
 )
 
@@ -93,6 +94,12 @@ type FunctionSpec struct {
 	// concurrency, Azure maximum scale-out). Requests beyond the cap
 	// buffer until a serving instance frees up, regardless of policy.
 	MaxInstances int
+	// MaxConcurrent, when positive, caps this function's admitted and
+	// unfinished external requests: admissions beyond it are rejected
+	// immediately with ErrConcurrencyLimit rather than buffered — the
+	// hard per-tenant admission limit of the control plane (a 429, not a
+	// queue). Unlike MaxInstances it bounds requests, not instances.
+	MaxConcurrent int
 }
 
 // DefaultBaseImageBytes returns a representative package size for a
@@ -284,6 +291,23 @@ type Config struct {
 
 	// KeepAlive reaps idle instances.
 	KeepAlive KeepAlivePolicy
+	// Autoscaler, when non-nil, replaces the buffer-driven scale policies
+	// and keep-alive reaping with an explicit control plane: a
+	// target-concurrency controller (desired = ceil(inflight/target),
+	// Knative-KPA shape) that scales up on demand, scales down on windowed
+	// ticks, and — with Suspend set — parks surplus instances in the
+	// suspended state instead of evicting them. nil (the default) keeps
+	// every existing schedule byte-identical.
+	Autoscaler *econ.AutoscalerConfig
+	// Billing, when non-nil, is the provider's billing plan; Cloud.Bill
+	// prices the accumulated usage under it. Usage metering itself is
+	// always on (pure arithmetic), so experiments can also price one run
+	// under many plans after the fact via Cloud.Usage.
+	Billing *econ.BillingConfig
+	// ResumeDelay is the suspended→running resume latency, sampled per
+	// resume — well below a cold boot (the scale-to-zero literature
+	// reports tens to hundreds of ms for snapshot-resident state).
+	ResumeDelay dist.Dist
 	// KeepAliveSlack, when positive, routes keep-alive expiry timers to
 	// the engine's coarse timer wheel at this tick granularity: expiries
 	// fire up to one tick late (never early) and arm/cancel in O(1) with
@@ -388,6 +412,16 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("cloud %s: %w", c.Name, err)
 		}
 	}
+	if c.Autoscaler != nil {
+		if err := c.Autoscaler.Validate(); err != nil {
+			return fmt.Errorf("cloud %s: %w", c.Name, err)
+		}
+	}
+	if c.Billing != nil {
+		if err := c.Billing.Validate(); err != nil {
+			return fmt.Errorf("cloud %s: %w", c.Name, err)
+		}
+	}
 	return nil
 }
 
@@ -460,6 +494,21 @@ func (c *Config) fillDefaults() {
 	}
 	if c.ChunkReadLatency == nil {
 		c.ChunkReadLatency = zero
+	}
+	if c.ResumeDelay == nil {
+		c.ResumeDelay = zero
+	}
+	// Fill autoscaler cadence defaults on a copy so the caller's struct
+	// stays untouched (pointer fields are shared with the caller).
+	if c.Autoscaler != nil {
+		as := *c.Autoscaler
+		if as.TickInterval == 0 {
+			as.TickInterval = 2 * time.Second
+		}
+		if as.ScaleDownWindow == 0 {
+			as.ScaleDownWindow = time.Minute
+		}
+		c.Autoscaler = &as
 	}
 }
 

@@ -3,6 +3,7 @@ package cloud
 import (
 	"github.com/stellar-repro/stellar/internal/des"
 	"github.com/stellar-repro/stellar/internal/dist"
+	"github.com/stellar-repro/stellar/internal/econ"
 )
 
 type instanceState int
@@ -10,6 +11,11 @@ type instanceState int
 const (
 	stateBusy instanceState = iota
 	stateIdle
+	// stateSuspended is the third lifecycle state between warm and evicted
+	// (Config.Autoscaler with Suspend): the instance's memory leaves its
+	// worker but its initialized state is retained, so resuming costs
+	// ResumeDelay instead of a cold boot and bills at a reduced rate.
+	stateSuspended
 	stateGone
 )
 
@@ -23,6 +29,9 @@ type Instance struct {
 	keepAlive     des.Timer
 	createdAt     des.Time
 	coldBreakdown ColdBreakdown
+	// stateSince is when the instance entered its current state; the usage
+	// meters integrate (now - stateSince) per state at every transition.
+	stateSince des.Time
 	// expireFn is the keep-alive expiry closure, bound once at record
 	// creation so parking an instance idle never allocates. It reads
 	// inst.fn at fire time, so the record can recycle across functions.
@@ -52,6 +61,7 @@ func (c *Cloud) getInstance(fn *Function, w *Worker, createdAt des.Time, cb Cold
 	inst.keepAlive = des.Timer{}
 	inst.createdAt = createdAt
 	inst.coldBreakdown = cb
+	inst.stateSince = createdAt
 	return inst
 }
 
@@ -64,6 +74,7 @@ func (c *Cloud) putInstance(inst *Instance) {
 	inst.worker = nil
 	inst.state = stateGone
 	inst.keepAlive = des.Timer{}
+	inst.stateSince = 0
 	inst.freeNext = c.instFree
 	c.instFree = inst
 }
@@ -111,8 +122,12 @@ type Function struct {
 	live   map[int]*Instance
 	idle   []*Instance
 	buffer []*pendingReq
+	// susp holds suspended instances (not live: no worker slot, no cluster
+	// capacity). Resume pops LIFO, so the most recently parked state — the
+	// most likely to still be cache-warm on a real provider — returns first.
+	susp []*Instance
 
-	pending  int // spawns in flight
+	pending  int // spawns and resumes in flight
 	inflight int // requests admitted and not yet responded
 
 	// snapshotReady marks that a MicroVM snapshot of this function exists
@@ -129,6 +144,19 @@ type Function struct {
 	// spec overrides it) and the live+pending instance cap (0 = uncapped).
 	keepAlive    KeepAlivePolicy
 	maxInstances int
+	// maxConcurrent, when positive, caps admitted-and-unfinished external
+	// requests; excess admissions are rejected with ErrConcurrencyLimit.
+	maxConcurrent int
+
+	// as is the per-function autoscaler (nil unless Config.Autoscaler is
+	// set); tickFn is its evaluation closure, bound once at record creation
+	// like inst.expireFn, so arming the control loop never allocates.
+	as        *econ.Autoscaler
+	tickFn    func()
+	tickTimer des.Timer
+	tickArmed bool
+	// meter accumulates this tenant's usage (always on; pure arithmetic).
+	meter econ.Meter
 
 	// rec, when set, receives this function's successful external
 	// invocation latencies (SetFunctionRecorder).
@@ -168,6 +196,7 @@ func (fn *Function) claimIdle() *Instance {
 		}
 		inst.keepAlive.Cancel()
 		inst.keepAlive = des.Timer{}
+		fn.noteUsage(inst)
 		inst.state = stateBusy
 		return inst
 	}
@@ -185,7 +214,10 @@ func (fn *Function) release(inst *Instance) {
 		return
 	}
 	if len(fn.buffer) > 0 {
-		if fn.c.cfg.Policy.Kind != PolicyNoQueue {
+		// Under the autoscaler, freed instances always absorb the backlog:
+		// capacity is the controller's decision, not the queue's, so a
+		// buffered request never waits for a dedicated instance.
+		if fn.as != nil || fn.c.cfg.Policy.Kind != PolicyNoQueue {
 			fn.grant(inst, true)
 			return
 		}
@@ -234,8 +266,14 @@ func (fn *Function) dropBuffered(pr *pendingReq) {
 // AfterSlack so a provider-scale simulation can coarsen them onto the timer
 // wheel; with KeepAliveSlack unset this is exactly After.
 func (fn *Function) parkIdle(inst *Instance) {
+	fn.noteUsage(inst)
 	inst.state = stateIdle
 	fn.idle = append(fn.idle, inst)
+	// Under the autoscaler the control loop owns reaping (suspend/evict on
+	// scale-down ticks); idle instances hold no keep-alive timers at all.
+	if fn.as != nil {
+		return
+	}
 	life := fn.keepAlive.Fixed
 	if life <= 0 {
 		life = fn.keepAlive.Dist.Sample(fn.c.rngSched)
@@ -251,6 +289,7 @@ func (fn *Function) destroy(inst *Instance) {
 	wasIdle := inst.state == stateIdle
 	inst.keepAlive.Cancel()
 	inst.keepAlive = des.Timer{}
+	fn.noteUsage(inst)
 	inst.state = stateGone
 	fn.noteInstSec()
 	delete(fn.live, inst.id)
@@ -269,6 +308,7 @@ func (fn *Function) expire(inst *Instance) {
 	if inst.state != stateIdle {
 		return
 	}
+	fn.noteUsage(inst)
 	inst.state = stateGone
 	inst.keepAlive = des.Timer{}
 	for i, cand := range fn.idle {
@@ -289,6 +329,13 @@ func (fn *Function) expire(inst *Instance) {
 // maybeScale applies the provider's scheduling policy to the current buffer,
 // spawning however many instances the policy allows (§VI-D3).
 func (fn *Function) maybeScale() {
+	// Autoscaler mode routes all capacity decisions through the
+	// concurrency controller; the buffer-driven policies below are the
+	// legacy (fixed keep-alive) control plane.
+	if fn.as != nil {
+		fn.autoscaleAdmit()
+		return
+	}
 	buffered := len(fn.buffer)
 	if buffered == 0 {
 		return

@@ -1,0 +1,42 @@
+package econ
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkAutoscalerTick exercises the full evaluation path — record,
+// window max, panic check — at a realistic ring size. Gated in CI by
+// benchgate: the ring is fixed at construction, so steady-state ticks must
+// stay at 0 allocs/op.
+func BenchmarkAutoscalerTick(b *testing.B) {
+	a := NewAutoscaler(AutoscalerConfig{
+		Target:          2,
+		TickInterval:    2 * time.Second,
+		ScaleDownWindow: time.Minute,
+	})
+	tick := int64(2 * time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := int64(i) * tick
+		a.Observe(now, i%17, 4)
+		a.Tick(now+tick/2, i%5, 4)
+	}
+}
+
+// BenchmarkBillingMeter is the warm-path metering cost: one busy-time fold
+// plus a request count, as every admitted invocation pays. Gated in CI at an
+// absolute budget of 0 allocs/op.
+func BenchmarkBillingMeter(b *testing.B) {
+	var m Meter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Busy(1.25)
+		m.Request()
+	}
+	if m.Usage().Requests == 0 {
+		b.Fatal("meter lost requests")
+	}
+}

@@ -1,0 +1,171 @@
+package econ
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Usage is the resource consumption a billing plan prices: GB-milliseconds
+// of instance time split by lifecycle state, plus the admitted request
+// count. Usage is accumulated in virtual time by the cloud's lifecycle
+// seams and priced after the fact, so one replay can be billed under any
+// number of plans.
+type Usage struct {
+	// BusyGBms is GB-ms of instances actively serving requests — the
+	// pay-per-use compute dimension every provider bills.
+	BusyGBms float64 `json:"busy_gbms"`
+	// IdleGBms is GB-ms of warm instances parked idle — what provisioned
+	// or always-ready capacity plans charge for.
+	IdleGBms float64 `json:"idle_gbms"`
+	// SuspendedGBms is GB-ms of suspended instances: state is retained
+	// off-memory, billed at a reduced rate (the Neon-style scale-to-zero
+	// middle ground between warm and evicted).
+	SuspendedGBms float64 `json:"suspended_gbms"`
+	// Requests counts admitted external invocations (the per-request fee
+	// dimension).
+	Requests uint64 `json:"requests"`
+}
+
+// Add folds another usage into this one.
+func (u *Usage) Add(o Usage) {
+	u.BusyGBms += o.BusyGBms
+	u.IdleGBms += o.IdleGBms
+	u.SuspendedGBms += o.SuspendedGBms
+	u.Requests += o.Requests
+}
+
+// Meter accumulates Usage in virtual time. It is a plain value embedded in
+// the cloud's per-tenant and fleet records; every method is a float64 add,
+// so the warm invocation path stays allocation-free.
+type Meter struct {
+	u Usage
+}
+
+// Busy adds GB-ms of busy (serving) instance time.
+func (m *Meter) Busy(gbms float64) { m.u.BusyGBms += gbms }
+
+// Idle adds GB-ms of warm-idle instance time.
+func (m *Meter) Idle(gbms float64) { m.u.IdleGBms += gbms }
+
+// Suspended adds GB-ms of suspended instance time.
+func (m *Meter) Suspended(gbms float64) { m.u.SuspendedGBms += gbms }
+
+// Request counts one admitted external invocation.
+func (m *Meter) Request() { m.u.Requests++ }
+
+// Usage returns the accumulated usage.
+func (m *Meter) Usage() Usage { return m.u }
+
+// Reset clears the meter.
+func (m *Meter) Reset() { m.u = Usage{} }
+
+// BillingConfig is one billing plan: per-GB-ms rates by lifecycle state
+// plus a per-request fee, all in dollars. The zero value is a valid
+// free-of-charge plan.
+type BillingConfig struct {
+	// Name identifies the plan in sweep reports.
+	Name string `json:"name"`
+	// BusyGBmsRate is dollars per GB-ms of busy compute.
+	BusyGBmsRate float64 `json:"busy_gbms_rate"`
+	// IdleGBmsRate is dollars per GB-ms of warm-idle capacity.
+	IdleGBmsRate float64 `json:"idle_gbms_rate"`
+	// SuspendedGBmsRate is dollars per GB-ms of suspended capacity.
+	SuspendedGBmsRate float64 `json:"suspended_gbms_rate"`
+	// PerRequestFee is dollars per admitted request.
+	PerRequestFee float64 `json:"per_request_fee"`
+}
+
+// Validate rejects rates that would make pricing meaningless.
+func (c *BillingConfig) Validate() error {
+	for _, r := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"busy_gbms_rate", c.BusyGBmsRate},
+		{"idle_gbms_rate", c.IdleGBmsRate},
+		{"suspended_gbms_rate", c.SuspendedGBmsRate},
+		{"per_request_fee", c.PerRequestFee},
+	} {
+		if math.IsNaN(r.v) || math.IsInf(r.v, 0) {
+			return fmt.Errorf("econ: billing %s must be finite, got %v", r.name, r.v)
+		}
+		if r.v < 0 {
+			return fmt.Errorf("econ: negative billing %s %v", r.name, r.v)
+		}
+	}
+	return nil
+}
+
+// Cost is priced usage, in dollars, broken down by dimension.
+type Cost struct {
+	Compute   float64 `json:"compute"`
+	Idle      float64 `json:"idle"`
+	Suspended float64 `json:"suspended"`
+	Requests  float64 `json:"requests"`
+	Total     float64 `json:"total"`
+}
+
+// Price applies the plan to accumulated usage.
+func (c *BillingConfig) Price(u Usage) Cost {
+	out := Cost{
+		Compute:   u.BusyGBms * c.BusyGBmsRate,
+		Idle:      u.IdleGBms * c.IdleGBmsRate,
+		Suspended: u.SuspendedGBms * c.SuspendedGBmsRate,
+		Requests:  float64(u.Requests) * c.PerRequestFee,
+	}
+	out.Total = out.Compute + out.Idle + out.Suspended + out.Requests
+	return out
+}
+
+// PerMillionRequests normalizes a total cost to dollars per million
+// requests (0 when no requests were served).
+func PerMillionRequests(total float64, requests uint64) float64 {
+	if requests == 0 {
+		return 0
+	}
+	return total / float64(requests) * 1e6
+}
+
+// Built-in plans, grounded in public serverless price sheets (rates are
+// per GB-ms, i.e. the usual per-GB-s figures divided by 1000):
+//
+//   - ondemand: classic pay-per-use FaaS — compute plus a per-request fee,
+//     idle and suspended capacity free (the provider eats keep-alive).
+//   - provisioned: always-ready capacity — cheaper compute, but warm-idle
+//     bills at a reduced rate and suspended capacity at a tenth of that,
+//     the AWS provisioned-concurrency / Neon suspend shape.
+var builtinPlans = []BillingConfig{
+	{
+		Name:          "ondemand",
+		BusyGBmsRate:  1.6666667e-8, // $0.0000166667 per GB-s
+		PerRequestFee: 2.0e-7,       // $0.20 per million requests
+	},
+	{
+		Name:              "provisioned",
+		BusyGBmsRate:      9.7222e-9,  // $0.0000097222 per GB-s
+		IdleGBmsRate:      4.1667e-9,  // $0.0000041667 per GB-s provisioned-idle
+		SuspendedGBmsRate: 4.1667e-10, // a tenth of idle: state retained off-memory
+		PerRequestFee:     2.0e-7,
+	},
+}
+
+// Plans lists the built-in plan names, sorted.
+func Plans() []string {
+	names := make([]string, len(builtinPlans))
+	for i, p := range builtinPlans {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Plan returns a built-in billing plan by name.
+func Plan(name string) (BillingConfig, error) {
+	for _, p := range builtinPlans {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return BillingConfig{}, fmt.Errorf("econ: unknown billing plan %q (have %v)", name, Plans())
+}

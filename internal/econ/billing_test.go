@@ -1,0 +1,137 @@
+package econ
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMeterAccumulates(t *testing.T) {
+	var m Meter
+	m.Busy(10)
+	m.Busy(5)
+	m.Idle(3)
+	m.Suspended(1.5)
+	m.Request()
+	m.Request()
+	got := m.Usage()
+	want := Usage{BusyGBms: 15, IdleGBms: 3, SuspendedGBms: 1.5, Requests: 2}
+	if got != want {
+		t.Fatalf("usage = %+v, want %+v", got, want)
+	}
+	m.Reset()
+	if got := m.Usage(); got != (Usage{}) {
+		t.Fatalf("after reset: %+v", got)
+	}
+}
+
+func TestUsageAdd(t *testing.T) {
+	u := Usage{BusyGBms: 1, IdleGBms: 2, SuspendedGBms: 3, Requests: 4}
+	u.Add(Usage{BusyGBms: 10, IdleGBms: 20, SuspendedGBms: 30, Requests: 40})
+	want := Usage{BusyGBms: 11, IdleGBms: 22, SuspendedGBms: 33, Requests: 44}
+	if u != want {
+		t.Fatalf("sum = %+v, want %+v", u, want)
+	}
+}
+
+func TestBillingConfigValidate(t *testing.T) {
+	ok := BillingConfig{Name: "ok", BusyGBmsRate: 1e-8, PerRequestFee: 2e-7}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	if err := (&BillingConfig{}).Validate(); err != nil {
+		t.Fatalf("zero (free) plan rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		cfg  BillingConfig
+		want string
+	}{
+		{"nan busy", BillingConfig{BusyGBmsRate: math.NaN()}, "busy_gbms_rate"},
+		{"inf idle", BillingConfig{IdleGBmsRate: math.Inf(1)}, "idle_gbms_rate"},
+		{"negative suspended", BillingConfig{SuspendedGBmsRate: -1}, "suspended_gbms_rate"},
+		{"negative fee", BillingConfig{PerRequestFee: -2e-7}, "per_request_fee"},
+		{"neg inf fee", BillingConfig{PerRequestFee: math.Inf(-1)}, "per_request_fee"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestPriceBreakdown(t *testing.T) {
+	plan := BillingConfig{
+		Name:              "test",
+		BusyGBmsRate:      2,
+		IdleGBmsRate:      1,
+		SuspendedGBmsRate: 0.5,
+		PerRequestFee:     0.25,
+	}
+	cost := plan.Price(Usage{BusyGBms: 10, IdleGBms: 4, SuspendedGBms: 2, Requests: 8})
+	want := Cost{Compute: 20, Idle: 4, Suspended: 1, Requests: 2, Total: 27}
+	if cost != want {
+		t.Fatalf("cost = %+v, want %+v", cost, want)
+	}
+}
+
+func TestPerMillionRequests(t *testing.T) {
+	if got := PerMillionRequests(5, 1_000_000); got != 5 {
+		t.Errorf("5$/1M reqs = %v, want 5", got)
+	}
+	if got := PerMillionRequests(1, 500_000); got != 2 {
+		t.Errorf("1$/0.5M reqs = %v, want 2", got)
+	}
+	if got := PerMillionRequests(7, 0); got != 0 {
+		t.Errorf("no requests: got %v, want 0", got)
+	}
+}
+
+func TestBuiltinPlans(t *testing.T) {
+	names := Plans()
+	if len(names) < 2 {
+		t.Fatalf("want at least 2 built-in plans, got %v", names)
+	}
+	for _, name := range names {
+		p, err := Plan(name)
+		if err != nil {
+			t.Fatalf("Plan(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("Plan(%q).Name = %q", name, p.Name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("built-in plan %q invalid: %v", name, err)
+		}
+	}
+	od, _ := Plan("ondemand")
+	pv, _ := Plan("provisioned")
+	if od.IdleGBmsRate != 0 {
+		t.Errorf("ondemand bills idle: %v", od.IdleGBmsRate)
+	}
+	if pv.IdleGBmsRate <= pv.SuspendedGBmsRate {
+		t.Errorf("provisioned suspended rate %v not below idle rate %v",
+			pv.SuspendedGBmsRate, pv.IdleGBmsRate)
+	}
+	if pv.BusyGBmsRate >= od.BusyGBmsRate {
+		t.Errorf("provisioned compute %v not cheaper than ondemand %v",
+			pv.BusyGBmsRate, od.BusyGBmsRate)
+	}
+	if _, err := Plan("no-such-plan"); err == nil {
+		t.Fatal("unknown plan accepted")
+	}
+}
+
+func TestMeterZeroAlloc(t *testing.T) {
+	var m Meter
+	allocs := testing.AllocsPerRun(100, func() {
+		m.Busy(1.5)
+		m.Idle(0.5)
+		m.Suspended(0.1)
+		m.Request()
+	})
+	if allocs != 0 {
+		t.Fatalf("meter allocated %v per run, want 0", allocs)
+	}
+}

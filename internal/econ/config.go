@@ -1,0 +1,166 @@
+package econ
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Duration is a JSON-friendly time.Duration: it unmarshals from either a
+// Go duration string ("250ms") or an integer nanosecond count, and always
+// marshals back to the string form, so specs round-trip losslessly.
+type Duration time.Duration
+
+// UnmarshalJSON accepts "2s" or 2000000000.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		parsed, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("econ: bad duration %q: %w", s, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(data, &ns); err != nil {
+		return fmt.Errorf("econ: duration must be a string or integer nanoseconds: %s", data)
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// MarshalJSON writes the duration string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// AutoscalerSpec is the JSON shape of an AutoscalerConfig.
+type AutoscalerSpec struct {
+	Target           float64  `json:"target"`
+	TickInterval     Duration `json:"tick_interval,omitempty"`
+	ScaleDownWindow  Duration `json:"scale_down_window,omitempty"`
+	PanicFactor      float64  `json:"panic_factor,omitempty"`
+	PanicWindow      Duration `json:"panic_window,omitempty"`
+	MaxScaleUpStep   int      `json:"max_scale_up_step,omitempty"`
+	MaxScaleDownStep int      `json:"max_scale_down_step,omitempty"`
+	Suspend          bool     `json:"suspend,omitempty"`
+}
+
+// ToConfig validates the spec and converts it, filling cadence defaults
+// (2s tick, 60s scale-down window) when omitted.
+func (s *AutoscalerSpec) ToConfig() (AutoscalerConfig, error) {
+	cfg := AutoscalerConfig{
+		Target:           s.Target,
+		TickInterval:     time.Duration(s.TickInterval),
+		ScaleDownWindow:  time.Duration(s.ScaleDownWindow),
+		PanicFactor:      s.PanicFactor,
+		PanicWindow:      time.Duration(s.PanicWindow),
+		MaxScaleUpStep:   s.MaxScaleUpStep,
+		MaxScaleDownStep: s.MaxScaleDownStep,
+		Suspend:          s.Suspend,
+	}
+	if cfg.TickInterval == 0 {
+		cfg.TickInterval = 2 * time.Second
+	}
+	if cfg.ScaleDownWindow == 0 {
+		cfg.ScaleDownWindow = time.Minute
+	}
+	if err := cfg.Validate(); err != nil {
+		return AutoscalerConfig{}, err
+	}
+	return cfg, nil
+}
+
+// BillingSpec is the JSON shape of a BillingConfig. Unlike the config
+// struct it spells every rate out explicitly so that a spec file reads as
+// a price sheet; "plan" may instead name a built-in plan, in which case
+// the explicit rates must be absent.
+type BillingSpec struct {
+	Plan              string   `json:"plan,omitempty"`
+	Name              string   `json:"name,omitempty"`
+	BusyGBmsRate      *float64 `json:"busy_gbms_rate,omitempty"`
+	IdleGBmsRate      *float64 `json:"idle_gbms_rate,omitempty"`
+	SuspendedGBmsRate *float64 `json:"suspended_gbms_rate,omitempty"`
+	PerRequestFee     *float64 `json:"per_request_fee,omitempty"`
+}
+
+// ToConfig validates the spec and converts it.
+func (s *BillingSpec) ToConfig() (BillingConfig, error) {
+	if s.Plan != "" {
+		if s.Name != "" || s.BusyGBmsRate != nil || s.IdleGBmsRate != nil ||
+			s.SuspendedGBmsRate != nil || s.PerRequestFee != nil {
+			return BillingConfig{}, fmt.Errorf("econ: billing spec names plan %q and explicit rates; pick one", s.Plan)
+		}
+		return Plan(s.Plan)
+	}
+	cfg := BillingConfig{Name: s.Name}
+	if cfg.Name == "" {
+		cfg.Name = "custom"
+	}
+	if s.BusyGBmsRate != nil {
+		cfg.BusyGBmsRate = *s.BusyGBmsRate
+	}
+	if s.IdleGBmsRate != nil {
+		cfg.IdleGBmsRate = *s.IdleGBmsRate
+	}
+	if s.SuspendedGBmsRate != nil {
+		cfg.SuspendedGBmsRate = *s.SuspendedGBmsRate
+	}
+	if s.PerRequestFee != nil {
+		cfg.PerRequestFee = *s.PerRequestFee
+	}
+	if err := cfg.Validate(); err != nil {
+		return BillingConfig{}, err
+	}
+	return cfg, nil
+}
+
+// FileSpec is an econ config file: the autoscaler policy and the billing
+// plan a cost experiment applies. Either section may be omitted.
+type FileSpec struct {
+	Autoscaler *AutoscalerSpec `json:"autoscaler,omitempty"`
+	Billing    *BillingSpec    `json:"billing,omitempty"`
+}
+
+// Loaded is a parsed and validated econ config file.
+type Loaded struct {
+	// Autoscaler is non-nil when the file configured a scale policy.
+	Autoscaler *AutoscalerConfig
+	// Billing is non-nil when the file configured a billing plan.
+	Billing *BillingConfig
+}
+
+// ParseConfig parses and validates an econ config JSON document.
+func ParseConfig(data []byte) (*Loaded, error) {
+	var spec FileSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, fmt.Errorf("econ: parse config: %w", err)
+	}
+	out := &Loaded{}
+	if spec.Autoscaler != nil {
+		cfg, err := spec.Autoscaler.ToConfig()
+		if err != nil {
+			return nil, err
+		}
+		out.Autoscaler = &cfg
+	}
+	if spec.Billing != nil {
+		cfg, err := spec.Billing.ToConfig()
+		if err != nil {
+			return nil, err
+		}
+		out.Billing = &cfg
+	}
+	return out, nil
+}
+
+// LoadFile reads and parses an econ config JSON file.
+func LoadFile(path string) (*Loaded, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("econ: read config: %w", err)
+	}
+	return ParseConfig(data)
+}

@@ -1,0 +1,175 @@
+package econ
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDurationCodec(t *testing.T) {
+	var d Duration
+	if err := json.Unmarshal([]byte(`"250ms"`), &d); err != nil {
+		t.Fatalf("string form: %v", err)
+	}
+	if time.Duration(d) != 250*time.Millisecond {
+		t.Fatalf("got %v", time.Duration(d))
+	}
+	if err := json.Unmarshal([]byte(`2000000000`), &d); err != nil {
+		t.Fatalf("integer form: %v", err)
+	}
+	if time.Duration(d) != 2*time.Second {
+		t.Fatalf("got %v", time.Duration(d))
+	}
+	if err := json.Unmarshal([]byte(`"bogus"`), &d); err == nil {
+		t.Fatal("bad duration string accepted")
+	}
+	if err := json.Unmarshal([]byte(`{}`), &d); err == nil {
+		t.Fatal("object accepted as duration")
+	}
+	out, err := json.Marshal(Duration(90 * time.Second))
+	if err != nil || string(out) != `"1m30s"` {
+		t.Fatalf("marshal: %s, %v", out, err)
+	}
+}
+
+func TestParseConfigFull(t *testing.T) {
+	doc := `{
+		"autoscaler": {
+			"target": 2,
+			"tick_interval": "1s",
+			"scale_down_window": "30s",
+			"panic_factor": 3,
+			"panic_window": "10s",
+			"max_scale_up_step": 5,
+			"max_scale_down_step": 1,
+			"suspend": true
+		},
+		"billing": {
+			"name": "tenant-x",
+			"busy_gbms_rate": 1e-8,
+			"idle_gbms_rate": 2e-9,
+			"suspended_gbms_rate": 3e-10,
+			"per_request_fee": 2e-7
+		}
+	}`
+	got, err := ParseConfig([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := got.Autoscaler
+	if as == nil || as.Target != 2 || as.TickInterval != time.Second ||
+		as.ScaleDownWindow != 30*time.Second || as.PanicFactor != 3 ||
+		as.PanicWindow != 10*time.Second || as.MaxScaleUpStep != 5 ||
+		as.MaxScaleDownStep != 1 || !as.Suspend {
+		t.Fatalf("autoscaler = %+v", as)
+	}
+	b := got.Billing
+	if b == nil || b.Name != "tenant-x" || b.BusyGBmsRate != 1e-8 ||
+		b.IdleGBmsRate != 2e-9 || b.SuspendedGBmsRate != 3e-10 || b.PerRequestFee != 2e-7 {
+		t.Fatalf("billing = %+v", b)
+	}
+}
+
+func TestParseConfigDefaultsAndOmissions(t *testing.T) {
+	got, err := ParseConfig([]byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Autoscaler != nil || got.Billing != nil {
+		t.Fatalf("empty doc produced sections: %+v", got)
+	}
+	got, err = ParseConfig([]byte(`{"autoscaler": {"target": 1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Autoscaler.TickInterval != 2*time.Second || got.Autoscaler.ScaleDownWindow != time.Minute {
+		t.Fatalf("cadence defaults not filled: %+v", got.Autoscaler)
+	}
+}
+
+func TestParseConfigBillingPlanRef(t *testing.T) {
+	got, err := ParseConfig([]byte(`{"billing": {"plan": "ondemand"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Billing.Name != "ondemand" || got.Billing.BusyGBmsRate == 0 {
+		t.Fatalf("plan ref = %+v", got.Billing)
+	}
+	if _, err := ParseConfig([]byte(`{"billing": {"plan": "no-such"}}`)); err == nil {
+		t.Fatal("unknown plan ref accepted")
+	}
+	_, err = ParseConfig([]byte(`{"billing": {"plan": "ondemand", "busy_gbms_rate": 1}}`))
+	if err == nil || !strings.Contains(err.Error(), "pick one") {
+		t.Fatalf("plan+rates accepted: %v", err)
+	}
+}
+
+func TestParseConfigCustomPlanName(t *testing.T) {
+	got, err := ParseConfig([]byte(`{"billing": {"busy_gbms_rate": 1e-8}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Billing.Name != "custom" {
+		t.Fatalf("anonymous plan name = %q, want custom", got.Billing.Name)
+	}
+}
+
+func TestParseConfigRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"malformed json", `{`},
+		{"negative rate", `{"billing": {"busy_gbms_rate": -1}}`},
+		{"nan via string", `{"billing": {"busy_gbms_rate": "nan"}}`},
+		{"zero target", `{"autoscaler": {"target": 0}}`},
+		{"negative target", `{"autoscaler": {"target": -3}}`},
+		{"window below tick", `{"autoscaler": {"target": 1, "tick_interval": "5s", "scale_down_window": "1s"}}`},
+		{"bad tick duration", `{"autoscaler": {"target": 1, "tick_interval": "soon"}}`},
+	}
+	for _, tc := range cases {
+		if _, err := ParseConfig([]byte(tc.doc)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "econ.json")
+	doc := `{"autoscaler": {"target": 4, "suspend": true}, "billing": {"plan": "provisioned"}}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Autoscaler.Target != 4 || !got.Autoscaler.Suspend || got.Billing.Name != "provisioned" {
+		t.Fatalf("loaded = %+v / %+v", got.Autoscaler, got.Billing)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	spec := FileSpec{
+		Autoscaler: &AutoscalerSpec{Target: 2, TickInterval: Duration(time.Second)},
+		Billing:    &BillingSpec{Plan: "ondemand"},
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Autoscaler.Target != 2 || got.Autoscaler.TickInterval != time.Second {
+		t.Fatalf("round trip: %+v", got.Autoscaler)
+	}
+}

@@ -1,0 +1,62 @@
+package econ
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzLoadBillingConfig fuzzes the econ config loader: any input must either
+// be rejected or produce a fully validated config — finite non-negative
+// billing rates, a positive finite autoscaler target, and a consistent
+// tick/window cadence. Loading must never panic.
+func FuzzLoadBillingConfig(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"billing": {"plan": "ondemand"}}`,
+		`{"billing": {"plan": "provisioned"}}`,
+		`{"billing": {"name": "x", "busy_gbms_rate": 1e-8, "per_request_fee": 2e-7}}`,
+		`{"billing": {"busy_gbms_rate": -1}}`,
+		`{"billing": {"idle_gbms_rate": 1e400}}`,
+		`{"autoscaler": {"target": 1}}`,
+		`{"autoscaler": {"target": 2.5, "tick_interval": "1s", "scale_down_window": "30s", "suspend": true}}`,
+		`{"autoscaler": {"target": 0}}`,
+		`{"autoscaler": {"target": 1, "tick_interval": 2000000000, "panic_factor": 3}}`,
+		`{"autoscaler": {"target": 1, "tick_interval": "5s", "scale_down_window": "1s"}}`,
+		`{"billing": {"plan": "ondemand", "busy_gbms_rate": 1}}`,
+		`{"autoscaler": {"target": 1e309}}`,
+		`not json`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := ParseConfig(data)
+		if err != nil {
+			return
+		}
+		if b := loaded.Billing; b != nil {
+			for _, r := range []float64{b.BusyGBmsRate, b.IdleGBmsRate, b.SuspendedGBmsRate, b.PerRequestFee} {
+				if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+					t.Fatalf("accepted billing config with bad rate %v: %+v", r, b)
+				}
+			}
+			if err := b.Validate(); err != nil {
+				t.Fatalf("accepted billing config fails Validate: %v", err)
+			}
+			// A valid plan must price valid usage into finite costs.
+			c := b.Price(Usage{BusyGBms: 1e6, IdleGBms: 1e6, SuspendedGBms: 1e6, Requests: 1e6})
+			if math.IsNaN(c.Total) || math.IsInf(c.Total, 0) || c.Total < 0 {
+				t.Fatalf("priced cost not finite non-negative: %+v", c)
+			}
+		}
+		if a := loaded.Autoscaler; a != nil {
+			if err := a.Validate(); err != nil {
+				t.Fatalf("accepted autoscaler config fails Validate: %v", err)
+			}
+			// Construction and a few evaluations must not panic.
+			as := NewAutoscaler(*a)
+			as.Observe(0, 3, 1)
+			as.Tick(int64(a.TickInterval), 0, 3)
+		}
+	})
+}

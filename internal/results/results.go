@@ -182,6 +182,20 @@ func FromStressRun(name string, intended, service, sendLag *sketch.Sketch, colds
 	return rec
 }
 
+// FromCostRun builds a record for one policy point of a cost sweep: the
+// merged tenant-latency sketch plus the policy's total metered GB-seconds,
+// so saved points stay comparable with 'stellar compare' on the latency
+// axis while carrying the bill alongside.
+func FromCostRun(name string, sk *sketch.Sketch, colds, errors int, gbSeconds float64) *RunRecord {
+	return &RunRecord{
+		Name:            name,
+		Sketch:          sk.Record(),
+		Colds:           colds,
+		Errors:          errors,
+		BilledGBSeconds: gbSeconds,
+	}
+}
+
 // Latencies rebuilds the latency sample. It requires raw samples; use
 // Recorder for records that may only carry a sketch.
 func (r *RunRecord) Latencies() *stats.Sample {
